@@ -1,0 +1,122 @@
+package mistique_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (Sec. 8). Each benchmark drives the corresponding experiment runner in
+// internal/experiments at a reduced scale; `cmd/mistique-bench` runs the
+// same runners at full scale and prints the paper-style tables recorded in
+// EXPERIMENTS.md.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"mistique/internal/experiments"
+)
+
+// benchOpts is the reduced scale used under `go test -bench`.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		NProps:      150,
+		NTrain:      768,
+		Pipelines:   4,
+		DNNExamples: 96,
+		VGGWidth:    2,
+		Epochs:      2,
+		Seed:        1,
+	}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	_, byID := experiments.Registry()
+	run := byID[id]
+	if run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkFig5a_TRADQueryTimes regenerates Fig. 5a: TRAD end-to-end query
+// times, read vs re-run, for the eight Table 5 queries.
+func BenchmarkFig5a_TRADQueryTimes(b *testing.B) { benchExperiment(b, "fig5a") }
+
+// BenchmarkFig5bcd_DNNQueryTimes regenerates Figs. 5b-5d: DNN query times
+// at the last, middle and first VGG16 layers.
+func BenchmarkFig5bcd_DNNQueryTimes(b *testing.B) { benchExperiment(b, "fig5bcd") }
+
+// BenchmarkFig6a_ZillowStorage regenerates Fig. 6a: STORE_ALL vs DEDUP
+// footprint over the Zillow pipelines, plus the cumulative growth curve.
+func BenchmarkFig6a_ZillowStorage(b *testing.B) { benchExperiment(b, "fig6a") }
+
+// BenchmarkFig6b_DNNStorage regenerates Fig. 6b: DNN storage across
+// quantization schemes for CIFAR10_CNN and CIFAR10_VGG16 checkpoints.
+func BenchmarkFig6b_DNNStorage(b *testing.B) { benchExperiment(b, "fig6b") }
+
+// BenchmarkFig7_CostModelComponents regenerates Fig. 7: per-layer re-run
+// time and per-scheme read time.
+func BenchmarkFig7_CostModelComponents(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8_CostModelValidation regenerates Fig. 8: measured vs
+// predicted read/re-run trade-off across layers and n_ex.
+func BenchmarkFig8_CostModelValidation(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9_VISFidelity regenerates Fig. 9: VIS heat-map fidelity
+// under each quantization scheme.
+func BenchmarkFig9_VISFidelity(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkTable2_SVCCAFidelity regenerates Table 2: SVCCA coefficients at
+// full precision vs 8BIT_QT vs POOL_QT(2).
+func BenchmarkTable2_SVCCAFidelity(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3_KNNFidelity regenerates Table 3: KNN neighbor overlap at
+// full precision vs 8BIT_QT vs POOL_QT(2).
+func BenchmarkTable3_KNNFidelity(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig10_AdaptiveMaterialization regenerates Fig. 10: storage and
+// query-time behaviour of the 25-query adaptive workload.
+func BenchmarkFig10_AdaptiveMaterialization(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11_LoggingOverhead regenerates Fig. 11: pipeline execution
+// overhead under STORE_ALL / DEDUP / ADAPTIVE logging.
+func BenchmarkFig11_LoggingOverhead(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig14_CompressionMicro regenerates Fig. 14: the column
+// similarity / co-location compression microbenchmark.
+func BenchmarkFig14_CompressionMicro(b *testing.B) { benchExperiment(b, "fig14") }
+
+// Ablation benchmarks (design-choice studies called out in DESIGN.md).
+
+func benchAblation(b *testing.B, id string) {
+	b.Helper()
+	_, byID := experiments.AblationRegistry()
+	run := byID[id]
+	if run == nil {
+		b.Fatalf("unknown ablation %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblateDedupGranularity compares ColumnChunk-level vs
+// whole-intermediate exact de-duplication.
+func BenchmarkAblateDedupGranularity(b *testing.B) { benchAblation(b, "ablate-dedup") }
+
+// BenchmarkAblateGamma sweeps the adaptive-materialization threshold.
+func BenchmarkAblateGamma(b *testing.B) { benchAblation(b, "ablate-gamma") }
+
+// BenchmarkAblatePool sweeps the POOL_QT sigma level.
+func BenchmarkAblatePool(b *testing.B) { benchAblation(b, "ablate-pool") }

@@ -1,0 +1,137 @@
+package mistique
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The paper's future-work section observes that "a diagnosis session often
+// involves many queries, and therefore there may be opportunities to
+// further reduce execution time via caching and pre-fetching". Session
+// implements both: an LRU result cache over GetIntermediate answers, and a
+// Prefetch call that pages an intermediate's partitions into the store's
+// buffer pool ahead of use.
+
+// Session wraps a System with a bounded result cache. A Session is not
+// safe for concurrent use (it models one analyst's interactive session);
+// open one Session per diagnosis thread.
+type Session struct {
+	sys *System
+	// capBytes bounds the cache payload (float32 data bytes).
+	capBytes int64
+	used     int64
+	entries  map[string]*sessionEntry
+	order    []string // LRU, least recent first
+
+	// Hits and Misses count cache outcomes for diagnostics.
+	Hits, Misses int64
+}
+
+type sessionEntry struct {
+	res   *Result
+	bytes int64
+}
+
+// NewSession creates a session cache over sys bounded to capBytes of
+// result payload (default 64 MiB when capBytes <= 0).
+func NewSession(sys *System, capBytes int64) *Session {
+	if capBytes <= 0 {
+		capBytes = 64 << 20
+	}
+	return &Session{sys: sys, capBytes: capBytes, entries: make(map[string]*sessionEntry)}
+}
+
+func cacheKey(model, interm string, cols []string, nEx int) string {
+	sorted := append([]string(nil), cols...)
+	sort.Strings(sorted)
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%d", model, interm, strings.Join(sorted, ","), nEx)
+}
+
+// Get answers like System.GetIntermediate but serves repeated queries from
+// the session cache. Results that trigger adaptive materialization are
+// cached too (the underlying data is immutable once logged). Cached
+// results are shared between callers: treat the returned Result and its
+// Data as read-only.
+func (se *Session) Get(model, interm string, cols []string, nEx int) (*Result, error) {
+	key := cacheKey(model, interm, cols, nEx)
+	if e, ok := se.entries[key]; ok {
+		se.Hits++
+		se.touch(key)
+		return e.res, nil
+	}
+	se.Misses++
+	res, err := se.sys.GetIntermediate(model, interm, cols, nEx)
+	if err != nil {
+		return nil, err
+	}
+	se.insert(key, res)
+	return res, nil
+}
+
+func (se *Session) insert(key string, res *Result) {
+	bytes := int64(len(res.Data.Data)) * 4
+	if bytes > se.capBytes {
+		return // larger than the whole cache: don't thrash
+	}
+	se.entries[key] = &sessionEntry{res: res, bytes: bytes}
+	se.order = append(se.order, key)
+	se.used += bytes
+	for se.used > se.capBytes && len(se.order) > 0 {
+		victim := se.order[0]
+		se.order = se.order[1:]
+		if e, ok := se.entries[victim]; ok {
+			se.used -= e.bytes
+			delete(se.entries, victim)
+		}
+	}
+}
+
+func (se *Session) touch(key string) {
+	for i, k := range se.order {
+		if k == key {
+			copy(se.order[i:], se.order[i+1:])
+			se.order[len(se.order)-1] = key
+			return
+		}
+	}
+}
+
+// Len returns the number of cached results.
+func (se *Session) Len() int { return len(se.entries) }
+
+// Invalidate drops every cached result for the given model (e.g. after
+// re-logging it).
+func (se *Session) Invalidate(model string) {
+	prefix := model + "\x00"
+	kept := se.order[:0]
+	for _, k := range se.order {
+		if strings.HasPrefix(k, prefix) {
+			if e, ok := se.entries[k]; ok {
+				se.used -= e.bytes
+				delete(se.entries, k)
+			}
+			continue
+		}
+		kept = append(kept, k)
+	}
+	se.order = kept
+}
+
+// Prefetch pages every partition holding the intermediate's chunks into
+// the store's buffer pool so a following read is warm. It reads (and
+// discards) each column's chunks; the partitions stay resident subject to
+// the pool's LRU policy.
+func (s *System) Prefetch(model, interm string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it := s.meta.Intermediate(model, interm)
+	if it == nil {
+		return fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+	}
+	if !it.Materialized {
+		return fmt.Errorf("mistique: %s.%s not materialized; nothing to prefetch", model, interm)
+	}
+	_, err := s.readMatrix(model, interm, it, it.Columns, it.Rows)
+	return err
+}

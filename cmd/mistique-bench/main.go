@@ -1,0 +1,102 @@
+// Command mistique-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mistique-bench [-exp id[,id...]] [-scale small|default|paper] [flags]
+//
+// Each experiment prints a table whose rows mirror what the paper reports;
+// EXPERIMENTS.md records these outputs next to the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mistique/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids (fig5a, fig5bcd, fig6a, fig6b, fig7, fig8, fig9, table2, table3, fig10, fig11, fig14) or 'all'")
+		scale     = flag.String("scale", "default", "workload scale: small, default, or paper (paper is hours on one core)")
+		pipelines = flag.Int("pipelines", 0, "override: number of Zillow pipelines")
+		examples  = flag.Int("examples", 0, "override: DNN examples")
+		width     = flag.Int("vgg-width", 0, "override: VGG16 channel width multiplier")
+		epochs    = flag.Int("epochs", 0, "override: checkpoints for storage experiments")
+		seed      = flag.Int64("seed", 1, "synthetic data seed")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	ids, byID := experiments.Registry()
+	ablIDs, ablByID := experiments.AblationRegistry()
+	for id, r := range ablByID {
+		byID[id] = r
+	}
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		for _, id := range ablIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var opt experiments.Options
+	switch *scale {
+	case "small":
+		opt = experiments.Options{NProps: 150, NTrain: 768, Pipelines: 5, DNNExamples: 128, VGGWidth: 2, Epochs: 2}
+	case "default":
+		opt = experiments.Options{NProps: 400, NTrain: 2048, Pipelines: 50, DNNExamples: 512, VGGWidth: 4, Epochs: 4}
+	case "paper":
+		opt = experiments.Options{NProps: 3000, NTrain: 16384, Pipelines: 50, DNNExamples: 4096, VGGWidth: 8, Epochs: 10}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *pipelines > 0 {
+		opt.Pipelines = *pipelines
+	}
+	if *examples > 0 {
+		opt.DNNExamples = *examples
+	}
+	if *width > 0 {
+		opt.VGGWidth = *width
+	}
+	if *epochs > 0 {
+		opt.Epochs = *epochs
+	}
+	opt.Seed = *seed
+
+	var run []string
+	switch {
+	case *expFlag == "all":
+		run = ids
+	case *expFlag == "ablations":
+		run = ablIDs
+	default:
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			if byID[id] == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			run = append(run, id)
+		}
+	}
+
+	for _, id := range run {
+		start := time.Now()
+		tab, err := byID[id](opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		tab.Render(os.Stdout)
+		fmt.Printf("  (%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,291 @@
+// Command mistique is a small operational CLI over a MISTIQUE store
+// directory. It demonstrates the end-to-end flow against the synthetic
+// Zillow workload:
+//
+//	mistique -dir /tmp/mq log -pipelines 5        # log pipelines
+//	mistique -dir /tmp/mq query -model p1_v0 -interm model -col pred
+//	mistique -dir /tmp/mq stats                   # store statistics
+//	mistique -dir /tmp/mq catalog                 # list models/intermediates
+//
+// (Pipelines must be re-logged per process to enable RERUN — transformer
+// state is in-memory — but previously stored chunks and the catalog are
+// read back from disk for stats/catalog inspection.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mistique"
+	"mistique/internal/colstore"
+	"mistique/internal/cost"
+	"mistique/internal/metadata"
+	"mistique/internal/zillow"
+)
+
+func main() {
+	dir := flag.String("dir", "", "store directory (required)")
+	flag.Parse()
+	if *dir == "" || flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+
+	var err error
+	switch cmd {
+	case "log":
+		err = runLog(*dir, args)
+	case "query":
+		err = runQuery(*dir, args)
+	case "stats":
+		err = runStats(*dir)
+	case "catalog":
+		err = runCatalog(*dir)
+	case "scan":
+		err = runScan(*dir, args)
+	case "fsck":
+		err = runFsck(*dir)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mistique:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mistique -dir DIR <command> [flags]
+
+commands:
+  log      -pipelines N [-props N] [-rows N] [-dedup]   log Zillow pipelines
+  query    -model M -interm I [-col C] [-n N]           fetch an intermediate
+  scan     -model M -interm I -col C -op OP -bound V    zone-map predicate scan
+  stats                                                 store statistics
+  fsck                                                  verify store integrity
+  catalog                                               list logged models`)
+}
+
+func open(dir string, dedup bool, gamma float64) (*mistique.System, error) {
+	cfg := mistique.Config{Gamma: gamma, Cost: cost.DefaultParams()}
+	if dedup {
+		cfg.Store.Mode = colstore.ModeSimilarity
+	} else {
+		cfg.Store.Mode = colstore.ModeArrival
+		cfg.Store.DisableExactDedup = true
+		cfg.Store.DisableApproxDedup = true
+	}
+	return mistique.Open(dir, cfg)
+}
+
+func runLog(dir string, args []string) error {
+	fs := flag.NewFlagSet("log", flag.ExitOnError)
+	nPipes := fs.Int("pipelines", 5, "number of Zillow pipelines to log (max 50)")
+	nProps := fs.Int("props", 400, "synthetic parcels")
+	nRows := fs.Int("rows", 2048, "synthetic sale records")
+	dedup := fs.Bool("dedup", true, "enable de-duplication")
+	seed := fs.Int64("seed", 1, "data seed")
+	fs.Parse(args)
+
+	sys, err := open(dir, *dedup, 0)
+	if err != nil {
+		return err
+	}
+	env := zillow.Env(*nProps, *nRows, *seed)
+	pipes, err := zillow.Build(env)
+	if err != nil {
+		return err
+	}
+	if *nPipes > len(pipes) {
+		*nPipes = len(pipes)
+	}
+	for _, p := range pipes[:*nPipes] {
+		rep, err := sys.LogPipeline(p, env)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("logged %-8s  %2d intermediates  stored %8d B (logical %8d B)  dedup %d chunks  %.2fs\n",
+			rep.Model, rep.Intermediates, rep.StoredBytes, rep.LogicalBytes, rep.ColumnsDedup, rep.Seconds)
+	}
+	if err := sys.Flush(); err != nil {
+		return err
+	}
+	disk, err := sys.DiskBytes()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("on-disk footprint: %d bytes\n", disk)
+	return nil
+}
+
+func runQuery(dir string, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	model := fs.String("model", "", "model name")
+	interm := fs.String("interm", "", "intermediate name")
+	col := fs.String("col", "", "column (default: all)")
+	n := fs.Int("n", 10, "examples to fetch")
+	nPipes := fs.Int("pipelines", 5, "pipelines to re-log (must cover -model)")
+	seed := fs.Int64("seed", 1, "data seed (must match the log run)")
+	fs.Parse(args)
+	if *model == "" || *interm == "" {
+		return fmt.Errorf("query needs -model and -interm")
+	}
+
+	// Re-log to rebuild in-memory transformer state; stored chunks dedup
+	// against the existing store so this is cheap on a warm directory.
+	sys, err := open(dir, true, 0)
+	if err != nil {
+		return err
+	}
+	env := zillow.Env(400, 2048, *seed)
+	pipes, err := zillow.Build(env)
+	if err != nil {
+		return err
+	}
+	for _, p := range pipes[:*nPipes] {
+		if _, err := sys.LogPipeline(p, env); err != nil {
+			return err
+		}
+	}
+
+	var cols []string
+	if *col != "" {
+		cols = strings.Split(*col, ",")
+	}
+	res, err := sys.GetIntermediate(*model, *interm, cols, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("strategy=%s fetch=%.4fs est_read=%.4fs est_rerun=%.4fs\n",
+		res.Strategy, res.FetchSeconds, res.EstReadSecs, res.EstRerunSecs)
+	fmt.Println(strings.Join(res.Cols, "\t"))
+	for i := 0; i < res.Data.Rows; i++ {
+		row := res.Data.Row(i)
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = fmt.Sprintf("%.4g", v)
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	return nil
+}
+
+func runScan(dir string, args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	model := fs.String("model", "", "model name")
+	interm := fs.String("interm", "", "intermediate name")
+	col := fs.String("col", "", "column to scan")
+	opStr := fs.String("op", "gt", "predicate: gt, ge, lt, le")
+	bound := fs.Float64("bound", 0, "predicate bound")
+	limit := fs.Int("limit", 20, "max matches to print")
+	nPipes := fs.Int("pipelines", 5, "pipelines to re-log (must cover -model)")
+	seed := fs.Int64("seed", 1, "data seed (must match the log run)")
+	fs.Parse(args)
+	if *model == "" || *interm == "" || *col == "" {
+		return fmt.Errorf("scan needs -model, -interm and -col")
+	}
+	var op colstore.Op
+	switch *opStr {
+	case "gt":
+		op = colstore.Gt
+	case "ge":
+		op = colstore.Ge
+	case "lt":
+		op = colstore.Lt
+	case "le":
+		op = colstore.Le
+	default:
+		return fmt.Errorf("unknown op %q", *opStr)
+	}
+	sys, err := open(dir, true, 0)
+	if err != nil {
+		return err
+	}
+	env := zillow.Env(400, 2048, *seed)
+	pipes, err := zillow.Build(env)
+	if err != nil {
+		return err
+	}
+	for _, p := range pipes[:*nPipes] {
+		if _, err := sys.LogPipeline(p, env); err != nil {
+			return err
+		}
+	}
+	rows, err := sys.FilterRows(*model, *interm, *col, op, float32(*bound))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d rows match %s %s %g\n", len(rows), *col, op, *bound)
+	for i, r := range rows {
+		if i >= *limit {
+			fmt.Printf("... and %d more\n", len(rows)-*limit)
+			break
+		}
+		fmt.Println(r)
+	}
+	return nil
+}
+
+func runFsck(dir string) error {
+	sys, err := open(dir, true, 0)
+	if err != nil {
+		return err
+	}
+	rep, err := sys.Store().Verify()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("partitions: %d  chunks: %d  columns: %d  garbage chunks: %d\n",
+		rep.Partitions, rep.Chunks, rep.Columns, rep.GarbageChunks)
+	if len(rep.Problems) == 0 {
+		fmt.Println("store healthy")
+		return nil
+	}
+	for _, p := range rep.Problems {
+		fmt.Println("PROBLEM:", p)
+	}
+	return fmt.Errorf("%d integrity problems", len(rep.Problems))
+}
+
+func runStats(dir string) error {
+	sys, err := open(dir, true, 0)
+	if err != nil {
+		return err
+	}
+	disk, err := sys.DiskBytes()
+	if err != nil {
+		return err
+	}
+	st := sys.Store().Stats()
+	fmt.Printf("disk bytes:     %d\n", disk)
+	fmt.Printf("chunks stored:  %d (session)\n", st.ChunksStored)
+	fmt.Printf("chunks deduped: %d (session)\n", st.ChunksDeduped)
+	return nil
+}
+
+func runCatalog(dir string) error {
+	path := filepath.Join(dir, "metadata.json")
+	db, err := metadata.Load(path)
+	if err != nil {
+		return fmt.Errorf("no catalog at %s (run 'log' first): %w", path, err)
+	}
+	for _, name := range db.Models() {
+		m := db.Model(name)
+		fmt.Printf("%s (%s, %d examples, %d stages)\n", m.Name, m.Kind, m.TotalExamples, len(m.Stages))
+		for _, it := range m.Intermediates {
+			mat := " "
+			if it.Materialized {
+				mat = "M"
+			}
+			fmt.Printf("  [%s] %-16s stage=%2d cols=%4d rows=%6d queries=%d scheme=%s\n",
+				mat, it.Name, it.StageIndex, len(it.Columns), it.Rows, it.QueryCount, it.QuantScheme)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,291 @@
+// Package mistique is a Go implementation of MISTIQUE (Model Intermediate
+// STore and QUery Engine, SIGMOD 2018): a system that captures, stores and
+// queries model intermediates — the datasets produced by every stage of a
+// traditional ML pipeline and the hidden activations of every layer of a
+// deep neural network — to accelerate model diagnosis.
+//
+// A System ties together the three architectural components of the paper:
+// the PipelineExecutor (internal/pipeline and internal/nn run models and
+// hand intermediates over for logging), the DataStore (internal/colstore,
+// a column-chunked, partitioned, de-duplicating, compressed store), and
+// the ChunkReader (the query path, which consults the cost model in
+// internal/cost to decide between re-running the model and reading a
+// materialized intermediate). The MetadataDB (internal/metadata) records
+// models, stage timings, intermediate locations and query counts.
+//
+// Basic use:
+//
+//	sys, _ := mistique.Open(dir, mistique.Config{})
+//	sys.LogPipeline(p, env)                  // log a TRAD pipeline
+//	sys.LogDNN("vgg@e0", net, images, opts)  // log DNN activations
+//	res, _ := sys.GetIntermediate("vgg@e0", "conv5_3", nil, 1000)
+//	// res.Data is an examples x columns matrix; res.Strategy says whether
+//	// the engine re-ran the model or read the stored intermediate.
+package mistique
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mistique/internal/colstore"
+	"mistique/internal/cost"
+	"mistique/internal/frame"
+	"mistique/internal/metadata"
+	"mistique/internal/nn"
+	"mistique/internal/pipeline"
+	"mistique/internal/quant"
+	"mistique/internal/tensor"
+)
+
+// Scheme selects the storage scheme for logged intermediates (Sec. 4.1).
+type Scheme string
+
+const (
+	// SchemeFull stores raw float32 values.
+	SchemeFull Scheme = "FULL"
+	// SchemeLP stores float16 values (LP_QT).
+	SchemeLP Scheme = "LP_QT"
+	// Scheme8Bit stores 256-quantile bin indices (KBIT_QT, k=8).
+	Scheme8Bit Scheme = "8BIT_QT"
+	// SchemePool2 average-pools activation maps 2x2 before storing
+	// (POOL_QT sigma=2, the paper's default for DNNs).
+	SchemePool2 Scheme = "POOL2_QT"
+	// SchemePool4 average-pools activation maps 4x4 before storing
+	// (POOL_QT sigma=4, the middle point of the paper's overhead sweep).
+	SchemePool4 Scheme = "POOL4_QT"
+	// SchemePool32 collapses each activation map to one value
+	// (POOL_QT sigma=S).
+	SchemePool32 Scheme = "POOL32_QT"
+	// SchemeThreshold stores 1-bit indicators against the 99.5th
+	// percentile (THRESHOLD_QT).
+	SchemeThreshold Scheme = "THRESHOLD_QT"
+)
+
+// Config controls a System. Zero values select paper defaults.
+type Config struct {
+	// RowBlockRows is the RowBlock height (default 1024, the paper's 1K).
+	RowBlockRows int
+	// Store configures the column store; Mode and dedup switches select
+	// the STORE_ALL / DEDUP behaviours of the evaluation.
+	Store colstore.Config
+	// Gamma is the adaptive-materialization threshold in seconds/byte
+	// (Eq. 5). Negative disables adaptive mode and materializes
+	// everything at logging time (the paper's DEDUP/STORE_ALL setups).
+	// Zero also materializes everything.
+	Gamma float64
+	// Cost holds calibrated cost-model constants; zero uses defaults.
+	Cost cost.Params
+}
+
+// System is a MISTIQUE instance rooted at a directory.
+type System struct {
+	mu    sync.Mutex
+	cfg   Config
+	dir   string
+	store *colstore.Store
+	meta  *metadata.DB
+
+	pipelines map[string]*pipelineModel
+	networks  map[string]*dnnModel
+}
+
+type pipelineModel struct {
+	p   *pipeline.Pipeline
+	env map[string]*frame.Frame
+	// stageOf maps intermediate name -> stage index.
+	stageOf map[string]int
+	// colsOf maps intermediate name -> numeric column names.
+	colsOf map[string][]string
+}
+
+type dnnModel struct {
+	net   *nn.Network
+	input *tensor.T4
+	opts  DNNLogOptions
+	// layerOf maps intermediate (layer) name -> layer index.
+	layerOf map[string]int
+}
+
+// Open creates or reopens a System rooted at dir. Reopening a previously
+// flushed directory restores the catalog and the stored chunks, so
+// materialized intermediates are immediately readable; model re-runs
+// (and thus the RERUN strategy and adaptive materialization) become
+// available again once the corresponding pipelines/networks are re-logged
+// — their fitted transformer state lives in memory, as in the paper.
+func Open(dir string, cfg Config) (*System, error) {
+	if cfg.RowBlockRows <= 0 {
+		cfg.RowBlockRows = 1024
+	}
+	cfg.Store.RowBlockRows = cfg.RowBlockRows
+	if cfg.Cost == (cost.Params{}) {
+		cfg.Cost = cost.DefaultParams()
+	}
+	st, err := colstore.Open(filepath.Join(dir, "data"), cfg.Store)
+	if err != nil {
+		return nil, fmt.Errorf("mistique: %w", err)
+	}
+	meta := metadata.NewDB()
+	metaPath := filepath.Join(dir, "metadata.json")
+	if _, statErr := os.Stat(metaPath); statErr == nil {
+		meta, err = metadata.Load(metaPath)
+		if err != nil {
+			return nil, fmt.Errorf("mistique: reopen catalog: %w", err)
+		}
+	}
+	return &System{
+		cfg:       cfg,
+		dir:       dir,
+		store:     st,
+		meta:      meta,
+		pipelines: make(map[string]*pipelineModel),
+		networks:  make(map[string]*dnnModel),
+	}, nil
+}
+
+// Metadata exposes the catalog (read-mostly; used by tools and tests).
+func (s *System) Metadata() *metadata.DB { return s.meta }
+
+// Store exposes the column store for stats and flushing.
+func (s *System) Store() *colstore.Store { return s.store }
+
+// Flush writes all dirty partitions to disk and persists the catalog.
+func (s *System) Flush() error {
+	if err := s.store.Flush(); err != nil {
+		return err
+	}
+	return s.meta.Save(filepath.Join(s.dir, "metadata.json"))
+}
+
+// DiskBytes reports the on-disk footprint of stored intermediates.
+func (s *System) DiskBytes() (int64, error) { return s.store.DiskBytes() }
+
+// adaptiveOn reports whether adaptive materialization gates storage.
+func (s *System) adaptiveOn() bool { return s.cfg.Gamma > 0 }
+
+// LogReport summarizes one logging run.
+type LogReport struct {
+	Model         string
+	Seconds       float64
+	Intermediates int
+	ColumnsStored int64
+	ColumnsDedup  int64
+	StoredBytes   int64
+	LogicalBytes  int64
+	// Skipped counts intermediates deferred by adaptive materialization.
+	Skipped int
+}
+
+// storeMatrix splits a matrix into RowBlock-sized column chunks and stores
+// them under (model, interm). mkQuant supplies the value codec for each
+// column (nil, or returning nil, means raw float32). Returns encoded bytes
+// actually stored (after de-duplication).
+func (s *System) storeMatrix(model, interm string, m *tensor.Dense, cols []string, mkQuant func(col []float32) (*quant.Quantizer, error)) (int64, error) {
+	blockRows := s.cfg.RowBlockRows
+	var stored int64
+	for j, name := range cols {
+		col := m.Col(j)
+		var q *quant.Quantizer
+		if mkQuant != nil {
+			var err error
+			q, err = mkQuant(col)
+			if err != nil {
+				return stored, err
+			}
+		}
+		for b := 0; b*blockRows < len(col); b++ {
+			lo := b * blockRows
+			hi := lo + blockRows
+			if hi > len(col) {
+				hi = len(col)
+			}
+			key := colstore.ColumnKey{Model: model, Intermediate: interm, Column: name, Block: b}
+			res, err := s.store.PutColumn(key, col[lo:hi], q)
+			if err != nil {
+				return stored, fmt.Errorf("mistique: store %s: %w", key, err)
+			}
+			stored += res.EncodedBytes
+		}
+	}
+	return stored, nil
+}
+
+// DropModel removes a model from the system: its catalog entries, its
+// resident executor (pipeline or network), and its column mappings in the
+// store. Chunks shared with other models survive; space held only by this
+// model is reclaimed by CompactStore.
+func (s *System) DropModel(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.meta.DeleteModel(name) {
+		return fmt.Errorf("mistique: unknown model %q", name)
+	}
+	delete(s.pipelines, name)
+	delete(s.networks, name)
+	s.store.DeleteModel(name)
+	return nil
+}
+
+// CompactStore rewrites partitions to drop chunks no longer referenced by
+// any model, returning the reclaimed encoded bytes.
+func (s *System) CompactStore() (int64, error) {
+	_, reclaimed, err := s.store.Compact()
+	return reclaimed, err
+}
+
+// Calibrate measures the store's effective read rate (rho_d in Eq. 4) by
+// timing cold reads of materialized intermediates, and updates the cost
+// model in place. Call it after logging representative data; the paper
+// folds read, decompression and reconstruction cost into this one
+// constant, and so do we. Returns the measured bytes/second.
+func (s *System) Calibrate() (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.store.Flush(); err != nil {
+		return 0, err
+	}
+
+	// Pick the largest materialized intermediate as the probe.
+	var probeModel string
+	var probe *metadata.Interm
+	for _, name := range s.meta.Models() {
+		for _, it := range s.meta.Model(name).Intermediates {
+			if !it.Materialized || it.Rows == 0 || len(it.Columns) == 0 {
+				continue
+			}
+			if probe == nil || int64(it.Rows)*int64(len(it.Columns)) > int64(probe.Rows)*int64(len(probe.Columns)) {
+				probeModel, probe = name, it
+			}
+		}
+	}
+	if probe == nil {
+		return 0, fmt.Errorf("mistique: nothing materialized to calibrate against")
+	}
+	if err := s.store.DropCache(); err != nil {
+		return 0, err
+	}
+	start := nowSeconds()
+	m, err := s.readMatrix(probeModel, probe.Name, probe, probe.Columns, probe.Rows)
+	if err != nil {
+		return 0, err
+	}
+	elapsed := nowSeconds() - start
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	rate := float64(len(m.Data)) * 4 / elapsed
+	s.cfg.Cost.ReadBytesPerSec = rate
+	return rate, nil
+}
+
+// CostParams returns the cost-model constants currently in effect.
+func (s *System) CostParams() cost.Params {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Cost
+}
+
+// nowSeconds returns a monotonic timestamp in seconds.
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

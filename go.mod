@@ -1,0 +1,3 @@
+module mistique
+
+go 1.22

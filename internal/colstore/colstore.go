@@ -1,0 +1,542 @@
+// Package colstore implements MISTIQUE's DataStore (Sec. 3-4): a
+// column-oriented store for model intermediates.
+//
+// Every intermediate is a dataframe; its rows are split into RowBlocks
+// (default 1K rows) and each column of each RowBlock becomes a ColumnChunk —
+// the unit of storage, de-duplication and compression. ColumnChunks are
+// clustered into Partitions. A Partition lives uncompressed in the
+// InMemoryStore (a byte-budgeted buffer pool) until it is evicted or
+// flushed, at which point it is gzip-compressed and written to disk as one
+// file. Reading any chunk of an on-disk Partition loads (and caches) the
+// whole Partition — exactly the co-location trade-off the paper describes.
+//
+// De-duplication (Sec. 4.2):
+//   - exact: a content hash over the encoded chunk; an identical chunk is
+//     never stored twice, the new column simply references the old chunk.
+//   - approximate: a MinHash signature per chunk and an LSH index over
+//     partitions; a new chunk joins the partition holding its most similar
+//     existing chunk (Jaccard >= tau), so the partition compressor can
+//     exploit cross-chunk redundancy.
+package colstore
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"mistique/internal/minhash"
+	"mistique/internal/quant"
+)
+
+// Mode selects how ColumnChunks are assigned to Partitions.
+type Mode int
+
+const (
+	// ModeSimilarity co-locates chunks by MinHash/LSH similarity (the
+	// paper's strategy for TRAD pipelines).
+	ModeSimilarity Mode = iota
+	// ModeArrival fills the current partition in arrival order (the
+	// paper's DNN simplification: columns of one intermediate are written
+	// consecutively and therefore co-located).
+	ModeArrival
+	// ModeScatter assigns chunks round-robin across partitions. Only used
+	// by the Fig. 14 ablation to show what co-location buys.
+	ModeScatter
+)
+
+// Config controls store behaviour. Zero values select defaults.
+type Config struct {
+	// RowBlockRows is the number of rows per RowBlock (default 1024; the
+	// paper uses 1K). Exposed for tests and ablations; the store itself
+	// only sees per-block chunks, callers do the splitting.
+	RowBlockRows int
+	// MemBudgetBytes bounds the InMemoryStore (default 256 MiB).
+	MemBudgetBytes int64
+	// PartitionTargetBytes seals a partition once its encoded payload
+	// reaches this size (default 4 MiB).
+	PartitionTargetBytes int64
+	// Mode is the chunk-to-partition assignment policy.
+	Mode Mode
+	// SimilarityThreshold tau for approximate dedup (default 0.6).
+	SimilarityThreshold float64
+	// DisableExactDedup turns off content hashing (STORE_ALL baseline).
+	DisableExactDedup bool
+	// DisableApproxDedup turns off LSH co-location while keeping exact
+	// dedup (the paper's DNN configuration).
+	DisableApproxDedup bool
+	// ScatterWays is the number of round-robin partitions for ModeScatter
+	// (default 8).
+	ScatterWays int
+	// MinHashBucket is the discretization width for similarity hashing
+	// (default 0.01).
+	MinHashBucket float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RowBlockRows <= 0 {
+		c.RowBlockRows = 1024
+	}
+	if c.MemBudgetBytes <= 0 {
+		c.MemBudgetBytes = 256 << 20
+	}
+	if c.PartitionTargetBytes <= 0 {
+		c.PartitionTargetBytes = 4 << 20
+	}
+	if c.SimilarityThreshold <= 0 {
+		c.SimilarityThreshold = 0.6
+	}
+	if c.ScatterWays <= 0 {
+		c.ScatterWays = 8
+	}
+	if c.MinHashBucket <= 0 {
+		c.MinHashBucket = 0.01
+	}
+	return c
+}
+
+// ChunkID names a stored chunk: partition plus position within it.
+type ChunkID struct {
+	Partition int64
+	Index     int
+}
+
+// ColumnKey identifies one ColumnChunk logically: a column of one RowBlock
+// of one intermediate of one model.
+type ColumnKey struct {
+	Model        string
+	Intermediate string
+	Column       string
+	Block        int
+}
+
+func (k ColumnKey) String() string {
+	return fmt.Sprintf("%s.%s.%s[%d]", k.Model, k.Intermediate, k.Column, k.Block)
+}
+
+// chunk is the in-memory form of a ColumnChunk: encoded payload plus the
+// codec needed to reconstruct values.
+type chunk struct {
+	enc   []byte
+	count int
+	q     *quant.Quantizer
+}
+
+// partition is a cluster of chunks; the unit of compression and disk IO.
+type partition struct {
+	id     int64
+	chunks []*chunk
+	bytes  int64 // encoded payload bytes
+	sealed bool
+	dirty  bool // has content not yet on disk
+	onDisk bool
+}
+
+// PutResult reports what PutColumn did.
+type PutResult struct {
+	ID ChunkID
+	// Deduped is true when an identical chunk already existed and no new
+	// data was stored.
+	Deduped bool
+	// CoLocated is true when approximate dedup placed the chunk next to a
+	// similar one.
+	CoLocated bool
+	// EncodedBytes is the encoded payload size (0 when Deduped).
+	EncodedBytes int64
+}
+
+// Stats summarizes store contents and activity.
+type Stats struct {
+	ChunksPut      int64
+	ChunksDeduped  int64
+	ChunksStored   int64
+	LogicalBytes   int64 // encoded bytes before dedup (what STORE_ALL would keep)
+	StoredBytes    int64 // encoded bytes actually kept (before compression)
+	Partitions     int64
+	Evictions      int64
+	DiskReads      int64
+	DiskWrites     int64
+	DiskReadBytes  int64
+	DiskWriteBytes int64
+}
+
+// Store is the DataStore. It is safe for concurrent use.
+type Store struct {
+	mu  sync.Mutex
+	cfg Config
+	dir string
+
+	parts    map[int64]*partition
+	nextPart int64
+	// lru tracks resident partitions, least-recently-used first.
+	lru      []int64
+	memBytes int64
+
+	// open partitions by assignment policy.
+	current    int64   // ModeArrival current partition (-1 none)
+	scatter    []int64 // ModeScatter round-robin ring
+	scatterPos int
+
+	// exact dedup: content hash -> chunk id.
+	hashes map[[32]byte]ChunkID
+	// approximate dedup.
+	hasher *minhash.Hasher
+	lsh    *minhash.Index
+	// chunk id -> partition of the chunk that owned the signature (LSH
+	// stores int ids; we map them back).
+	sigPart map[int]int64
+	nextSig int
+
+	// columns maps logical keys to physical chunks.
+	columns map[ColumnKey]ChunkID
+	// zones holds per-chunk min/max summaries for predicate scans.
+	zones map[ChunkID]zone
+
+	stats Stats
+}
+
+// Open creates or reopens a store rooted at dir. If the directory holds a
+// manifest from a previous Flush, the column map and partition index are
+// restored and all flushed chunks are readable; dedup state is rebuilt
+// lazily (new chunks do not dedup against pre-restart data).
+func Open(dir string, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if err := mkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("colstore: open %s: %w", dir, err)
+	}
+	const sigBits = 64
+	s := &Store{
+		cfg:     cfg,
+		dir:     dir,
+		parts:   make(map[int64]*partition),
+		current: -1,
+		hashes:  make(map[[32]byte]ChunkID),
+		hasher:  minhash.NewHasher(sigBits, 0x5155454e), // deterministic
+		lsh:     minhash.NewIndex(16, 4),                // candidate threshold ~(1/16)^(1/4) = 0.5
+		sigPart: make(map[int]int64),
+		columns: make(map[ColumnKey]ChunkID),
+		zones:   make(map[ChunkID]zone),
+	}
+	if err := s.loadManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RowBlockRows returns the configured RowBlock height.
+func (s *Store) RowBlockRows() int { return s.cfg.RowBlockRows }
+
+// PutColumn stores one ColumnChunk: vals encoded with q under key. If an
+// identical chunk exists it is deduplicated; if a similar chunk exists (in
+// ModeSimilarity) the new chunk joins its partition.
+func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (PutResult, error) {
+	if q == nil {
+		q = quant.NewFull()
+	}
+	enc := q.Encode(nil, vals)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	s.stats.ChunksPut++
+	s.stats.LogicalBytes += int64(len(enc))
+
+	var h [32]byte
+	if !s.cfg.DisableExactDedup {
+		h = contentHash(enc, q)
+	}
+	if existing, dup := s.columns[key]; dup {
+		// Idempotent re-put: logging the same model into a reopened store
+		// re-presents identical chunks; accept them as dedup hits. A
+		// different payload under an existing key is a caller bug.
+		if !s.cfg.DisableExactDedup {
+			if id, ok := s.hashes[h]; ok && id == existing {
+				s.stats.ChunksDeduped++
+				return PutResult{ID: id, Deduped: true}, nil
+			}
+		}
+		if same, err := s.chunkMatchesLocked(existing, enc); err == nil && same {
+			s.stats.ChunksDeduped++
+			return PutResult{ID: existing, Deduped: true}, nil
+		}
+		return PutResult{}, fmt.Errorf("colstore: column %s already stored with different content", key)
+	}
+	if !s.cfg.DisableExactDedup {
+		if id, ok := s.hashes[h]; ok {
+			s.columns[key] = id
+			s.stats.ChunksDeduped++
+			return PutResult{ID: id, Deduped: true}, nil
+		}
+	}
+
+	p, coLocated := s.pickPartition(vals)
+	c := &chunk{enc: enc, count: len(vals), q: q}
+	p.chunks = append(p.chunks, c)
+	p.bytes += int64(len(enc))
+	p.dirty = true
+	s.memBytes += int64(len(enc))
+	if p.bytes >= s.cfg.PartitionTargetBytes {
+		p.sealed = true
+		if s.current == p.id {
+			s.current = -1
+		}
+	}
+	id := ChunkID{Partition: p.id, Index: len(p.chunks) - 1}
+	s.columns[key] = id
+	// Zone maps describe the values a reader observes, i.e. the
+	// reconstruction, so predicate skipping stays sound under quantization.
+	s.zones[id] = zoneOf(q.Apply(vals))
+	if !s.cfg.DisableExactDedup {
+		s.hashes[h] = id
+	}
+	if s.cfg.Mode == ModeSimilarity && !s.cfg.DisableApproxDedup {
+		sig := s.hasher.SignFloats(vals, s.cfg.MinHashBucket)
+		s.lsh.Insert(s.nextSig, sig)
+		s.sigPart[s.nextSig] = p.id
+		s.nextSig++
+	}
+	s.stats.ChunksStored++
+	s.stats.StoredBytes += int64(len(enc))
+	s.touchLocked(p.id)
+	if err := s.evictIfNeededLocked(); err != nil {
+		return PutResult{}, err
+	}
+	return PutResult{ID: id, CoLocated: coLocated, EncodedBytes: int64(len(enc))}, nil
+}
+
+// chunkMatchesLocked reports whether the stored chunk's encoded payload
+// equals enc (used for idempotent re-puts when exact dedup is disabled or
+// the hash table was not restored after reopen).
+func (s *Store) chunkMatchesLocked(id ChunkID, enc []byte) (bool, error) {
+	p, err := s.loadPartitionLocked(id.Partition)
+	if err != nil {
+		return false, err
+	}
+	if id.Index < 0 || id.Index >= len(p.chunks) {
+		return false, fmt.Errorf("colstore: chunk %d/%d out of range", id.Partition, id.Index)
+	}
+	return bytesEqual(p.chunks[id.Index].enc, enc), nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func contentHash(enc []byte, q *quant.Quantizer) [32]byte {
+	hsh := sha256.New()
+	meta, _ := q.MarshalBinary()
+	hsh.Write(meta)
+	hsh.Write(enc)
+	var out [32]byte
+	copy(out[:], hsh.Sum(nil))
+	return out
+}
+
+// pickPartition chooses (or creates) the partition a new chunk joins.
+func (s *Store) pickPartition(vals []float32) (p *partition, coLocated bool) {
+	switch s.cfg.Mode {
+	case ModeSimilarity:
+		if !s.cfg.DisableApproxDedup {
+			sig := s.hasher.SignFloats(vals, s.cfg.MinHashBucket)
+			if sigID, _, ok := s.lsh.QueryBest(sig, s.cfg.SimilarityThreshold); ok {
+				pid := s.sigPart[sigID]
+				if cand, resident := s.parts[pid]; resident && !cand.sealed && !cand.onDisk {
+					return cand, true
+				}
+			}
+		}
+		return s.openArrivalPartition(), false
+	case ModeScatter:
+		if len(s.scatter) < s.cfg.ScatterWays {
+			p := s.newPartition()
+			s.scatter = append(s.scatter, p.id)
+			return p, false
+		}
+		for range s.scatter {
+			pid := s.scatter[s.scatterPos%len(s.scatter)]
+			s.scatterPos++
+			if cand, ok := s.parts[pid]; ok && !cand.sealed && !cand.onDisk {
+				return cand, false
+			}
+			// Replace a sealed/evicted ring slot with a fresh partition.
+			np := s.newPartition()
+			s.scatter[(s.scatterPos-1)%len(s.scatter)] = np.id
+			return np, false
+		}
+		return s.newPartition(), false
+	default: // ModeArrival
+		return s.openArrivalPartition(), false
+	}
+}
+
+func (s *Store) openArrivalPartition() *partition {
+	if s.current >= 0 {
+		if p, ok := s.parts[s.current]; ok && !p.sealed && !p.onDisk {
+			return p
+		}
+	}
+	p := s.newPartition()
+	s.current = p.id
+	return p
+}
+
+func (s *Store) newPartition() *partition {
+	p := &partition{id: s.nextPart, dirty: true}
+	s.nextPart++
+	s.parts[p.id] = p
+	s.stats.Partitions++
+	s.lru = append(s.lru, p.id)
+	return p
+}
+
+// GetColumn reads back the reconstructed values of a stored column chunk.
+func (s *Store) GetColumn(key ColumnKey) ([]float32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.columns[key]
+	if !ok {
+		return nil, fmt.Errorf("colstore: column %s not stored", key)
+	}
+	return s.readChunkLocked(id)
+}
+
+// Has reports whether the column chunk is stored.
+func (s *Store) Has(key ColumnKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.columns[key]
+	return ok
+}
+
+// Lookup returns the chunk id for a stored column.
+func (s *Store) Lookup(key ColumnKey) (ChunkID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.columns[key]
+	return id, ok
+}
+
+// GetChunk reads a chunk by physical id.
+func (s *Store) GetChunk(id ChunkID) ([]float32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readChunkLocked(id)
+}
+
+func (s *Store) readChunkLocked(id ChunkID) ([]float32, error) {
+	p, err := s.loadPartitionLocked(id.Partition)
+	if err != nil {
+		return nil, err
+	}
+	if id.Index < 0 || id.Index >= len(p.chunks) {
+		return nil, fmt.Errorf("colstore: chunk %d/%d out of range", id.Partition, id.Index)
+	}
+	c := p.chunks[id.Index]
+	out, err := c.q.Decode(make([]float32, 0, c.count), c.enc, c.count)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: decode chunk %d/%d: %w", id.Partition, id.Index, err)
+	}
+	return out, nil
+}
+
+// Flush writes every dirty partition to disk and persists the manifest
+// (the store's durability point: a flushed store can be reopened and read
+// without re-logging). Partitions stay resident until evicted by memory
+// pressure.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.parts {
+		if p.dirty && len(p.chunks) > 0 {
+			if err := s.writePartitionLocked(p); err != nil {
+				return err
+			}
+		}
+	}
+	return s.writeManifestLocked()
+}
+
+// DropCache flushes and then releases all in-memory partition payloads,
+// forcing subsequent reads to hit disk. Used by read benchmarks.
+func (s *Store) DropCache() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.parts {
+		if p.dirty && len(p.chunks) > 0 {
+			if err := s.writePartitionLocked(p); err != nil {
+				return err
+			}
+		}
+		if p.onDisk && p.chunks != nil {
+			s.memBytes -= p.bytes
+			p.chunks = nil
+		}
+	}
+	s.lru = s.lru[:0]
+	return nil
+}
+
+// Stats returns a snapshot of activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// DiskBytes returns the total size of partition files on disk. Call Flush
+// first for a complete figure.
+func (s *Store) DiskBytes() (int64, error) {
+	s.mu.Lock()
+	dir := s.dir
+	s.mu.Unlock()
+	return dirSize(dir)
+}
+
+// touchLocked moves pid to the most-recently-used end of the LRU list.
+func (s *Store) touchLocked(pid int64) {
+	for i, id := range s.lru {
+		if id == pid {
+			copy(s.lru[i:], s.lru[i+1:])
+			s.lru[len(s.lru)-1] = pid
+			return
+		}
+	}
+	s.lru = append(s.lru, pid)
+}
+
+// evictIfNeededLocked writes out and drops LRU partitions until the memory
+// budget is met. The partition currently being filled is never evicted.
+func (s *Store) evictIfNeededLocked() error {
+	for s.memBytes > s.cfg.MemBudgetBytes && len(s.lru) > 1 {
+		pid := s.lru[0]
+		s.lru = s.lru[1:]
+		p, ok := s.parts[pid]
+		if !ok || p.chunks == nil {
+			continue
+		}
+		if pid == s.current {
+			// Keep the open partition resident; re-queue it.
+			s.lru = append(s.lru, pid)
+			if len(s.lru) == 1 {
+				break
+			}
+			continue
+		}
+		if p.dirty {
+			if err := s.writePartitionLocked(p); err != nil {
+				return err
+			}
+		}
+		p.sealed = true // evicted partitions never grow again
+		s.memBytes -= p.bytes
+		p.chunks = nil
+		s.stats.Evictions++
+	}
+	return nil
+}

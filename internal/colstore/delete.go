@@ -1,0 +1,262 @@
+package colstore
+
+import (
+	"fmt"
+	"os"
+)
+
+// Deletion and compaction. Chunks are shared between logical columns by
+// de-duplication, so deletes are logical (drop the column→chunk mapping)
+// and space is reclaimed by Compact, which rewrites partitions without
+// their unreferenced chunks. This is the lifecycle piece a real deployment
+// needs once old model versions age out.
+
+// refCount returns how many logical columns reference each chunk.
+// Computed on demand: deletes are rare relative to puts and the columns
+// map is the single source of truth.
+func (s *Store) refCountLocked() map[ChunkID]int {
+	refs := make(map[ChunkID]int, len(s.columns))
+	for _, id := range s.columns {
+		refs[id]++
+	}
+	return refs
+}
+
+// DeleteModel drops every column mapping belonging to a model. Returns the
+// number of logical columns removed. Physical bytes are reclaimed by the
+// next Compact.
+func (s *Store) DeleteModel(model string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for k := range s.columns {
+		if k.Model == model {
+			delete(s.columns, k)
+			removed++
+		}
+	}
+	if removed > 0 {
+		// Unreferenced chunks must not satisfy future dedup hits: a revived
+		// mapping would point at data Compact is free to drop.
+		refs := s.refCountLocked()
+		for h, id := range s.hashes {
+			if refs[id] == 0 {
+				delete(s.hashes, h)
+			}
+		}
+		for id := range s.zones {
+			if refs[id] == 0 {
+				delete(s.zones, id)
+			}
+		}
+	}
+	return removed
+}
+
+// GarbageBytes reports the encoded bytes held by unreferenced chunks
+// (reclaimable by Compact).
+func (s *Store) GarbageBytes() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	refs := s.refCountLocked()
+	var garbage int64
+	for pid, p := range s.parts {
+		chunks, err := s.partitionChunksLocked(pid, p)
+		if err != nil {
+			return 0, err
+		}
+		for i, c := range chunks {
+			if refs[ChunkID{Partition: pid, Index: i}] == 0 {
+				garbage += int64(len(c.enc))
+			}
+		}
+	}
+	return garbage, nil
+}
+
+// partitionChunksLocked returns a partition's chunks, paging them in from
+// disk if evicted.
+func (s *Store) partitionChunksLocked(pid int64, p *partition) ([]*chunk, error) {
+	if p.chunks != nil {
+		return p.chunks, nil
+	}
+	loaded, err := s.loadPartitionLocked(pid)
+	if err != nil {
+		return nil, err
+	}
+	return loaded.chunks, nil
+}
+
+// Compact rewrites every partition containing unreferenced chunks,
+// dropping them and remapping the surviving chunks' ids. Returns the
+// number of chunks dropped and encoded bytes reclaimed. Partitions that
+// become empty are deleted outright. The manifest is rewritten, so the
+// store stays reopenable.
+func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	refs := s.refCountLocked()
+
+	// Reverse index: partition -> column keys referencing it.
+	byPart := make(map[int64][]ColumnKey)
+	for k, id := range s.columns {
+		byPart[id.Partition] = append(byPart[id.Partition], k)
+	}
+
+	for pid, p := range s.parts {
+		chunks, err := s.partitionChunksLocked(pid, p)
+		if err != nil {
+			return droppedChunks, reclaimed, err
+		}
+		hasGarbage := false
+		for i := range chunks {
+			if refs[ChunkID{Partition: pid, Index: i}] == 0 {
+				hasGarbage = true
+				break
+			}
+		}
+		if !hasGarbage {
+			continue
+		}
+
+		// Build the surviving chunk list and the old->new index map.
+		remap := make(map[int]int, len(chunks))
+		var live []*chunk
+		var liveBytes int64
+		for i, c := range chunks {
+			id := ChunkID{Partition: pid, Index: i}
+			if refs[id] == 0 {
+				droppedChunks++
+				reclaimed += int64(len(c.enc))
+				continue
+			}
+			remap[i] = len(live)
+			live = append(live, c)
+			liveBytes += int64(len(c.enc))
+		}
+
+		// Remap every referencing structure.
+		for _, k := range byPart[pid] {
+			old := s.columns[k]
+			s.columns[k] = ChunkID{Partition: pid, Index: remap[old.Index]}
+		}
+		remapIDs := func(m map[ChunkID]zone) map[ChunkID]zone {
+			out := make(map[ChunkID]zone, len(m))
+			for id, z := range m {
+				if id.Partition == pid {
+					ni, ok := remap[id.Index]
+					if !ok {
+						continue
+					}
+					id = ChunkID{Partition: pid, Index: ni}
+				}
+				out[id] = z
+			}
+			return out
+		}
+		s.zones = remapIDs(s.zones)
+		for h, id := range s.hashes {
+			if id.Partition == pid {
+				ni, ok := remap[id.Index]
+				if !ok {
+					delete(s.hashes, h)
+					continue
+				}
+				s.hashes[h] = ChunkID{Partition: pid, Index: ni}
+			}
+		}
+
+		if resident := p.chunks != nil; resident {
+			s.memBytes += liveBytes - p.bytes
+		}
+		p.chunks = live
+		p.bytes = liveBytes
+		p.dirty = true
+
+		if len(live) == 0 {
+			// Empty partition: remove entirely.
+			if p.onDisk {
+				if rmErr := os.Remove(s.partPath(pid)); rmErr != nil && !os.IsNotExist(rmErr) {
+					return droppedChunks, reclaimed, fmt.Errorf("colstore: compact remove partition %d: %w", pid, rmErr)
+				}
+			}
+			delete(s.parts, pid)
+			s.stats.Partitions--
+			continue
+		}
+		if p.onDisk {
+			if err := s.writePartitionLocked(p); err != nil {
+				return droppedChunks, reclaimed, err
+			}
+		}
+	}
+	s.stats.StoredBytes -= reclaimed
+	return droppedChunks, reclaimed, s.writeManifestLocked()
+}
+
+// VerifyReport summarizes a store integrity check.
+type VerifyReport struct {
+	Partitions    int
+	Chunks        int
+	Columns       int
+	GarbageChunks int
+	// Problems lists human-readable integrity violations (empty = healthy).
+	Problems []string
+}
+
+// Verify walks every partition, decodes every chunk, and cross-checks the
+// column map and zone maps — the fsck of the store. It reads all data, so
+// it is O(store size).
+func (s *Store) Verify() (*VerifyReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := &VerifyReport{Columns: len(s.columns)}
+	refs := s.refCountLocked()
+
+	for pid, p := range s.parts {
+		rep.Partitions++
+		chunks, err := s.partitionChunksLocked(pid, p)
+		if err != nil {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("partition %d unreadable: %v", pid, err))
+			continue
+		}
+		for i, c := range chunks {
+			rep.Chunks++
+			id := ChunkID{Partition: pid, Index: i}
+			vals, err := c.q.Decode(make([]float32, 0, c.count), c.enc, c.count)
+			if err != nil {
+				rep.Problems = append(rep.Problems, fmt.Sprintf("chunk %v undecodable: %v", id, err))
+				continue
+			}
+			if len(vals) != c.count {
+				rep.Problems = append(rep.Problems, fmt.Sprintf("chunk %v decoded %d values, header says %d", id, len(vals), c.count))
+			}
+			if refs[id] == 0 {
+				rep.GarbageChunks++
+			}
+			if z, ok := s.zones[id]; ok {
+				got := zoneOf(vals)
+				if got.count > 0 && (got.min < z.min || got.max > z.max) {
+					rep.Problems = append(rep.Problems,
+						fmt.Sprintf("chunk %v zone [%g,%g] does not cover data [%g,%g]", id, z.min, z.max, got.min, got.max))
+				}
+			}
+		}
+	}
+	// Every column mapping must point at an existing chunk.
+	for k, id := range s.columns {
+		p, ok := s.parts[id.Partition]
+		if !ok {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("column %s points at missing partition %d", k, id.Partition))
+			continue
+		}
+		chunks, err := s.partitionChunksLocked(id.Partition, p)
+		if err != nil {
+			continue // already reported above
+		}
+		if id.Index < 0 || id.Index >= len(chunks) {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("column %s points at missing chunk %v", k, id))
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,214 @@
+package colstore
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mistique/internal/quant"
+)
+
+// Partition file layout (after gzip):
+//
+//	magic   [4]byte "MQPT"
+//	version uint16
+//	nchunks uint32
+//	per chunk:
+//	  count   uint32 (number of values)
+//	  qlen    uint32, quantizer blob
+//	  elen    uint32, encoded payload
+const (
+	partMagic   = "MQPT"
+	partVersion = 1
+)
+
+func (s *Store) partPath(pid int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("partition_%08d.bin.gz", pid))
+}
+
+// writePartitionLocked gzip-compresses a partition and writes it to disk
+// atomically (write temp, rename).
+func (s *Store) writePartitionLocked(p *partition) error {
+	path := s.partPath(p.id)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("colstore: create %s: %w", tmp, err)
+	}
+	bw := bufio.NewWriter(f)
+	zw := gzip.NewWriter(bw)
+	n, err := writePartitionTo(zw, p)
+	if err == nil {
+		err = zw.Close()
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("colstore: write partition %d: %w", p.id, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("colstore: rename %s: %w", tmp, err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	p.dirty = false
+	p.onDisk = true
+	s.stats.DiskWrites++
+	s.stats.DiskWriteBytes += st.Size()
+	_ = n
+	return nil
+}
+
+func writePartitionTo(w io.Writer, p *partition) (int64, error) {
+	var written int64
+	put := func(b []byte) error {
+		n, err := w.Write(b)
+		written += int64(n)
+		return err
+	}
+	hdr := make([]byte, 0, 10)
+	hdr = append(hdr, partMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, partVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(p.chunks)))
+	if err := put(hdr); err != nil {
+		return written, err
+	}
+	for _, c := range p.chunks {
+		qb, err := c.q.MarshalBinary()
+		if err != nil {
+			return written, err
+		}
+		meta := make([]byte, 0, 12)
+		meta = binary.LittleEndian.AppendUint32(meta, uint32(c.count))
+		meta = binary.LittleEndian.AppendUint32(meta, uint32(len(qb)))
+		meta = binary.LittleEndian.AppendUint32(meta, uint32(len(c.enc)))
+		if err := put(meta); err != nil {
+			return written, err
+		}
+		if err := put(qb); err != nil {
+			return written, err
+		}
+		if err := put(c.enc); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// loadPartitionLocked returns the resident partition, reading it from disk
+// if its payload was evicted.
+func (s *Store) loadPartitionLocked(pid int64) (*partition, error) {
+	p, ok := s.parts[pid]
+	if !ok {
+		return nil, fmt.Errorf("colstore: unknown partition %d", pid)
+	}
+	if p.chunks != nil {
+		s.touchLocked(pid)
+		return p, nil
+	}
+	path := s.partPath(pid)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: open partition %d: %w", pid, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	zr, err := gzip.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("colstore: gunzip partition %d: %w", pid, err)
+	}
+	defer zr.Close()
+	chunks, payload, err := readPartitionFrom(zr)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: read partition %d: %w", pid, err)
+	}
+	p.chunks = chunks
+	p.bytes = payload
+	p.dirty = false
+	s.memBytes += payload
+	s.stats.DiskReads++
+	s.stats.DiskReadBytes += st.Size()
+	s.touchLocked(pid)
+	if err := s.evictIfNeededLocked(); err != nil {
+		return nil, err
+	}
+	if p.chunks == nil {
+		// Pathological budget smaller than one partition: keep it resident
+		// anyway for this read.
+		p.chunks = chunks
+		s.memBytes += payload
+	}
+	return p, nil
+}
+
+func readPartitionFrom(r io.Reader) ([]*chunk, int64, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 10)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, 0, err
+	}
+	if string(hdr[:4]) != partMagic {
+		return nil, 0, fmt.Errorf("bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != partVersion {
+		return nil, 0, fmt.Errorf("unsupported version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[6:]))
+	chunks := make([]*chunk, 0, n)
+	var payload int64
+	meta := make([]byte, 12)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, meta); err != nil {
+			return nil, 0, fmt.Errorf("chunk %d header: %w", i, err)
+		}
+		count := int(binary.LittleEndian.Uint32(meta))
+		qlen := int(binary.LittleEndian.Uint32(meta[4:]))
+		elen := int(binary.LittleEndian.Uint32(meta[8:]))
+		qb := make([]byte, qlen)
+		if _, err := io.ReadFull(br, qb); err != nil {
+			return nil, 0, fmt.Errorf("chunk %d quantizer: %w", i, err)
+		}
+		q := new(quant.Quantizer)
+		if err := q.UnmarshalBinary(qb); err != nil {
+			return nil, 0, fmt.Errorf("chunk %d quantizer: %w", i, err)
+		}
+		enc := make([]byte, elen)
+		if _, err := io.ReadFull(br, enc); err != nil {
+			return nil, 0, fmt.Errorf("chunk %d payload: %w", i, err)
+		}
+		chunks = append(chunks, &chunk{enc: enc, count: count, q: q})
+		payload += int64(elen)
+	}
+	return chunks, payload, nil
+}
+
+func mkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func dirSize(dir string) (int64, error) {
+	var total int64
+	err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total, err
+}

@@ -1,0 +1,182 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the store's index support (Sec. 6 / Sec. 8.3 of the
+// paper): a primary index by row position (RowBlocks are row-aligned, so a
+// row range maps directly to a block range) and per-chunk zone maps
+// (min/max of the reconstructed values) that let predicate scans skip
+// chunks — "find examples with neuron-50 activation > 0.5" without reading
+// every partition.
+
+// zone is the min/max summary of one chunk's reconstructed values.
+type zone struct {
+	min, max float32
+	count    int
+}
+
+// zoneOf computes the zone map for a chunk's raw values.
+func zoneOf(vals []float32) zone {
+	z := zone{min: float32(math.Inf(1)), max: float32(math.Inf(-1)), count: len(vals)}
+	for _, v := range vals {
+		if v < z.min {
+			z.min = v
+		}
+		if v > z.max {
+			z.max = v
+		}
+	}
+	return z
+}
+
+// Op is a comparison predicate for zone-map scans.
+type Op int
+
+const (
+	// Gt selects values strictly greater than the bound.
+	Gt Op = iota
+	// Ge selects values greater than or equal to the bound.
+	Ge
+	// Lt selects values strictly less than the bound.
+	Lt
+	// Le selects values less than or equal to the bound.
+	Le
+)
+
+func (o Op) String() string {
+	switch o {
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Lt:
+		return "<"
+	}
+	return "<="
+}
+
+func (o Op) matches(v, bound float32) bool {
+	switch o {
+	case Gt:
+		return v > bound
+	case Ge:
+		return v >= bound
+	case Lt:
+		return v < bound
+	default:
+		return v <= bound
+	}
+}
+
+// canSkip reports whether no value in the zone can match the predicate.
+func (z zone) canSkip(op Op, bound float32) bool {
+	switch op {
+	case Gt:
+		return z.max <= bound
+	case Ge:
+		return z.max < bound
+	case Lt:
+		return z.min >= bound
+	default:
+		return z.min > bound
+	}
+}
+
+// ScanMatch is one matching value from a predicate scan.
+type ScanMatch struct {
+	// Row is the global row offset (block * RowBlockRows + offset in block).
+	Row int
+	// Value is the reconstructed value at that row.
+	Value float32
+}
+
+// ScanColumn evaluates `value op bound` over all blocks of a logical
+// column, using zone maps to skip chunks that cannot match. Returns the
+// matches in row order and the number of chunks skipped (for tests and
+// EXPLAIN-style diagnostics).
+func (s *Store) ScanColumn(model, interm, column string, op Op, bound float32) (matches []ScanMatch, skipped int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blockRows := s.cfg.RowBlockRows
+	for b := 0; ; b++ {
+		key := ColumnKey{Model: model, Intermediate: interm, Column: column, Block: b}
+		id, ok := s.columns[key]
+		if !ok {
+			if b == 0 {
+				return nil, 0, fmt.Errorf("colstore: column %s not stored", key)
+			}
+			return matches, skipped, nil
+		}
+		if z, ok := s.zones[id]; ok && z.canSkip(op, bound) {
+			skipped++
+			continue
+		}
+		vals, err := s.readChunkLocked(id)
+		if err != nil {
+			return nil, skipped, err
+		}
+		base := b * blockRows
+		for i, v := range vals {
+			if op.matches(v, bound) {
+				matches = append(matches, ScanMatch{Row: base + i, Value: v})
+			}
+		}
+		if len(vals) < blockRows {
+			return matches, skipped, nil // short block terminates the column
+		}
+	}
+}
+
+// GetColumnRange reads rows [from, to) of a logical column, touching only
+// the covering RowBlocks (the primary index: blocks are row-aligned).
+func (s *Store) GetColumnRange(model, interm, column string, from, to int) ([]float32, error) {
+	if from < 0 || to < from {
+		return nil, fmt.Errorf("colstore: bad row range [%d, %d)", from, to)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blockRows := s.cfg.RowBlockRows
+	out := make([]float32, 0, to-from)
+	for b := from / blockRows; b*blockRows < to; b++ {
+		key := ColumnKey{Model: model, Intermediate: interm, Column: column, Block: b}
+		id, ok := s.columns[key]
+		if !ok {
+			return nil, fmt.Errorf("colstore: column %s not stored (range [%d,%d))", key, from, to)
+		}
+		vals, err := s.readChunkLocked(id)
+		if err != nil {
+			return nil, err
+		}
+		base := b * blockRows
+		lo := maxI(from-base, 0)
+		hi := minI(to-base, len(vals))
+		if lo > len(vals) {
+			return nil, fmt.Errorf("colstore: row range [%d,%d) beyond column %s.%s.%s", from, to, model, interm, column)
+		}
+		out = append(out, vals[lo:hi]...)
+		if len(vals) < blockRows {
+			break
+		}
+	}
+	if len(out) < to-from {
+		return nil, fmt.Errorf("colstore: column %s.%s.%s has too few rows for [%d,%d)", model, interm, column, from, to)
+	}
+	return out, nil
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package colstore
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The manifest persists the store's logical state — the column→chunk map
+// and per-partition bookkeeping — so a store directory can be reopened and
+// served without re-logging. Partition payloads stay in their own files;
+// the manifest is small and rewritten atomically on every Flush.
+
+const manifestName = "MANIFEST.json.gz"
+
+type manifestColumn struct {
+	Key   ColumnKey `json:"key"`
+	Chunk ChunkID   `json:"chunk"`
+}
+
+type manifestZone struct {
+	Chunk ChunkID `json:"chunk"`
+	Min   float32 `json:"min"`
+	Max   float32 `json:"max"`
+	Count int     `json:"count"`
+}
+
+type manifestPartition struct {
+	ID     int64 `json:"id"`
+	Chunks int   `json:"chunks"`
+	Bytes  int64 `json:"bytes"`
+	Sealed bool  `json:"sealed"`
+}
+
+type manifest struct {
+	Version    int                 `json:"version"`
+	NextPart   int64               `json:"next_partition"`
+	Columns    []manifestColumn    `json:"columns"`
+	Partitions []manifestPartition `json:"partitions"`
+	Zones      []manifestZone      `json:"zones,omitempty"`
+	Stats      Stats               `json:"stats"`
+}
+
+// writeManifestLocked persists the logical state. Caller holds s.mu.
+func (s *Store) writeManifestLocked() error {
+	m := manifest{Version: 1, NextPart: s.nextPart, Stats: s.stats}
+	for k, id := range s.columns {
+		m.Columns = append(m.Columns, manifestColumn{Key: k, Chunk: id})
+	}
+	for id, z := range s.zones {
+		m.Zones = append(m.Zones, manifestZone{Chunk: id, Min: z.min, Max: z.max, Count: z.count})
+	}
+	for _, p := range s.parts {
+		m.Partitions = append(m.Partitions, manifestPartition{
+			ID:     p.id,
+			Chunks: len(p.chunks),
+			Bytes:  p.bytes,
+			Sealed: p.sealed,
+		})
+	}
+	blob, err := json.Marshal(&m)
+	if err != nil {
+		return fmt.Errorf("colstore: marshal manifest: %w", err)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(blob); err != nil {
+		return fmt.Errorf("colstore: compress manifest: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("colstore: compress manifest: %w", err)
+	}
+	path := filepath.Join(s.dir, manifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("colstore: write manifest: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadManifest restores logical state from a previous session, if present.
+// Partitions come back payload-free (sealed, on disk) and are paged in on
+// first read. Dedup hash tables and LSH signatures are not persisted: new
+// chunks simply will not dedup against pre-restart data, a deliberately
+// conservative trade-off (correctness is unaffected).
+func (s *Store) loadManifest() error {
+	raw, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("colstore: read manifest: %w", err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("colstore: gunzip manifest: %w", err)
+	}
+	blob, err := io.ReadAll(zr)
+	if err != nil {
+		return fmt.Errorf("colstore: gunzip manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return fmt.Errorf("colstore: parse manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return fmt.Errorf("colstore: unsupported manifest version %d", m.Version)
+	}
+	s.nextPart = m.NextPart
+	s.stats = m.Stats
+	for _, mc := range m.Columns {
+		s.columns[mc.Key] = mc.Chunk
+	}
+	for _, mz := range m.Zones {
+		s.zones[mz.Chunk] = zone{min: mz.Min, max: mz.Max, count: mz.Count}
+	}
+	for _, mp := range m.Partitions {
+		s.parts[mp.ID] = &partition{
+			id:     mp.ID,
+			bytes:  mp.Bytes,
+			sealed: true, // restored partitions never grow
+			onDisk: true,
+			chunks: nil, // paged in on demand
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Package cost implements MISTIQUE's cost models (Sec. 5): the query cost
+// model that decides whether to answer a query by re-running the model or
+// by reading a materialized intermediate (Eqs. 1-4), and the storage cost
+// model whose gamma trade-off drives adaptive materialization (Eq. 5).
+//
+// Stage execution times are measured once while the model is logged
+// (metadata.Stage.ExecSeconds holds the full-dataset pass time) and both
+// re-run and read costs scale linearly in the number of examples n_ex —
+// exactly the linearity the paper validates in Fig. 8.
+package cost
+
+import (
+	"fmt"
+
+	"mistique/internal/metadata"
+)
+
+// Params holds the calibrated environment constants of the cost model.
+type Params struct {
+	// ReadBytesPerSec is rho_d: the effective rate at which stored
+	// intermediates can be read, decompressed and reconstructed. It is
+	// scheme-dependent (8BIT_QT pays reconstruction, LP_QT pays width);
+	// use the calibrated per-scheme value.
+	ReadBytesPerSec float64
+	// InputBytesPerSec is rho: the rate at which raw input examples load
+	// when re-running a model.
+	InputBytesPerSec float64
+	// InputBytesPerExample is sizeof(ex) for the model's raw input.
+	InputBytesPerExample int64
+}
+
+// DefaultParams returns conservative defaults used before calibration.
+func DefaultParams() Params {
+	return Params{
+		ReadBytesPerSec:      200e6,
+		InputBytesPerSec:     500e6,
+		InputBytesPerExample: 4 * 32 * 32 * 3,
+	}
+}
+
+// RerunSeconds estimates t_rerun: the time to recompute the intermediate
+// produced by stage (layer) upTo of model m for nEx examples, per Eq. 2/3.
+// It is the model load cost, plus the input read cost, plus the sum of
+// per-stage execution times scaled from the measured full-dataset pass.
+func RerunSeconds(m *metadata.Model, upTo int, nEx int, p Params) (float64, error) {
+	if upTo < 0 || upTo >= len(m.Stages) {
+		return 0, fmt.Errorf("cost: stage %d out of range (model %s has %d)", upTo, m.Name, len(m.Stages))
+	}
+	if m.TotalExamples <= 0 {
+		return 0, fmt.Errorf("cost: model %s has no TotalExamples", m.Name)
+	}
+	t := m.ModelLoadSecs
+	if p.InputBytesPerSec > 0 {
+		t += float64(nEx) * float64(p.InputBytesPerExample) / p.InputBytesPerSec
+	}
+	scale := float64(nEx) / float64(m.TotalExamples)
+	for s := 0; s <= upTo; s++ {
+		t += m.Stages[s].ExecSeconds * scale
+	}
+	return t, nil
+}
+
+// ReadSeconds estimates t_read: the time to fetch nEx examples of an
+// intermediate whose stored width is bytesPerRow, per Eq. 4.
+func ReadSeconds(bytesPerRow int64, nEx int, p Params) float64 {
+	if p.ReadBytesPerSec <= 0 {
+		return 0
+	}
+	return float64(nEx) * float64(bytesPerRow) / p.ReadBytesPerSec
+}
+
+// Strategy is the execution choice for a query.
+type Strategy int
+
+const (
+	// Read answers the query from the materialized intermediate.
+	Read Strategy = iota
+	// Rerun recomputes the intermediate by executing the model.
+	Rerun
+)
+
+func (s Strategy) String() string {
+	if s == Read {
+		return "READ"
+	}
+	return "RERUN"
+}
+
+// Choose picks the cheaper strategy: the paper reads the intermediate when
+// t_rerun >= t_read.
+func Choose(tRerun, tRead float64) Strategy {
+	if tRerun >= tRead {
+		return Read
+	}
+	return Rerun
+}
+
+// Gamma computes the storage trade-off of Eq. 5 in seconds per byte: the
+// total query time saved per byte of storage spent, accumulated over
+// nQuery queries. Materialize when Gamma exceeds the user's threshold.
+// A non-positive storedBytes or a read slower than re-running yields 0.
+func Gamma(tRerun, tRead float64, nQuery int64, storedBytes int64) float64 {
+	if storedBytes <= 0 {
+		return 0
+	}
+	saved := tRerun - tRead
+	if saved <= 0 {
+		return 0
+	}
+	return saved * float64(nQuery) / float64(storedBytes)
+}

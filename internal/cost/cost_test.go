@@ -1,0 +1,111 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"mistique/internal/metadata"
+)
+
+func model() *metadata.Model {
+	return &metadata.Model{
+		Name:          "vgg",
+		Kind:          metadata.DNN,
+		TotalExamples: 1000,
+		ModelLoadSecs: 1.2,
+		Stages: []metadata.Stage{
+			{Name: "l0", Index: 0, ExecSeconds: 2.0},
+			{Name: "l1", Index: 1, ExecSeconds: 4.0},
+			{Name: "l2", Index: 2, ExecSeconds: 6.0},
+		},
+	}
+}
+
+func TestRerunSecondsAccumulatesStages(t *testing.T) {
+	p := Params{InputBytesPerSec: 1e9, InputBytesPerExample: 1000}
+	// Full dataset to last layer: 1.2 load + 1e-3 input + 12 exec.
+	got, err := RerunSeconds(model(), 2, 1000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.2 + 1000*1000/1e9 + 12.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %g want %g", got, want)
+	}
+	// Earlier layer costs less.
+	l0, _ := RerunSeconds(model(), 0, 1000, p)
+	if l0 >= got {
+		t.Fatal("earlier stage should be cheaper")
+	}
+}
+
+func TestRerunSecondsScalesLinearlyInExamples(t *testing.T) {
+	p := Params{InputBytesPerSec: 1e9, InputBytesPerExample: 0}
+	half, _ := RerunSeconds(model(), 2, 500, p)
+	full, _ := RerunSeconds(model(), 2, 1000, p)
+	// Subtract the fixed model-load cost; the rest should double.
+	if math.Abs((full-1.2)-2*(half-1.2)) > 1e-9 {
+		t.Fatalf("not linear: half=%g full=%g", half, full)
+	}
+}
+
+func TestRerunSecondsErrors(t *testing.T) {
+	p := DefaultParams()
+	if _, err := RerunSeconds(model(), 3, 10, p); err == nil {
+		t.Fatal("out-of-range stage accepted")
+	}
+	if _, err := RerunSeconds(model(), -1, 10, p); err == nil {
+		t.Fatal("negative stage accepted")
+	}
+	m := model()
+	m.TotalExamples = 0
+	if _, err := RerunSeconds(m, 0, 10, p); err == nil {
+		t.Fatal("zero TotalExamples accepted")
+	}
+}
+
+func TestReadSeconds(t *testing.T) {
+	p := Params{ReadBytesPerSec: 100e6}
+	got := ReadSeconds(1000, 50000, p)
+	want := 50000.0 * 1000.0 / 100e6
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %g want %g", got, want)
+	}
+	if ReadSeconds(1000, 10, Params{}) != 0 {
+		t.Fatal("zero rate should yield 0")
+	}
+}
+
+func TestChoose(t *testing.T) {
+	if Choose(10, 1) != Read {
+		t.Fatal("should read when re-run is slower")
+	}
+	if Choose(1, 10) != Rerun {
+		t.Fatal("should re-run when reading is slower")
+	}
+	// Tie goes to Read (paper: t_rerun >= t_read reads).
+	if Choose(5, 5) != Read {
+		t.Fatal("tie should read")
+	}
+	if Read.String() != "READ" || Rerun.String() != "RERUN" {
+		t.Fatal("strings")
+	}
+}
+
+func TestGamma(t *testing.T) {
+	// Saving 10s per query, 5 queries, 1e6 bytes: gamma = 50/1e6 s/B.
+	got := Gamma(11, 1, 5, 1_000_000)
+	if math.Abs(got-5e-5) > 1e-15 {
+		t.Fatalf("gamma %g", got)
+	}
+	if Gamma(1, 2, 5, 100) != 0 {
+		t.Fatal("negative saving should clamp to 0")
+	}
+	if Gamma(2, 1, 5, 0) != 0 {
+		t.Fatal("zero storage should clamp to 0")
+	}
+	// Gamma grows with query count (the adaptive trigger).
+	if Gamma(2, 1, 10, 100) <= Gamma(2, 1, 1, 100) {
+		t.Fatal("gamma must grow with queries")
+	}
+}

@@ -1,0 +1,183 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHousingShapes(t *testing.T) {
+	h := Housing(100, 400, 1)
+	if h.Properties.NumRows() != 100 || h.Train.NumRows() != 400 || h.Test.NumRows() != 100 {
+		t.Fatalf("shapes: %d %d %d", h.Properties.NumRows(), h.Train.NumRows(), h.Test.NumRows())
+	}
+	for _, col := range []string{"parcelid", "bathroomcnt", "finishedsquarefeet", "regionidzip", "propertytype", "poolcnt"} {
+		if !h.Properties.Has(col) {
+			t.Fatalf("missing property column %s", col)
+		}
+	}
+	for _, col := range []string{"parcelid", "month", "logerror"} {
+		if !h.Train.Has(col) {
+			t.Fatalf("missing train column %s", col)
+		}
+	}
+}
+
+func TestHousingDeterministic(t *testing.T) {
+	a := Housing(50, 100, 7)
+	b := Housing(50, 100, 7)
+	av := a.Train.Col("logerror").F
+	bv := b.Train.Col("logerror").F
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := Housing(50, 100, 8)
+	diff := false
+	for i := range av {
+		if av[i] != c.Train.Col("logerror").F[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestHousingHasMissingValues(t *testing.T) {
+	h := Housing(500, 100, 2)
+	nan := 0
+	for _, v := range h.Properties.Col("poolcnt").F {
+		if math.IsNaN(v) {
+			nan++
+		}
+	}
+	if nan < 200 || nan == 500 {
+		t.Fatalf("poolcnt NaN count %d not in expected band", nan)
+	}
+}
+
+func TestHousingJoinable(t *testing.T) {
+	h := Housing(200, 300, 3)
+	j := h.Train.JoinInner(h.Properties, "parcelid")
+	if j.NumRows() != 300 {
+		t.Fatalf("join produced %d rows, want 300 (every sale has a parcel)", j.NumRows())
+	}
+	if !j.Has("finishedsquarefeet") || !j.Has("logerror") {
+		t.Fatal("join lost columns")
+	}
+}
+
+func TestImagesShapesAndRange(t *testing.T) {
+	x, labels := Images(20, 10, 1)
+	if x.N != 20 || x.C != 3 || x.H != 32 || x.W != 32 {
+		t.Fatalf("image tensor %dx%dx%dx%d", x.N, x.C, x.H, x.W)
+	}
+	if len(labels) != 20 || labels[0] != 0 || labels[11] != 1 {
+		t.Fatalf("labels %v", labels)
+	}
+	lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+	for _, v := range x.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo < -1 || hi > 2 {
+		t.Fatalf("pixel range [%g, %g] implausible", lo, hi)
+	}
+}
+
+func TestImagesClassesDiffer(t *testing.T) {
+	x, labels := Images(40, 2, 5)
+	// Mean image of class 0 vs class 1 should differ substantially.
+	var m0, m1 [3 * 32 * 32]float64
+	n0, n1 := 0, 0
+	for i := 0; i < x.N; i++ {
+		ex := x.Example(i)
+		if labels[i] == 0 {
+			for j, v := range ex {
+				m0[j] += float64(v)
+			}
+			n0++
+		} else {
+			for j, v := range ex {
+				m1[j] += float64(v)
+			}
+			n1++
+		}
+	}
+	var dist float64
+	for j := range m0 {
+		d := m0[j]/float64(n0) - m1[j]/float64(n1)
+		dist += d * d
+	}
+	if math.Sqrt(dist) < 1 {
+		t.Fatalf("class means too close: %g", math.Sqrt(dist))
+	}
+}
+
+func TestImagesDeterministic(t *testing.T) {
+	a, _ := Images(5, 3, 9)
+	b, _ := Images(5, 3, 9)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("images not deterministic")
+		}
+	}
+}
+
+func TestSequences(t *testing.T) {
+	x, labels := Sequences(30, 8, 2, 3, 1)
+	if x.N != 30 || x.C != 16 || x.H != 1 || x.W != 1 {
+		t.Fatalf("shape %d %d %d %d", x.N, x.C, x.H, x.W)
+	}
+	if labels[4] != 1 || labels[5] != 2 {
+		t.Fatalf("labels %v", labels[:6])
+	}
+	a, _ := Sequences(5, 4, 1, 2, 9)
+	b, _ := Sequences(5, 4, 1, 2, 9)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("sequences not deterministic")
+		}
+	}
+	// Different classes produce different trajectories on average.
+	var d float64
+	for i := 0; i < 16; i++ {
+		d += math.Abs(float64(x.Example(0)[i] - x.Example(1)[i]))
+	}
+	if d < 0.5 {
+		t.Fatalf("classes too similar: %g", d)
+	}
+}
+
+func TestConceptMasks(t *testing.T) {
+	imgs, _ := Images(10, 2, 1)
+	masks := ConceptMasks(imgs, 4)
+	if masks.N != 4 || masks.C != 1 || masks.H != 32 || masks.W != 32 {
+		t.Fatalf("mask shape %d %d %d %d", masks.N, masks.C, masks.H, masks.W)
+	}
+	ones := 0
+	for _, v := range masks.Data {
+		switch v {
+		case 0:
+		case 1:
+			ones++
+		default:
+			t.Fatalf("mask value %v not binary", v)
+		}
+	}
+	// Roughly half the pixels are above the mean for smooth images.
+	total := len(masks.Data)
+	if ones < total/4 || ones > 3*total/4 {
+		t.Fatalf("mask density %d/%d implausible", ones, total)
+	}
+	// Clamps n.
+	if ConceptMasks(imgs, 99).N != 10 {
+		t.Fatal("n not clamped")
+	}
+}

@@ -1,0 +1,105 @@
+package diag
+
+import (
+	"fmt"
+	"math"
+
+	"mistique/internal/tensor"
+)
+
+// This file covers the remaining MCFR techniques of Table 1 that operate
+// on hidden representations fetched from MISTIQUE: adversarial-example
+// detection ("determine whether this test point is an adversarial
+// example") and influence-style attribution ("find training examples that
+// contributed to the prediction of this test example").
+
+// ClassCentroids computes the per-class mean representation of the
+// training set — the reference geometry both techniques compare against.
+func ClassCentroids(reps *tensor.Dense, labels []int, classes int) (*tensor.Dense, error) {
+	return VIS(reps, labels, classes)
+}
+
+// AdversarialReport describes how a test representation sits relative to
+// the training manifold.
+type AdversarialReport struct {
+	// NearestClass is the class whose centroid is closest.
+	NearestClass int
+	// CentroidDist is the distance to that centroid.
+	CentroidDist float64
+	// TypicalDist is the mean distance of that class's own training
+	// examples to their centroid.
+	TypicalDist float64
+	// Score is CentroidDist / TypicalDist: scores well above 1 indicate a
+	// representation far off the class manifold — the adversarial
+	// signature this detector keys on.
+	Score float64
+}
+
+// DetectAdversarial scores a test representation against the training
+// representations of the same layer. It is the representation-space
+// detector of Table 1: adversarial inputs reach unusual regions of hidden
+// space even when their pixels look benign.
+func DetectAdversarial(trainReps *tensor.Dense, labels []int, classes int, testRep []float32) (*AdversarialReport, error) {
+	if trainReps.Rows != len(labels) {
+		return nil, fmt.Errorf("diag: reps %d rows vs %d labels", trainReps.Rows, len(labels))
+	}
+	if trainReps.Cols != len(testRep) {
+		return nil, fmt.Errorf("diag: test rep width %d vs train %d", len(testRep), trainReps.Cols)
+	}
+	centroids, err := ClassCentroids(trainReps, labels, classes)
+	if err != nil {
+		return nil, err
+	}
+	rep := &AdversarialReport{NearestClass: -1, CentroidDist: math.Inf(1)}
+	for c := 0; c < classes; c++ {
+		if d := tensor.L2Dist(centroids.Row(c), testRep); d < rep.CentroidDist {
+			rep.CentroidDist = d
+			rep.NearestClass = c
+		}
+	}
+	// Typical spread of the winning class.
+	var sum float64
+	n := 0
+	for i := 0; i < trainReps.Rows; i++ {
+		if labels[i] != rep.NearestClass {
+			continue
+		}
+		sum += tensor.L2Dist(trainReps.Row(i), centroids.Row(rep.NearestClass))
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("diag: class %d has no training examples", rep.NearestClass)
+	}
+	rep.TypicalDist = sum / float64(n)
+	if rep.TypicalDist > 0 {
+		rep.Score = rep.CentroidDist / rep.TypicalDist
+	} else if rep.CentroidDist > 0 {
+		rep.Score = math.Inf(1)
+	}
+	return rep, nil
+}
+
+// InfluenceEntry is one attributed training example.
+type InfluenceEntry struct {
+	Row   int
+	Label int
+	Dist  float64
+}
+
+// Influence returns the k training examples whose representations are
+// closest to the test representation — the surrogate-attribution query of
+// Table 1 ("training examples that contributed to this prediction").
+func Influence(trainReps *tensor.Dense, labels []int, testRep []float32, k int) ([]InfluenceEntry, error) {
+	if trainReps.Rows != len(labels) {
+		return nil, fmt.Errorf("diag: reps %d rows vs %d labels", trainReps.Rows, len(labels))
+	}
+	if trainReps.Cols != len(testRep) {
+		return nil, fmt.Errorf("diag: test rep width %d vs train %d", len(testRep), trainReps.Cols)
+	}
+	idx := KNN(trainReps, testRep, k, -1)
+	out := make([]InfluenceEntry, len(idx))
+	for i, r := range idx {
+		out[i] = InfluenceEntry{Row: r, Label: labels[r], Dist: tensor.L2Dist(trainReps.Row(r), testRep)}
+	}
+	return out, nil
+}

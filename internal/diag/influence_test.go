@@ -1,0 +1,92 @@
+package diag
+
+import (
+	"math/rand"
+	"testing"
+
+	"mistique/internal/tensor"
+)
+
+// clusteredReps builds two well-separated class clusters in 2-D.
+func clusteredReps(n int, seed int64) (*tensor.Dense, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	reps := tensor.NewDense(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		labels[i] = cls
+		cx := float32(cls * 10)
+		reps.Set(i, 0, cx+float32(rng.NormFloat64()))
+		reps.Set(i, 1, float32(rng.NormFloat64()))
+	}
+	return reps, labels
+}
+
+func TestDetectAdversarialInlier(t *testing.T) {
+	reps, labels := clusteredReps(200, 1)
+	// A point near the class-0 centroid.
+	rep, err := DetectAdversarial(reps, labels, 2, []float32{0.2, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NearestClass != 0 {
+		t.Fatalf("nearest class %d", rep.NearestClass)
+	}
+	if rep.Score > 1.5 {
+		t.Fatalf("inlier scored %g as adversarial", rep.Score)
+	}
+}
+
+func TestDetectAdversarialOutlier(t *testing.T) {
+	reps, labels := clusteredReps(200, 2)
+	// A point far off both manifolds.
+	rep, err := DetectAdversarial(reps, labels, 2, []float32{5, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Score < 5 {
+		t.Fatalf("outlier scored only %g", rep.Score)
+	}
+	if rep.TypicalDist <= 0 || rep.CentroidDist <= rep.TypicalDist {
+		t.Fatalf("report inconsistent: %+v", rep)
+	}
+}
+
+func TestDetectAdversarialErrors(t *testing.T) {
+	reps, labels := clusteredReps(10, 3)
+	if _, err := DetectAdversarial(reps, labels[:5], 2, []float32{0, 0}); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := DetectAdversarial(reps, labels, 2, []float32{0}); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestInfluenceFindsSameClassNeighbors(t *testing.T) {
+	reps, labels := clusteredReps(100, 4)
+	// Query near class-1 cluster: influential examples should be class 1.
+	inf, err := Influence(reps, labels, []float32{10, 0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inf) != 5 {
+		t.Fatalf("got %d entries", len(inf))
+	}
+	for _, e := range inf {
+		if e.Label != 1 {
+			t.Fatalf("influence entry %+v from wrong class", e)
+		}
+	}
+	// Distances ascending.
+	for i := 1; i < len(inf); i++ {
+		if inf[i].Dist < inf[i-1].Dist {
+			t.Fatal("influence not sorted by distance")
+		}
+	}
+	if _, err := Influence(reps, labels[:5], []float32{0, 0}, 3); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := Influence(reps, labels, []float32{0}, 3); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}

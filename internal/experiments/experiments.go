@@ -1,0 +1,170 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Sec. 8). Each runner builds the workload it needs,
+// drives the public mistique engine, and returns a printable Table whose
+// rows mirror what the paper reports. cmd/mistique-bench and the root
+// bench_test.go both call these runners; EXPERIMENTS.md records their
+// output next to the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Options scales the experiments. Zero values select defaults sized for a
+// single-core machine; the paper's full scale is reached by raising them.
+type Options struct {
+	// NProps/NTrain size the synthetic Zillow dataset (defaults 400/2048).
+	NProps, NTrain int
+	// Pipelines caps how many of the 50 Zillow pipelines run (default 50).
+	Pipelines int
+	// DNNExamples is the number of images logged through networks
+	// (default 512).
+	DNNExamples int
+	// VGGWidth scales VGG16 channel counts (default 4).
+	VGGWidth int
+	// Epochs is the number of checkpoints logged in storage experiments
+	// (default 4; the paper uses 10).
+	Epochs int
+	// Seed drives all synthetic data.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NProps <= 0 {
+		o.NProps = 400
+	}
+	if o.NTrain <= 0 {
+		o.NTrain = 2048
+	}
+	if o.Pipelines <= 0 || o.Pipelines > 50 {
+		o.Pipelines = 50
+	}
+	if o.DNNExamples <= 0 {
+		o.DNNExamples = 512
+	}
+	if o.VGGWidth <= 0 {
+		o.VGGWidth = 4
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (*Table, error)
+
+// Registry maps experiment ids to runners, in the paper's order.
+func Registry() (ids []string, byID map[string]Runner) {
+	byID = map[string]Runner{
+		"fig5a":   Fig5a,
+		"fig5bcd": Fig5bcd,
+		"fig6a":   Fig6a,
+		"fig6b":   Fig6b,
+		"fig7":    Fig7,
+		"fig8":    Fig8,
+		"fig9":    Fig9,
+		"table2":  Table2,
+		"table3":  Table3,
+		"fig10":   Fig10,
+		"fig11":   Fig11,
+		"fig14":   Fig14,
+	}
+	ids = []string{"fig5a", "fig5bcd", "fig6a", "fig6b", "fig7", "fig8", "fig9", "table2", "table3", "fig10", "fig11", "fig14"}
+	return ids, byID
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// fmtSecs renders seconds with adaptive precision.
+func fmtSecs(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2f s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2f ms", s*1e3)
+	default:
+		return fmt.Sprintf("%.0f µs", s*1e6)
+	}
+}
+
+// speedup renders a/b as an NX factor.
+func speedup(a, b float64) string {
+	if b <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fX", a/b)
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny is an options preset sized for CI: every experiment runs end to end
+// in seconds while still exercising the full engine paths.
+func tiny() Options {
+	return Options{
+		NProps:      120,
+		NTrain:      512,
+		Pipelines:   3,
+		DNNExamples: 64,
+		VGGWidth:    2,
+		Epochs:      2,
+		Seed:        7,
+	}
+}
+
+func checkTable(t *testing.T, tab *Table, minRows int) {
+	t.Helper()
+	if tab == nil {
+		t.Fatal("nil table")
+	}
+	if len(tab.Rows) < minRows {
+		t.Fatalf("%s: %d rows, want >= %d", tab.ID, len(tab.Rows), minRows)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("%s row %d has %d cells, header has %d", tab.ID, i, len(row), len(tab.Header))
+		}
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, tab.ID) || !strings.Contains(out, tab.Header[0]) {
+		t.Fatalf("%s: render missing content:\n%s", tab.ID, out)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids, byID := Registry()
+	if len(ids) != 12 || len(byID) != 12 {
+		t.Fatalf("registry has %d/%d entries, want 12 (every table and figure)", len(ids), len(byID))
+	}
+	for _, id := range ids {
+		if byID[id] == nil {
+			t.Fatalf("no runner for %s", id)
+		}
+	}
+}
+
+func TestFig5a(t *testing.T) {
+	tab, err := Fig5a(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 8)
+	// TRAD reads should dominate re-runs for the full-scan queries.
+	foundChoice := false
+	for _, row := range tab.Rows {
+		if row[5] == "READ" {
+			foundChoice = true
+		}
+	}
+	if !foundChoice {
+		t.Fatal("cost model never chose READ for TRAD queries")
+	}
+}
+
+func TestFig5bcd(t *testing.T) {
+	tab, err := Fig5bcd(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 18) // 7+7+6 minus skipped SVCCA at logits
+}
+
+func TestFig6a(t *testing.T) {
+	tab, err := Fig6a(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 3)
+}
+
+func TestFig6b(t *testing.T) {
+	tab, err := Fig6b(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 12) // 2 models x 6 schemes
+}
+
+func TestFig7(t *testing.T) {
+	tab, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 3)
+}
+
+func TestFig8(t *testing.T) {
+	tab, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 20) // 5 layers x 4 n_ex points
+}
+
+func TestFig9(t *testing.T) {
+	tab, err := Fig9(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 7)
+	// FULL row must be exact; high-fidelity schemes must beat 3BIT.
+	var full, lp, threeBit string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "FULL":
+			full = row[2]
+		case "LP_QT":
+			lp = row[2]
+		case "3BIT_QT":
+			threeBit = row[2]
+		}
+	}
+	if full != "0.00000" {
+		t.Fatalf("FULL mean abs err %s", full)
+	}
+	if lp >= threeBit {
+		t.Fatalf("LP err %s not below 3BIT err %s", lp, threeBit)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tab, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 3)
+}
+
+func TestTable3(t *testing.T) {
+	tab, err := Table3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 3)
+}
+
+func TestFig10(t *testing.T) {
+	tab, err := Fig10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 9) // 3 strategies x 3 query kinds
+}
+
+func TestFig11(t *testing.T) {
+	tab, err := Fig11(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 3)
+}
+
+func TestFig14(t *testing.T) {
+	tab, err := Fig14(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 3)
+}
+
+func TestAblateDedupGranularity(t *testing.T) {
+	tab, err := AblateDedupGranularity(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 3)
+}
+
+func TestAblateGamma(t *testing.T) {
+	tab, err := AblateGamma(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 4)
+}
+
+func TestAblatePool(t *testing.T) {
+	tab, err := AblatePool(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 4)
+}
+
+func TestCrossModel(t *testing.T) {
+	tab, err := CrossModel(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 4)
+}

@@ -1,0 +1,118 @@
+// Package f16 implements the IEEE 754 binary16 ("half precision") codec used
+// by the LP_QT quantization scheme. The paper stores activations as numpy
+// float16; Go has no native float16, so we convert to and from uint16 bit
+// patterns. The codec handles normals, subnormals, ±Inf and NaN, and rounds
+// to nearest-even, matching numpy's astype(float16) behaviour.
+package f16
+
+import "math"
+
+const (
+	// MaxValue is the largest finite float16 value (65504).
+	MaxValue = 65504.0
+	// SmallestNormal is the smallest positive normal float16 (2^-14).
+	SmallestNormal = 6.103515625e-05
+	// SmallestSubnormal is the smallest positive subnormal float16 (2^-24).
+	SmallestSubnormal = 5.960464477539063e-08
+)
+
+// FromFloat32 converts a float32 to its nearest binary16 bit pattern using
+// round-to-nearest-even. Values beyond ±65504 (after rounding) become ±Inf.
+func FromFloat32(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xff
+	mant := b & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if mant != 0 {
+			// Preserve a quiet NaN; keep the top mantissa bits so payload
+			// information survives a round trip when possible.
+			nanMant := uint16(mant >> 13)
+			if nanMant == 0 {
+				nanMant = 1
+			}
+			return sign | 0x7c00 | nanMant
+		}
+		return sign | 0x7c00
+	case exp == 0 && mant == 0: // signed zero
+		return sign
+	}
+
+	// Unbias float32 exponent, rebias for float16 (bias 15).
+	e := exp - 127 + 15
+	if e >= 0x1f {
+		// Overflow to infinity.
+		return sign | 0x7c00
+	}
+	if e <= 0 {
+		// Subnormal half (or underflow to zero). The implicit leading 1 of
+		// the float32 mantissa becomes explicit and is shifted right.
+		if e < -10 {
+			return sign // underflows to zero even after rounding
+		}
+		m := mant | 0x800000                         // make leading 1 explicit
+		shift := uint32(14 - e)                      // 14..24
+		half := uint32(1) << (shift - 1)             // rounding increment
+		rounded := m + half - 1 + ((m >> shift) & 1) // round-to-nearest-even
+		return sign | uint16(rounded>>shift)
+	}
+
+	// Normal half: keep top 10 mantissa bits, round-to-nearest-even on the
+	// 13 discarded bits.
+	const roundBit = 0x1000 // bit 12: highest discarded bit
+	v := (uint32(e) << 10) | uint32(mant>>13)
+	if mant&roundBit != 0 {
+		if mant&(roundBit-1) != 0 || v&1 != 0 {
+			v++ // may carry into the exponent, correctly producing Inf
+		}
+	}
+	return sign | uint16(v)
+}
+
+// ToFloat32 converts a binary16 bit pattern to float32 exactly (every
+// float16 value is representable as a float32).
+func ToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	mant := uint32(h & 0x3ff)
+
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		return math.Float32frombits(sign | 0x7f800000 | mant<<13)
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal half: normalize into a float32 normal.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	}
+	return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+}
+
+// Round returns f rounded to the nearest representable float16, as a
+// float32. It is the value a reader of an LP_QT intermediate observes.
+func Round(f float32) float32 { return ToFloat32(FromFloat32(f)) }
+
+// EncodeSlice converts src to binary16 bit patterns, appending to dst.
+func EncodeSlice(dst []uint16, src []float32) []uint16 {
+	for _, f := range src {
+		dst = append(dst, FromFloat32(f))
+	}
+	return dst
+}
+
+// DecodeSlice converts binary16 bit patterns to float32s, appending to dst.
+func DecodeSlice(dst []float32, src []uint16) []float32 {
+	for _, h := range src {
+		dst = append(dst, ToFloat32(h))
+	}
+	return dst
+}

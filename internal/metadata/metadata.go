@@ -1,0 +1,234 @@
+// Package metadata implements MISTIQUE's MetadataDB: the central catalog
+// that ties the PipelineExecutor, DataStore and ChunkReader together. It
+// records every logged model, the intermediates each produced, where their
+// columns live, per-stage execution timings used by the cost model, and the
+// per-intermediate query counters that drive adaptive materialization.
+package metadata
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// ModelKind distinguishes the two model classes the paper supports.
+type ModelKind string
+
+const (
+	// TRAD is a traditional ML pipeline with explicit stages.
+	TRAD ModelKind = "trad"
+	// DNN is a deep neural network whose layers produce intermediates.
+	DNN ModelKind = "dnn"
+)
+
+// Stage describes one pipeline stage or network layer, including the
+// measurements the query cost model needs (Sec. 5.1).
+type Stage struct {
+	Name  string `json:"name"`
+	Index int    `json:"index"`
+	// ExecSeconds is the measured wall time to execute this stage (one
+	// full pass over TotalExamples; for DNNs this is per-layer forward
+	// time at the calibration batch size).
+	ExecSeconds float64 `json:"exec_seconds"`
+	// OutputColumns is the width of the produced intermediate.
+	OutputColumns int `json:"output_columns"`
+	// OutputBytesPerRow is the materialized size of one example of this
+	// stage's output under the configured storage scheme.
+	OutputBytesPerRow int64 `json:"output_bytes_per_row"`
+}
+
+// Model is one logged model (pipeline or network).
+type Model struct {
+	Name          string    `json:"name"`
+	Kind          ModelKind `json:"kind"`
+	TotalExamples int       `json:"total_examples"`
+	ModelLoadSecs float64   `json:"model_load_secs"`
+	Stages        []Stage   `json:"stages"`
+	Intermediates []*Interm `json:"intermediates"`
+	byName        map[string]*Interm
+}
+
+// Interm is the catalog entry for one intermediate.
+type Interm struct {
+	Name       string   `json:"name"`
+	StageIndex int      `json:"stage_index"`
+	Columns    []string `json:"columns"`
+	Rows       int      `json:"rows"`
+	Blocks     int      `json:"blocks"`
+	// Materialized is true once the intermediate's chunks are in the
+	// DataStore.
+	Materialized bool `json:"materialized"`
+	// QuantScheme names the storage scheme used (FULL, LP_QT, ...).
+	QuantScheme string `json:"quant_scheme"`
+	// StoredBytes is the encoded (pre-compression) footprint.
+	StoredBytes int64 `json:"stored_bytes"`
+	// QueryCount is n_query(i) in the storage cost model.
+	QueryCount int64 `json:"query_count"`
+}
+
+// DB is the metadata database. Safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	models map[string]*Model
+}
+
+// NewDB creates an empty catalog.
+func NewDB() *DB { return &DB{models: make(map[string]*Model)} }
+
+// RegisterModel adds a model; replacing an existing name is an error.
+func (db *DB) RegisterModel(m *Model) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.models[m.Name]; dup {
+		return fmt.Errorf("metadata: model %q already registered", m.Name)
+	}
+	if m.byName == nil {
+		m.byName = make(map[string]*Interm, len(m.Intermediates))
+		for _, it := range m.Intermediates {
+			m.byName[it.Name] = it
+		}
+	}
+	db.models[m.Name] = m
+	return nil
+}
+
+// Model returns the named model or nil.
+func (db *DB) Model(name string) *Model {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.models[name]
+}
+
+// Models returns all model names, sorted.
+func (db *DB) Models() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.models))
+	for n := range db.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddIntermediate registers an intermediate under a model.
+func (db *DB) AddIntermediate(model string, it *Interm) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m, ok := db.models[model]
+	if !ok {
+		return fmt.Errorf("metadata: unknown model %q", model)
+	}
+	if _, dup := m.byName[it.Name]; dup {
+		return fmt.Errorf("metadata: intermediate %s.%s already registered", model, it.Name)
+	}
+	m.Intermediates = append(m.Intermediates, it)
+	m.byName[it.Name] = it
+	return nil
+}
+
+// Intermediate returns the catalog entry or nil.
+func (db *DB) Intermediate(model, name string) *Interm {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if m := db.models[model]; m != nil {
+		return m.byName[name]
+	}
+	return nil
+}
+
+// RecordQuery bumps the query counter for an intermediate and returns the
+// new count. Unknown intermediates are counted too (the storage cost model
+// needs n_query for not-yet-materialized intermediates), so the entry is
+// created lazily with Materialized=false.
+func (db *DB) RecordQuery(model, name string) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m, ok := db.models[model]
+	if !ok {
+		return 0, fmt.Errorf("metadata: unknown model %q", model)
+	}
+	it, ok := m.byName[name]
+	if !ok {
+		it = &Interm{Name: name}
+		m.Intermediates = append(m.Intermediates, it)
+		m.byName[name] = it
+	}
+	it.QueryCount++
+	return it.QueryCount, nil
+}
+
+// SetMaterialized updates materialization state and footprint.
+func (db *DB) SetMaterialized(model, name string, bytes int64, scheme string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m, ok := db.models[model]
+	if !ok {
+		return fmt.Errorf("metadata: unknown model %q", model)
+	}
+	it, ok := m.byName[name]
+	if !ok {
+		return fmt.Errorf("metadata: unknown intermediate %s.%s", model, name)
+	}
+	it.Materialized = true
+	it.StoredBytes = bytes
+	it.QuantScheme = scheme
+	return nil
+}
+
+type snapshot struct {
+	Models []*Model `json:"models"`
+}
+
+// Save writes the catalog to a JSON file.
+func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	snap := snapshot{Models: make([]*Model, 0, len(db.models))}
+	for _, m := range db.models {
+		snap.Models = append(snap.Models, m)
+	}
+	db.mu.RUnlock()
+	sort.Slice(snap.Models, func(i, j int) bool { return snap.Models[i].Name < snap.Models[j].Name })
+	blob, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("metadata: marshal: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("metadata: write %s: %w", tmp, err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a catalog previously written by Save.
+func Load(path string) (*DB, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("metadata: read %s: %w", path, err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return nil, fmt.Errorf("metadata: parse %s: %w", path, err)
+	}
+	db := NewDB()
+	for _, m := range snap.Models {
+		if err := db.RegisterModel(m); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// DeleteModel removes a model and its intermediates from the catalog.
+// Returns false if the model was not registered.
+func (db *DB) DeleteModel(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.models[name]; !ok {
+		return false
+	}
+	delete(db.models, name)
+	return true
+}

@@ -1,0 +1,145 @@
+package metadata
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testModel() *Model {
+	return &Model{
+		Name:          "zillow_p1",
+		Kind:          TRAD,
+		TotalExamples: 10000,
+		Stages: []Stage{
+			{Name: "ReadCSV", Index: 0, ExecSeconds: 0.5, OutputColumns: 20},
+			{Name: "Join", Index: 1, ExecSeconds: 0.3, OutputColumns: 25},
+		},
+	}
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	db := NewDB()
+	if err := db.RegisterModel(testModel()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterModel(testModel()); err == nil {
+		t.Fatal("duplicate model accepted")
+	}
+	if db.Model("zillow_p1") == nil || db.Model("nope") != nil {
+		t.Fatal("Model lookup broken")
+	}
+	if !reflect.DeepEqual(db.Models(), []string{"zillow_p1"}) {
+		t.Fatalf("Models() = %v", db.Models())
+	}
+}
+
+func TestIntermediates(t *testing.T) {
+	db := NewDB()
+	db.RegisterModel(testModel())
+	it := &Interm{Name: "interm1", StageIndex: 1, Columns: []string{"a", "b"}, Rows: 10000, Blocks: 10}
+	if err := db.AddIntermediate("zillow_p1", it); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddIntermediate("zillow_p1", &Interm{Name: "interm1"}); err == nil {
+		t.Fatal("duplicate intermediate accepted")
+	}
+	if err := db.AddIntermediate("ghost", &Interm{Name: "x"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	got := db.Intermediate("zillow_p1", "interm1")
+	if got == nil || got.Blocks != 10 {
+		t.Fatalf("Intermediate lookup: %+v", got)
+	}
+	if db.Intermediate("zillow_p1", "ghost") != nil || db.Intermediate("ghost", "x") != nil {
+		t.Fatal("phantom intermediate")
+	}
+}
+
+func TestQueryCounting(t *testing.T) {
+	db := NewDB()
+	db.RegisterModel(testModel())
+	// Lazily created on first query.
+	n, err := db.RecordQuery("zillow_p1", "pred")
+	if err != nil || n != 1 {
+		t.Fatalf("first query: n=%d err=%v", n, err)
+	}
+	n, _ = db.RecordQuery("zillow_p1", "pred")
+	if n != 2 {
+		t.Fatalf("second query n=%d", n)
+	}
+	if it := db.Intermediate("zillow_p1", "pred"); it == nil || it.Materialized {
+		t.Fatal("lazy intermediate state wrong")
+	}
+	if _, err := db.RecordQuery("ghost", "pred"); err == nil {
+		t.Fatal("unknown model query accepted")
+	}
+}
+
+func TestSetMaterialized(t *testing.T) {
+	db := NewDB()
+	db.RegisterModel(testModel())
+	db.AddIntermediate("zillow_p1", &Interm{Name: "interm1"})
+	if err := db.SetMaterialized("zillow_p1", "interm1", 12345, "LP_QT"); err != nil {
+		t.Fatal(err)
+	}
+	it := db.Intermediate("zillow_p1", "interm1")
+	if !it.Materialized || it.StoredBytes != 12345 || it.QuantScheme != "LP_QT" {
+		t.Fatalf("materialized state %+v", it)
+	}
+	if err := db.SetMaterialized("zillow_p1", "ghost", 1, "x"); err == nil {
+		t.Fatal("unknown intermediate accepted")
+	}
+	if err := db.SetMaterialized("ghost", "x", 1, "x"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := NewDB()
+	m := testModel()
+	db.RegisterModel(m)
+	db.AddIntermediate("zillow_p1", &Interm{Name: "interm1", Columns: []string{"x"}, Rows: 5})
+	db.RecordQuery("zillow_p1", "interm1")
+	db.SetMaterialized("zillow_p1", "interm1", 99, "FULL")
+
+	path := filepath.Join(t.TempDir(), "meta.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := back.Intermediate("zillow_p1", "interm1")
+	if it == nil || it.QueryCount != 1 || it.StoredBytes != 99 || !it.Materialized {
+		t.Fatalf("loaded intermediate %+v", it)
+	}
+	if got := back.Model("zillow_p1"); got.TotalExamples != 10000 || len(got.Stages) != 2 {
+		t.Fatalf("loaded model %+v", got)
+	}
+	// Query counting still works on the loaded catalog (byName rebuilt).
+	if n, err := back.RecordQuery("zillow_p1", "interm1"); err != nil || n != 2 {
+		t.Fatalf("post-load query: n=%d err=%v", n, err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDeleteModel(t *testing.T) {
+	db := NewDB()
+	db.RegisterModel(testModel())
+	if !db.DeleteModel("zillow_p1") {
+		t.Fatal("delete failed")
+	}
+	if db.DeleteModel("zillow_p1") {
+		t.Fatal("double delete succeeded")
+	}
+	if db.Model("zillow_p1") != nil {
+		t.Fatal("model survived delete")
+	}
+}

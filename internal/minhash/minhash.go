@@ -1,0 +1,223 @@
+// Package minhash implements MinHash signatures and a banded
+// locality-sensitive-hash (LSH) index over them. MISTIQUE's approximate
+// de-duplication discretizes each ColumnChunk's values, MinHashes the
+// resulting set, and queries the LSH index for existing Partitions whose
+// chunks have Jaccard similarity above a threshold tau; similar chunks are
+// then co-located so the downstream compressor can exploit their redundancy.
+package minhash
+
+import (
+	"math"
+	"math/rand"
+)
+
+// mersenne61 is a Mersenne prime used for universal hashing.
+const mersenne61 = (1 << 61) - 1
+
+// Signature is a MinHash signature: element i is the minimum of hash
+// function i over the input set.
+type Signature []uint64
+
+// Hasher computes MinHash signatures with a fixed family of k universal
+// hash functions. A Hasher is immutable after construction and safe for
+// concurrent use.
+type Hasher struct {
+	a, b []uint64
+}
+
+// NewHasher creates a Hasher with k hash functions seeded deterministically.
+func NewHasher(k int, seed int64) *Hasher {
+	rng := rand.New(rand.NewSource(seed))
+	h := &Hasher{a: make([]uint64, k), b: make([]uint64, k)}
+	for i := 0; i < k; i++ {
+		h.a[i] = uint64(rng.Int63n(mersenne61-1)) + 1 // a in [1, p-1]
+		h.b[i] = uint64(rng.Int63n(mersenne61))       // b in [0, p-1]
+	}
+	return h
+}
+
+// K returns the signature length.
+func (h *Hasher) K() int { return len(h.a) }
+
+// hash61 computes (a*x + b) mod 2^61-1 without overflow using 128-bit
+// intermediate arithmetic via math/bits-free splitting.
+func hash61(a, b, x uint64) uint64 {
+	// Split a*x into high and low 64-bit halves manually.
+	hi, lo := mul64(a, x)
+	// Reduce modulo 2^61-1: (hi*2^64 + lo) mod p. 2^64 mod p = 8, so
+	// value ≡ hi*8 + lo (mod p) after folding lo's top bits.
+	r := (lo & mersenne61) + (lo >> 61) + hi*8 + b
+	for r >= mersenne61 {
+		r -= mersenne61
+	}
+	return r
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	carry := t >> 32
+	t = aHi*bLo + carry
+	mid1 := t & mask
+	carry = t >> 32
+	t = aLo*bHi + mid1
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + carry + (t >> 32)
+	return hi, lo
+}
+
+// Sign computes the MinHash signature of a set of uint64 elements.
+func (h *Hasher) Sign(set map[uint64]struct{}) Signature {
+	sig := make(Signature, len(h.a))
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+	for x := range set {
+		for i := range h.a {
+			if v := hash61(h.a[i], h.b[i], x); v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+// maxSignElements caps how many distinct elements feed a signature. A
+// MinHash over a deterministic sample of the column estimates Jaccard
+// similarity nearly as well as one over every value, and keeps the
+// signature cost per ColumnChunk constant — logging overhead must not be
+// dominated by similarity hashing (Sec. 8.6).
+const maxSignElements = 128
+
+// SignFloats discretizes a float32 column into buckets of the given width
+// and MinHashes the resulting value set. Discretization makes "similar"
+// numeric columns (same values modulo noise or quantization) collide.
+func (h *Hasher) SignFloats(vals []float32, bucket float64) Signature {
+	if len(vals) > maxSignElements {
+		stride := len(vals) / maxSignElements
+		sampled := make([]float32, 0, maxSignElements)
+		for i := 0; i < len(vals); i += stride {
+			sampled = append(sampled, vals[i])
+		}
+		vals = sampled
+	}
+	set := make(map[uint64]struct{}, len(vals))
+	for _, v := range vals {
+		f := float64(v)
+		var key uint64
+		switch {
+		case math.IsNaN(f):
+			key = 1<<63 + 1
+		case bucket > 0:
+			key = uint64(int64(math.Floor(f/bucket))) * 2654435761
+		default:
+			key = math.Float64bits(f)
+		}
+		set[key] = struct{}{}
+	}
+	return h.Sign(set)
+}
+
+// EstimateJaccard estimates the Jaccard similarity of the underlying sets
+// from two signatures produced by the same Hasher.
+func EstimateJaccard(a, b Signature) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		panic("minhash: signature length mismatch")
+	}
+	match := 0
+	for i := range a {
+		if a[i] == b[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a))
+}
+
+// Index is a banded LSH index: signatures are split into bands of rows
+// hashes each; two signatures become candidates if any band matches
+// exactly. With b bands of r rows, the threshold is roughly (1/b)^(1/r).
+type Index struct {
+	bands, rows int
+	tables      []map[string][]int
+	sigs        map[int]Signature
+}
+
+// NewIndex creates an LSH index for signatures of length bands*rows.
+func NewIndex(bands, rows int) *Index {
+	t := make([]map[string][]int, bands)
+	for i := range t {
+		t[i] = make(map[string][]int)
+	}
+	return &Index{bands: bands, rows: rows, tables: t, sigs: make(map[int]Signature)}
+}
+
+// Threshold returns the approximate Jaccard similarity at which the
+// probability of becoming a candidate pair is 50%.
+func (ix *Index) Threshold() float64 {
+	return math.Pow(1/float64(ix.bands), 1/float64(ix.rows))
+}
+
+func (ix *Index) bandKey(sig Signature, band int) string {
+	start := band * ix.rows
+	buf := make([]byte, 0, ix.rows*8)
+	for _, v := range sig[start : start+ix.rows] {
+		buf = append(buf,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(buf)
+}
+
+// Insert adds a signature under the given id.
+func (ix *Index) Insert(id int, sig Signature) {
+	if len(sig) < ix.bands*ix.rows {
+		panic("minhash: signature too short for index")
+	}
+	ix.sigs[id] = sig
+	for b := 0; b < ix.bands; b++ {
+		k := ix.bandKey(sig, b)
+		ix.tables[b][k] = append(ix.tables[b][k], id)
+	}
+}
+
+// Query returns the ids of all candidate signatures sharing at least one
+// band with sig, excluding duplicates.
+func (ix *Index) Query(sig Signature) []int {
+	if len(sig) < ix.bands*ix.rows {
+		panic("minhash: signature too short for index")
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for b := 0; b < ix.bands; b++ {
+		for _, id := range ix.tables[b][ix.bandKey(sig, b)] {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// QueryBest returns the candidate with the highest estimated Jaccard
+// similarity to sig, provided it is at least minSim. ok is false when no
+// candidate qualifies.
+func (ix *Index) QueryBest(sig Signature, minSim float64) (id int, sim float64, ok bool) {
+	best := -1
+	bestSim := -1.0
+	for _, cand := range ix.Query(sig) {
+		if s := EstimateJaccard(sig, ix.sigs[cand]); s > bestSim {
+			best, bestSim = cand, s
+		}
+	}
+	if best < 0 || bestSim < minSim {
+		return 0, 0, false
+	}
+	return best, bestSim, true
+}
+
+// Len returns the number of indexed signatures.
+func (ix *Index) Len() int { return len(ix.sigs) }

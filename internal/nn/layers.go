@@ -1,0 +1,443 @@
+// Package nn implements the deep-neural-network substrate MISTIQUE logs
+// intermediates from: a pure-Go NCHW inference and training engine with
+// Conv2D, ReLU, MaxPool, Flatten, Dense and softmax cross-entropy; VGG16-
+// and simple-CNN-shaped model builders matching the paper's two CIFAR10
+// models; SGD training with per-layer freezing (the VGG16 fine-tuning
+// setup, whose frozen conv stack is what makes cross-epoch DEDUP pay off);
+// and binary checkpointing of weights after every epoch.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mistique/internal/tensor"
+)
+
+// Param is one trainable weight tensor with its gradient accumulator.
+type Param struct {
+	W []float32
+	G []float32
+}
+
+func newParam(n int) *Param { return &Param{W: make([]float32, n), G: make([]float32, n)} }
+
+// Layer is one network stage. Forward caches whatever Backward needs.
+// Layers are stateful and not safe for concurrent use; clone networks for
+// parallel inference.
+type Layer interface {
+	// Name is a short human-readable identifier, e.g. "conv3_1".
+	Name() string
+	// Forward computes the layer output for a batch.
+	Forward(x *tensor.T4) *tensor.T4
+	// Backward consumes dL/d(output) and returns dL/d(input), adding
+	// weight gradients into Params.
+	Backward(grad *tensor.T4) *tensor.T4
+	// Params returns trainable parameters (nil for activation layers).
+	Params() []*Param
+	// OutShape maps an input (c, h, w) to the output shape.
+	OutShape(c, h, w int) (int, int, int)
+}
+
+// ---- Conv2D ----
+
+// Conv2D is a stride-1, same-padded 2-D convolution.
+type Conv2D struct {
+	name         string
+	InC, OutC, K int
+	Weight, Bias *Param
+	Frozen       bool
+	lastIn       *tensor.T4
+}
+
+// NewConv2D creates a Conv2D with He-initialized weights.
+func NewConv2D(name string, inC, outC, k int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{name: name, InC: inC, OutC: outC, K: k}
+	c.Weight = newParam(outC * inC * k * k)
+	c.Bias = newParam(outC)
+	std := float32(math.Sqrt(2.0 / float64(inC*k*k)))
+	for i := range c.Weight.W {
+		c.Weight.W[i] = float32(rng.NormFloat64()) * std
+	}
+	return c
+}
+
+func (c *Conv2D) Name() string { return c.name }
+
+func (c *Conv2D) Params() []*Param {
+	if c.Frozen {
+		return nil
+	}
+	return []*Param{c.Weight, c.Bias}
+}
+
+func (c *Conv2D) OutShape(_, h, w int) (int, int, int) { return c.OutC, h, w }
+
+// wAt indexes the weight tensor [outC][inC][k][k].
+func (c *Conv2D) wAt(oc, ic, ky, kx int) int {
+	return ((oc*c.InC+ic)*c.K+ky)*c.K + kx
+}
+
+// Forward computes the same-padded convolution.
+func (c *Conv2D) Forward(x *tensor.T4) *tensor.T4 {
+	if x.C != c.InC {
+		panic(fmt.Sprintf("nn: %s expects %d channels, got %d", c.name, c.InC, x.C))
+	}
+	c.lastIn = x
+	pad := c.K / 2
+	out := tensor.NewT4(x.N, c.OutC, x.H, x.W)
+	for n := 0; n < x.N; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			dst := out.Plane(n, oc)
+			bias := c.Bias.W[oc]
+			for i := range dst {
+				dst[i] = bias
+			}
+			for ic := 0; ic < c.InC; ic++ {
+				src := x.Plane(n, ic)
+				for ky := 0; ky < c.K; ky++ {
+					for kx := 0; kx < c.K; kx++ {
+						w := c.Weight.W[c.wAt(oc, ic, ky, kx)]
+						if w == 0 {
+							continue
+						}
+						dy := ky - pad
+						dx := kx - pad
+						y0 := maxInt(0, -dy)
+						y1 := minInt(x.H, x.H-dy)
+						x0 := maxInt(0, -dx)
+						x1 := minInt(x.W, x.W-dx)
+						for y := y0; y < y1; y++ {
+							srow := src[(y+dy)*x.W : (y+dy)*x.W+x.W]
+							drow := dst[y*x.W : y*x.W+x.W]
+							for xx := x0; xx < x1; xx++ {
+								drow[xx] += w * srow[xx+dx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward computes input gradients and accumulates weight/bias gradients.
+func (c *Conv2D) Backward(grad *tensor.T4) *tensor.T4 {
+	x := c.lastIn
+	if x == nil {
+		panic("nn: Conv2D.Backward before Forward")
+	}
+	pad := c.K / 2
+	dx := tensor.NewT4(x.N, x.C, x.H, x.W)
+	for n := 0; n < x.N; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			g := grad.Plane(n, oc)
+			// Bias gradient.
+			var bsum float32
+			for _, v := range g {
+				bsum += v
+			}
+			c.Bias.G[oc] += bsum
+			for ic := 0; ic < c.InC; ic++ {
+				src := x.Plane(n, ic)
+				dsrc := dx.Plane(n, ic)
+				for ky := 0; ky < c.K; ky++ {
+					for kx := 0; kx < c.K; kx++ {
+						dyo := ky - pad
+						dxo := kx - pad
+						var wg float32
+						w := c.Weight.W[c.wAt(oc, ic, ky, kx)]
+						y0 := maxInt(0, -dyo)
+						y1 := minInt(x.H, x.H-dyo)
+						x0 := maxInt(0, -dxo)
+						x1 := minInt(x.W, x.W-dxo)
+						for y := y0; y < y1; y++ {
+							grow := g[y*x.W : y*x.W+x.W]
+							srow := src[(y+dyo)*x.W : (y+dyo)*x.W+x.W]
+							drow := dsrc[(y+dyo)*x.W : (y+dyo)*x.W+x.W]
+							for xx := x0; xx < x1; xx++ {
+								gv := grow[xx]
+								wg += gv * srow[xx+dxo]
+								drow[xx+dxo] += gv * w
+							}
+						}
+						c.Weight.G[c.wAt(oc, ic, ky, kx)] += wg
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// ---- ReLU ----
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	name   string
+	lastIn *tensor.T4
+}
+
+// NewReLU creates a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+func (r *ReLU) Name() string                         { return r.name }
+func (r *ReLU) Params() []*Param                     { return nil }
+func (r *ReLU) OutShape(c, h, w int) (int, int, int) { return c, h, w }
+
+func (r *ReLU) Forward(x *tensor.T4) *tensor.T4 {
+	r.lastIn = x
+	out := tensor.NewT4(x.N, x.C, x.H, x.W)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+func (r *ReLU) Backward(grad *tensor.T4) *tensor.T4 {
+	dx := tensor.NewT4(grad.N, grad.C, grad.H, grad.W)
+	for i, v := range r.lastIn.Data {
+		if v > 0 {
+			dx.Data[i] = grad.Data[i]
+		}
+	}
+	return dx
+}
+
+// ---- MaxPool 2x2 ----
+
+// MaxPool is a 2x2, stride-2 max pooling layer.
+type MaxPool struct {
+	name    string
+	argmax  []int32
+	inShape [4]int
+}
+
+// NewMaxPool creates a 2x2 max pooling layer.
+func NewMaxPool(name string) *MaxPool { return &MaxPool{name: name} }
+
+func (m *MaxPool) Name() string                         { return m.name }
+func (m *MaxPool) Params() []*Param                     { return nil }
+func (m *MaxPool) OutShape(c, h, w int) (int, int, int) { return c, h / 2, w / 2 }
+
+func (m *MaxPool) Forward(x *tensor.T4) *tensor.T4 {
+	oh, ow := x.H/2, x.W/2
+	out := tensor.NewT4(x.N, x.C, oh, ow)
+	m.argmax = make([]int32, len(out.Data))
+	m.inShape = [4]int{x.N, x.C, x.H, x.W}
+	idx := 0
+	for n := 0; n < x.N; n++ {
+		for ch := 0; ch < x.C; ch++ {
+			src := x.Plane(n, ch)
+			dst := out.Plane(n, ch)
+			base := (n*x.C + ch) * x.H * x.W
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bi := 2*oy*x.W + 2*ox
+					best := src[bi]
+					bestAt := bi
+					for _, off := range [3]int{1, x.W, x.W + 1} {
+						if v := src[bi+off]; v > best {
+							best = v
+							bestAt = bi + off
+						}
+					}
+					dst[oy*ow+ox] = best
+					m.argmax[idx] = int32(base + bestAt)
+					idx++
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (m *MaxPool) Backward(grad *tensor.T4) *tensor.T4 {
+	dx := tensor.NewT4(m.inShape[0], m.inShape[1], m.inShape[2], m.inShape[3])
+	for i, v := range grad.Data {
+		dx.Data[m.argmax[i]] += v
+	}
+	return dx
+}
+
+// ---- Flatten ----
+
+// Flatten reshapes (C, H, W) feature volumes into (C*H*W, 1, 1) vectors.
+type Flatten struct {
+	name    string
+	inShape [4]int
+}
+
+// NewFlatten creates a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+func (f *Flatten) Name() string                         { return f.name }
+func (f *Flatten) Params() []*Param                     { return nil }
+func (f *Flatten) OutShape(c, h, w int) (int, int, int) { return c * h * w, 1, 1 }
+
+func (f *Flatten) Forward(x *tensor.T4) *tensor.T4 {
+	f.inShape = [4]int{x.N, x.C, x.H, x.W}
+	out := tensor.NewT4(x.N, x.C*x.H*x.W, 1, 1)
+	copy(out.Data, x.Data)
+	return out
+}
+
+func (f *Flatten) Backward(grad *tensor.T4) *tensor.T4 {
+	dx := tensor.NewT4(f.inShape[0], f.inShape[1], f.inShape[2], f.inShape[3])
+	copy(dx.Data, grad.Data)
+	return dx
+}
+
+// ---- Dense ----
+
+// Dense is a fully connected layer on (C, 1, 1) inputs.
+type Dense struct {
+	name    string
+	In, Out int
+	Weight  *Param // Out x In, row-major
+	Bias    *Param
+	Frozen  bool
+	lastIn  *tensor.T4
+}
+
+// NewDense creates a Dense layer with He initialization.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{name: name, In: in, Out: out, Weight: newParam(in * out), Bias: newParam(out)}
+	std := float32(math.Sqrt(2.0 / float64(in)))
+	for i := range d.Weight.W {
+		d.Weight.W[i] = float32(rng.NormFloat64()) * std
+	}
+	return d
+}
+
+func (d *Dense) Name() string { return d.name }
+
+func (d *Dense) Params() []*Param {
+	if d.Frozen {
+		return nil
+	}
+	return []*Param{d.Weight, d.Bias}
+}
+
+func (d *Dense) OutShape(_, _, _ int) (int, int, int) { return d.Out, 1, 1 }
+
+func (d *Dense) Forward(x *tensor.T4) *tensor.T4 {
+	if x.C != d.In || x.H != 1 || x.W != 1 {
+		panic(fmt.Sprintf("nn: %s expects (%d,1,1) input, got (%d,%d,%d)", d.name, d.In, x.C, x.H, x.W))
+	}
+	d.lastIn = x
+	out := tensor.NewT4(x.N, d.Out, 1, 1)
+	for n := 0; n < x.N; n++ {
+		src := x.Example(n)
+		dst := out.Example(n)
+		for o := 0; o < d.Out; o++ {
+			sum := d.Bias.W[o]
+			row := d.Weight.W[o*d.In : (o+1)*d.In]
+			for i, v := range src {
+				sum += row[i] * v
+			}
+			dst[o] = sum
+		}
+	}
+	return out
+}
+
+func (d *Dense) Backward(grad *tensor.T4) *tensor.T4 {
+	x := d.lastIn
+	dx := tensor.NewT4(x.N, d.In, 1, 1)
+	for n := 0; n < x.N; n++ {
+		src := x.Example(n)
+		g := grad.Example(n)
+		dsrc := dx.Example(n)
+		for o := 0; o < d.Out; o++ {
+			gv := g[o]
+			if gv == 0 {
+				continue
+			}
+			d.Bias.G[o] += gv
+			wRow := d.Weight.W[o*d.In : (o+1)*d.In]
+			gRow := d.Weight.G[o*d.In : (o+1)*d.In]
+			for i, v := range src {
+				gRow[i] += gv * v
+				dsrc[i] += gv * wRow[i]
+			}
+		}
+	}
+	return dx
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---- Dropout ----
+
+// Dropout zeroes a random fraction of activations during training and
+// scales the survivors by 1/(1-p) (inverted dropout), acting as identity
+// at inference. The canonical VGG16 head uses p=0.5. Toggle with
+// Network.SetTraining; layers default to inference mode so logged
+// intermediates are deterministic.
+type Dropout struct {
+	name     string
+	P        float32
+	training bool
+	rng      *rand.Rand
+	mask     []bool
+}
+
+// NewDropout creates a dropout layer with drop probability p in [0, 1).
+func NewDropout(name string, p float32, seed int64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout p %v out of [0,1)", p))
+	}
+	return &Dropout{name: name, P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (d *Dropout) Name() string                         { return d.name }
+func (d *Dropout) Params() []*Param                     { return nil }
+func (d *Dropout) OutShape(c, h, w int) (int, int, int) { return c, h, w }
+
+func (d *Dropout) Forward(x *tensor.T4) *tensor.T4 {
+	if !d.training || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	out := tensor.NewT4(x.N, x.C, x.H, x.W)
+	d.mask = make([]bool, len(x.Data))
+	scale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.rng.Float32() >= d.P {
+			d.mask[i] = true
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+func (d *Dropout) Backward(grad *tensor.T4) *tensor.T4 {
+	if d.mask == nil {
+		return grad
+	}
+	dx := tensor.NewT4(grad.N, grad.C, grad.H, grad.W)
+	scale := 1 / (1 - d.P)
+	for i, keep := range d.mask {
+		if keep {
+			dx.Data[i] = grad.Data[i] * scale
+		}
+	}
+	return dx
+}

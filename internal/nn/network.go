@@ -1,0 +1,384 @@
+package nn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mistique/internal/tensor"
+)
+
+// Network is an ordered stack of layers with a fixed input shape.
+type Network struct {
+	Name          string
+	InC, InH, InW int
+	Layers        []Layer
+}
+
+// NumLayers returns the layer count.
+func (n *Network) NumLayers() int { return len(n.Layers) }
+
+// LayerNames returns layer names in order.
+func (n *Network) LayerNames() []string {
+	out := make([]string, len(n.Layers))
+	for i, l := range n.Layers {
+		out[i] = l.Name()
+	}
+	return out
+}
+
+// Forward runs the input through layers [0, upTo] and returns the final
+// activation. upTo = NumLayers()-1 gives the network output.
+func (n *Network) Forward(x *tensor.T4, upTo int) *tensor.T4 {
+	if upTo < 0 || upTo >= len(n.Layers) {
+		panic(fmt.Sprintf("nn: Forward upTo %d out of range", upTo))
+	}
+	cur := x
+	for i := 0; i <= upTo; i++ {
+		cur = n.Layers[i].Forward(cur)
+	}
+	return cur
+}
+
+// ForwardAll runs the input through the whole network and returns every
+// layer's activation — the model intermediates MISTIQUE logs.
+func (n *Network) ForwardAll(x *tensor.T4) []*tensor.T4 {
+	out := make([]*tensor.T4, len(n.Layers))
+	cur := x
+	for i, l := range n.Layers {
+		cur = l.Forward(cur)
+		out[i] = cur
+	}
+	return out
+}
+
+// ForwardBatched runs Forward over the examples of x in batches (the
+// paper's DNN queries run with a prediction batch size) and concatenates
+// the layer-upTo activations.
+func (n *Network) ForwardBatched(x *tensor.T4, upTo, batch int) *tensor.T4 {
+	if batch <= 0 || batch >= x.N {
+		return n.Forward(x, upTo)
+	}
+	var out *tensor.T4
+	for start := 0; start < x.N; start += batch {
+		end := start + batch
+		if end > x.N {
+			end = x.N
+		}
+		part := n.Forward(x.SliceN(start, end), upTo)
+		if out == nil {
+			out = tensor.NewT4(x.N, part.C, part.H, part.W)
+		}
+		copy(out.Data[start*part.C*part.H*part.W:], part.Data)
+	}
+	return out
+}
+
+// OutputShape returns the (c, h, w) shape of layer i's output.
+func (n *Network) OutputShape(i int) (c, h, w int) {
+	c, h, w = n.InC, n.InH, n.InW
+	for j := 0; j <= i; j++ {
+		c, h, w = n.Layers[j].OutShape(c, h, w)
+	}
+	return c, h, w
+}
+
+// Params returns all trainable (unfrozen) parameters. Parameters shared by
+// multiple layers (e.g. the weights of unrolled RNN steps) appear exactly
+// once, so SGD applies each gradient a single time.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	seen := make(map[*Param]bool)
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// FreezeConv freezes every convolutional layer (the paper's VGG16
+// fine-tuning: the 13 pre-trained conv layers are frozen, only the new FC
+// head trains).
+func (n *Network) FreezeConv() {
+	for _, l := range n.Layers {
+		if c, ok := l.(*Conv2D); ok {
+			c.Frozen = true
+		}
+	}
+}
+
+// TrainStep runs one SGD step of softmax cross-entropy on a batch and
+// returns the batch loss.
+func (n *Network) TrainStep(x *tensor.T4, labels []int, lr float32) float64 {
+	if x.N != len(labels) {
+		panic("nn: TrainStep batch size mismatch")
+	}
+	logits := n.Forward(x, len(n.Layers)-1)
+	if logits.H != 1 || logits.W != 1 {
+		panic("nn: TrainStep needs a (classes,1,1) output head")
+	}
+	grad := tensor.NewT4(logits.N, logits.C, 1, 1)
+	var loss float64
+	for i := 0; i < logits.N; i++ {
+		row := logits.Example(i)
+		g := grad.Example(i)
+		p := softmax(row)
+		loss += -math.Log(math.Max(float64(p[labels[i]]), 1e-12))
+		for c := range p {
+			g[c] = p[c]
+			if c == labels[i] {
+				g[c] -= 1
+			}
+			g[c] /= float32(logits.N)
+		}
+	}
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	for _, p := range n.Params() {
+		for i := range p.W {
+			p.W[i] -= lr * p.G[i]
+			p.G[i] = 0
+		}
+	}
+	return loss / float64(x.N)
+}
+
+func softmax(row []float32) []float32 {
+	mx := row[0]
+	for _, v := range row {
+		if v > mx {
+			mx = v
+		}
+	}
+	out := make([]float32, len(row))
+	var sum float64
+	for i, v := range row {
+		e := math.Exp(float64(v - mx))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Predict returns the argmax class per example.
+func (n *Network) Predict(x *tensor.T4) []int {
+	logits := n.Forward(x, len(n.Layers)-1)
+	out := make([]int, x.N)
+	for i := 0; i < x.N; i++ {
+		row := logits.Example(i)
+		best := 0
+		for c, v := range row {
+			if v > row[best] {
+				best = c
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Accuracy computes classification accuracy against labels.
+func (n *Network) Accuracy(x *tensor.T4, labels []int) float64 {
+	pred := n.Predict(x)
+	hit := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			hit++
+		}
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	return float64(hit) / float64(len(labels))
+}
+
+// ---- model builders ----
+
+// SimpleCNN builds the paper's CIFAR10_CNN shape: 4 conv layers in two
+// blocks with pooling, then two dense layers.
+func SimpleCNN(name string, classes int, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{Name: name, InC: 3, InH: 32, InW: 32}
+	add := func(l Layer) { n.Layers = append(n.Layers, l) }
+	add(NewConv2D("conv1_1", 3, 8, 3, rng))
+	add(NewReLU("relu1_1"))
+	add(NewConv2D("conv1_2", 8, 8, 3, rng))
+	add(NewReLU("relu1_2"))
+	add(NewMaxPool("pool1"))
+	add(NewConv2D("conv2_1", 8, 16, 3, rng))
+	add(NewReLU("relu2_1"))
+	add(NewConv2D("conv2_2", 16, 16, 3, rng))
+	add(NewReLU("relu2_2"))
+	add(NewMaxPool("pool2"))
+	add(NewFlatten("flatten"))
+	add(NewDense("fc1", 16*8*8, 64, rng))
+	add(NewReLU("relu_fc1"))
+	add(NewDense("logits", 64, classes, rng))
+	return n
+}
+
+// VGG16 builds a width-scaled VGG16: the canonical 13-conv/5-pool stack
+// followed by the paper's fine-tuning head (two small dense layers). width
+// scales the channel counts (width=8 gives 8..64 channels; the real VGG16
+// is width=64). Layer indices: conv block outputs sit at the same relative
+// depths as the paper's Layer1 (first conv), Layer11 (mid conv stack) and
+// Layer21 (last FC) reference points.
+func VGG16(name string, classes, width int, seed int64) *Network {
+	if width <= 0 {
+		width = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{Name: name, InC: 3, InH: 32, InW: 32}
+	add := func(l Layer) { n.Layers = append(n.Layers, l) }
+	cfg := []int{1, 1, -1, 2, 2, -1, 4, 4, 4, -1, 8, 8, 8, -1, 8, 8, 8, -1}
+	inC := 3
+	convIdx := 0
+	blockIdx := 1
+	poolIdx := 1
+	sub := 1
+	for _, c := range cfg {
+		if c < 0 {
+			add(NewMaxPool(fmt.Sprintf("pool%d", poolIdx)))
+			poolIdx++
+			blockIdx++
+			sub = 1
+			continue
+		}
+		outC := c * width
+		convIdx++
+		add(NewConv2D(fmt.Sprintf("conv%d_%d", blockIdx, sub), inC, outC, 3, rng))
+		add(NewReLU(fmt.Sprintf("relu%d_%d", blockIdx, sub)))
+		sub++
+		inC = outC
+	}
+	add(NewFlatten("flatten"))
+	add(NewDense("fc1", inC*1*1, 64, rng))
+	add(NewReLU("relu_fc1"))
+	add(NewDense("logits", 64, classes, rng))
+	return n
+}
+
+// ---- checkpoints ----
+
+const ckptMagic = "MQNN"
+
+// SaveWeights serializes all layer parameters (frozen included) to bytes.
+func (n *Network) SaveWeights() []byte {
+	out := []byte(ckptMagic)
+	params := n.allParams()
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(params)))
+	for _, p := range params {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.W)))
+		for _, w := range p.W {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(w))
+		}
+	}
+	return out
+}
+
+// LoadWeights restores parameters saved by SaveWeights into this network.
+// The architecture must match.
+func (n *Network) LoadWeights(blob []byte) error {
+	if len(blob) < 8 || string(blob[:4]) != ckptMagic {
+		return errors.New("nn: bad checkpoint header")
+	}
+	params := n.allParams()
+	cnt := int(binary.LittleEndian.Uint32(blob[4:]))
+	if cnt != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, network has %d", cnt, len(params))
+	}
+	pos := 8
+	for _, p := range params {
+		if len(blob) < pos+4 {
+			return errors.New("nn: truncated checkpoint")
+		}
+		k := int(binary.LittleEndian.Uint32(blob[pos:]))
+		pos += 4
+		if k != len(p.W) {
+			return fmt.Errorf("nn: checkpoint param size %d, want %d", k, len(p.W))
+		}
+		if len(blob) < pos+4*k {
+			return errors.New("nn: truncated checkpoint")
+		}
+		for i := 0; i < k; i++ {
+			p.W[i] = math.Float32frombits(binary.LittleEndian.Uint32(blob[pos:]))
+			pos += 4
+		}
+	}
+	return nil
+}
+
+// allParams returns every parameter, including frozen ones (checkpoints
+// must capture the full model). Shared parameters appear once.
+func (n *Network) allParams() []*Param {
+	var out []*Param
+	seen := make(map[*Param]bool)
+	add := func(ps ...*Param) {
+		for _, p := range ps {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	for _, l := range n.Layers {
+		switch t := l.(type) {
+		case *Conv2D:
+			add(t.Weight, t.Bias)
+		case *Dense:
+			add(t.Weight, t.Bias)
+		case *RNNStep:
+			add(t.Wx, t.Wh, t.B)
+		}
+	}
+	return out
+}
+
+// TrainEpochs trains for the given number of epochs over (x, labels) with
+// the given batch size, invoking onEpoch (if non-nil) after each epoch
+// with the epoch index and mean loss. This produces the per-epoch
+// checkpoint stream the paper's storage experiments log.
+func (n *Network) TrainEpochs(x *tensor.T4, labels []int, epochs, batch int, lr float32, onEpoch func(epoch int, loss float64)) {
+	if batch <= 0 {
+		batch = 32
+	}
+	n.SetTraining(true)
+	defer n.SetTraining(false)
+	for e := 0; e < epochs; e++ {
+		var total float64
+		steps := 0
+		for start := 0; start < x.N; start += batch {
+			end := start + batch
+			if end > x.N {
+				end = x.N
+			}
+			total += n.TrainStep(x.SliceN(start, end), labels[start:end], lr)
+			steps++
+		}
+		if onEpoch != nil {
+			onEpoch(e, total/float64(maxInt(steps, 1)))
+		}
+	}
+}
+
+// SetTraining switches train-time-only layers (Dropout) between training
+// and inference behaviour. TrainEpochs toggles this automatically; logging
+// and queries always see inference mode.
+func (n *Network) SetTraining(on bool) {
+	for _, l := range n.Layers {
+		if d, ok := l.(*Dropout); ok {
+			d.training = on
+		}
+	}
+}

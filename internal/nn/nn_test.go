@@ -1,0 +1,406 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mistique/internal/data"
+	"mistique/internal/tensor"
+)
+
+func randT4(n, c, h, w int, seed int64) *tensor.T4 {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.NewT4(n, c, h, w)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	return x
+}
+
+func TestConvIdentityKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D("c", 1, 1, 3, rng)
+	for i := range c.Weight.W {
+		c.Weight.W[i] = 0
+	}
+	c.Weight.W[c.wAt(0, 0, 1, 1)] = 1 // center tap = identity
+	x := randT4(2, 1, 5, 5, 2)
+	y := c.Forward(x)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatalf("identity conv changed data at %d", i)
+		}
+	}
+}
+
+func TestConvKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D("c", 1, 1, 3, rng)
+	for i := range c.Weight.W {
+		c.Weight.W[i] = 1 // box filter
+	}
+	c.Bias.W[0] = 0.5
+	x := tensor.NewT4(1, 1, 3, 3)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	y := c.Forward(x)
+	// Center cell sees all 9 ones; corner sees 4.
+	if y.At(0, 0, 1, 1) != 9.5 {
+		t.Fatalf("center %v", y.At(0, 0, 1, 1))
+	}
+	if y.At(0, 0, 0, 0) != 4.5 {
+		t.Fatalf("corner %v", y.At(0, 0, 0, 0))
+	}
+}
+
+// numericalGrad checks analytic gradients against finite differences.
+func TestConvGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewConv2D("c", 2, 3, 3, rng)
+	x := randT4(2, 2, 4, 4, 4)
+
+	loss := func() float64 {
+		y := c.Forward(x)
+		var s float64
+		for _, v := range y.Data {
+			s += float64(v) * float64(v)
+		}
+		return s / 2
+	}
+	// Analytic gradient: dL/dy = y.
+	y := c.Forward(x)
+	grad := y.Clone()
+	dx := c.Backward(grad)
+
+	const eps = 1e-3
+	// Check a few input gradients.
+	for _, i := range []int{0, 7, 31} {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := loss()
+		x.Data[i] = orig - eps
+		lm := loss()
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(dx.Data[i])) > 1e-2*(1+math.Abs(num)) {
+			t.Fatalf("input grad %d: numeric %g analytic %g", i, num, dx.Data[i])
+		}
+	}
+	// Check a few weight gradients.
+	for _, i := range []int{0, 10, 50} {
+		want := float64(c.Weight.G[i])
+		orig := c.Weight.W[i]
+		c.Weight.W[i] = orig + eps
+		lp := loss()
+		c.Weight.W[i] = orig - eps
+		lm := loss()
+		c.Weight.W[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-want) > 1e-2*(1+math.Abs(num)) {
+			t.Fatalf("weight grad %d: numeric %g analytic %g", i, num, want)
+		}
+	}
+}
+
+func TestDenseGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDense("d", 6, 4, rng)
+	x := randT4(3, 6, 1, 1, 6)
+	loss := func() float64 {
+		y := d.Forward(x)
+		var s float64
+		for _, v := range y.Data {
+			s += float64(v) * float64(v)
+		}
+		return s / 2
+	}
+	y := d.Forward(x)
+	dx := d.Backward(y.Clone())
+	const eps = 1e-3
+	for _, i := range []int{0, 5, 17} {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := loss()
+		x.Data[i] = orig - eps
+		lm := loss()
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(dx.Data[i])) > 1e-2*(1+math.Abs(num)) {
+			t.Fatalf("dense input grad %d: numeric %g analytic %g", i, num, dx.Data[i])
+		}
+	}
+	for _, i := range []int{0, 11, 23} {
+		want := float64(d.Weight.G[i])
+		orig := d.Weight.W[i]
+		d.Weight.W[i] = orig + eps
+		lp := loss()
+		d.Weight.W[i] = orig - eps
+		lm := loss()
+		d.Weight.W[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-want) > 1e-2*(1+math.Abs(num)) {
+			t.Fatalf("dense weight grad %d: numeric %g analytic %g", i, num, want)
+		}
+	}
+}
+
+func TestReLUAndPool(t *testing.T) {
+	r := NewReLU("r")
+	x := tensor.NewT4(1, 1, 2, 2)
+	copy(x.Data, []float32{-1, 2, -3, 4})
+	y := r.Forward(x)
+	if y.Data[0] != 0 || y.Data[1] != 2 || y.Data[3] != 4 {
+		t.Fatalf("relu %v", y.Data)
+	}
+	g := tensor.NewT4(1, 1, 2, 2)
+	copy(g.Data, []float32{10, 10, 10, 10})
+	dx := r.Backward(g)
+	if dx.Data[0] != 0 || dx.Data[1] != 10 {
+		t.Fatalf("relu grad %v", dx.Data)
+	}
+
+	p := NewMaxPool("p")
+	x2 := tensor.NewT4(1, 1, 2, 2)
+	copy(x2.Data, []float32{1, 5, 3, 2})
+	y2 := p.Forward(x2)
+	if y2.H != 1 || y2.W != 1 || y2.Data[0] != 5 {
+		t.Fatalf("pool %v", y2.Data)
+	}
+	g2 := tensor.NewT4(1, 1, 1, 1)
+	g2.Data[0] = 7
+	dx2 := p.Backward(g2)
+	if dx2.Data[1] != 7 || dx2.Data[0] != 0 {
+		t.Fatalf("pool grad routes to argmax: %v", dx2.Data)
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten("f")
+	x := randT4(2, 3, 4, 4, 7)
+	y := f.Forward(x)
+	if y.C != 48 || y.H != 1 {
+		t.Fatalf("flatten shape %d,%d,%d", y.C, y.H, y.W)
+	}
+	back := f.Backward(y)
+	for i := range x.Data {
+		if back.Data[i] != x.Data[i] {
+			t.Fatal("flatten backward not inverse")
+		}
+	}
+}
+
+func TestNetworkShapes(t *testing.T) {
+	n := SimpleCNN("cnn", 10, 1)
+	c, h, w := n.OutputShape(n.NumLayers() - 1)
+	if c != 10 || h != 1 || w != 1 {
+		t.Fatalf("output shape %d,%d,%d", c, h, w)
+	}
+	v := VGG16("vgg", 10, 4, 1)
+	// 13 convs + 13 relus + 5 pools + flatten + fc1 + relu + logits = 35.
+	if v.NumLayers() != 35 {
+		t.Fatalf("vgg layers %d", v.NumLayers())
+	}
+	c, h, w = v.OutputShape(v.NumLayers() - 1)
+	if c != 10 || h != 1 || w != 1 {
+		t.Fatalf("vgg output %d,%d,%d", c, h, w)
+	}
+	// After 5 pools the 32x32 map is 1x1.
+	names := v.LayerNames()
+	if names[0] != "conv1_1" || names[len(names)-1] != "logits" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestForwardAllMatchesForward(t *testing.T) {
+	n := SimpleCNN("cnn", 10, 2)
+	x := randT4(3, 3, 32, 32, 9)
+	all := n.ForwardAll(x)
+	if len(all) != n.NumLayers() {
+		t.Fatalf("ForwardAll returned %d", len(all))
+	}
+	for _, li := range []int{0, 5, n.NumLayers() - 1} {
+		direct := n.Forward(x, li)
+		for i := range direct.Data {
+			if direct.Data[i] != all[li].Data[i] {
+				t.Fatalf("layer %d mismatch at %d", li, i)
+			}
+		}
+	}
+}
+
+func TestForwardBatchedMatchesUnbatched(t *testing.T) {
+	n := SimpleCNN("cnn", 10, 3)
+	x := randT4(10, 3, 32, 32, 10)
+	a := n.Forward(x, 4)
+	b := n.ForwardBatched(x, 4, 3)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("batched forward differs at %d", i)
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	x, labels := data.Images(64, 2, 11)
+	n := SimpleCNN("cnn", 2, 12)
+	var first, last float64
+	n.TrainEpochs(x, labels, 25, 16, 0.05, func(e int, loss float64) {
+		if e == 0 {
+			first = loss
+		}
+		last = loss
+	})
+	if last >= first {
+		t.Fatalf("loss did not decrease: %g -> %g", first, last)
+	}
+	if acc := n.Accuracy(x, labels); acc < 0.9 {
+		t.Fatalf("training accuracy %g after 25 epochs", acc)
+	}
+}
+
+func TestFreezeConvKeepsWeights(t *testing.T) {
+	x, labels := data.Images(32, 2, 13)
+	n := VGG16("vgg", 2, 2, 14)
+	n.FreezeConv()
+	var convBefore []float32
+	for _, l := range n.Layers {
+		if c, ok := l.(*Conv2D); ok {
+			convBefore = append(convBefore, c.Weight.W...)
+		}
+	}
+	n.TrainEpochs(x, labels, 2, 16, 0.05, nil)
+	var convAfter []float32
+	var fcChanged bool
+	for _, l := range n.Layers {
+		if c, ok := l.(*Conv2D); ok {
+			convAfter = append(convAfter, c.Weight.W...)
+		}
+	}
+	fc := n.Layers[n.NumLayers()-1].(*Dense)
+	for _, g := range fc.Weight.W {
+		if g != 0 {
+			fcChanged = true
+			break
+		}
+	}
+	for i := range convBefore {
+		if convBefore[i] != convAfter[i] {
+			t.Fatal("frozen conv weights changed")
+		}
+	}
+	if !fcChanged {
+		t.Fatal("fc head weights all zero (did not train)")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	n := SimpleCNN("cnn", 10, 20)
+	x := randT4(2, 3, 32, 32, 21)
+	before := n.Forward(x, n.NumLayers()-1).Clone()
+	blob := n.SaveWeights()
+
+	// Perturb, then restore.
+	m := SimpleCNN("cnn", 10, 99)
+	if err := m.LoadWeights(blob); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Forward(x, m.NumLayers()-1)
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatalf("restored network differs at %d", i)
+		}
+	}
+	// Corrupt header and mismatched architecture fail.
+	if err := m.LoadWeights([]byte("nope")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	other := VGG16("vgg", 10, 2, 1)
+	if err := other.LoadWeights(blob); err == nil {
+		t.Fatal("architecture mismatch accepted")
+	}
+}
+
+func TestPredictAndAccuracy(t *testing.T) {
+	n := SimpleCNN("cnn", 3, 30)
+	x := randT4(5, 3, 32, 32, 31)
+	pred := n.Predict(x)
+	if len(pred) != 5 {
+		t.Fatalf("pred len %d", len(pred))
+	}
+	for _, p := range pred {
+		if p < 0 || p >= 3 {
+			t.Fatalf("class %d out of range", p)
+		}
+	}
+	if acc := n.Accuracy(x, pred); acc != 1 {
+		t.Fatalf("self accuracy %g", acc)
+	}
+}
+
+func BenchmarkVGGForward8(b *testing.B) {
+	n := VGG16("vgg", 10, 4, 1)
+	x := randT4(8, 3, 32, 32, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Forward(x, n.NumLayers()-1)
+	}
+}
+
+func TestDropout(t *testing.T) {
+	d := NewDropout("drop", 0.5, 1)
+	x := randT4(4, 8, 2, 2, 40)
+
+	// Inference mode: identity.
+	if y := d.Forward(x); y != x {
+		t.Fatal("inference dropout not identity")
+	}
+
+	// Training mode: some units zeroed, survivors scaled by 2.
+	d.training = true
+	y := d.Forward(x)
+	zeros, scaled := 0, 0
+	for i, v := range y.Data {
+		switch {
+		case v == 0 && x.Data[i] != 0:
+			zeros++
+		case x.Data[i] != 0:
+			if math.Abs(float64(v-2*x.Data[i])) > 1e-6 {
+				t.Fatalf("survivor %d not scaled: %v vs %v", i, v, x.Data[i])
+			}
+			scaled++
+		}
+	}
+	if zeros == 0 || scaled == 0 {
+		t.Fatalf("dropout degenerate: %d zeroed, %d kept", zeros, scaled)
+	}
+	// Backward routes gradients through the same mask.
+	g := y.Clone()
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	dx := d.Backward(g)
+	for i, v := range y.Data {
+		if v == 0 && dx.Data[i] != 0 {
+			t.Fatal("gradient leaked through dropped unit")
+		}
+		if v != 0 && dx.Data[i] != 2 {
+			t.Fatalf("kept-unit gradient %v, want 2", dx.Data[i])
+		}
+	}
+
+	// SetTraining toggles via the network.
+	n := &Network{Name: "d", InC: 8, InH: 2, InW: 2, Layers: []Layer{d}}
+	n.SetTraining(false)
+	if z := n.Forward(x, 0); z != x {
+		t.Fatal("SetTraining(false) did not restore identity")
+	}
+	// Invalid p panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=1 accepted")
+		}
+	}()
+	NewDropout("bad", 1, 1)
+}

@@ -1,0 +1,23 @@
+package pipeline
+
+import "testing"
+
+// FuzzParseYAML guards the spec parser against panics on arbitrary input;
+// parse errors are fine, crashes are not.
+func FuzzParseYAML(f *testing.F) {
+	f.Add("name: x\nstages:\n  - name: a\n    op: read_table\n")
+	f.Add("a: [1, {b: c}, 'd']")
+	f.Add("k:\n  - - nested")
+	f.Add("x: \"unterminated")
+	f.Add("- 1\n- 2")
+	f.Add("a:\n\tb: tab")
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseYAML(src)
+		if err != nil {
+			return
+		}
+		// A successful parse must also survive spec decoding attempts.
+		_ = doc
+		_, _ = SpecFromYAML(src)
+	})
+}

@@ -1,0 +1,319 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"mistique/internal/data"
+	"mistique/internal/frame"
+)
+
+func env(t *testing.T) map[string]*frame.Frame {
+	t.Helper()
+	h := data.Housing(300, 900, 1)
+	return map[string]*frame.Frame{
+		"properties": h.Properties,
+		"train":      h.Train,
+		"test":       h.Test,
+	}
+}
+
+func buildDemo(t *testing.T) *Pipeline {
+	t.Helper()
+	spec, err := SpecFromYAML(sampleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	p := buildDemo(t)
+	if err := p.Bind(env(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 7 {
+		t.Fatalf("stages %d", len(res.Stages))
+	}
+	// Intermediates all present.
+	names := res.IntermediateNames()
+	want := []string{"props", "sales", "joined", "filled", "train_split", "test_split", "model", "pred_test"}
+	if len(names) != len(want) {
+		t.Fatalf("intermediates %v", names)
+	}
+	joined := res.Intermediate("joined")
+	if joined == nil || joined.NumRows() != 900 {
+		t.Fatalf("joined rows %v", joined)
+	}
+	// fillna removed all NaNs from float columns.
+	filled := res.Intermediate("filled")
+	for i := 0; i < filled.NumCols(); i++ {
+		c := filled.ColAt(i)
+		if c.Type != frame.Float {
+			continue
+		}
+		for _, v := range c.F {
+			if math.IsNaN(v) {
+				t.Fatalf("NaN survived fillna in %s", c.Name)
+			}
+		}
+	}
+	// Split fractions.
+	tr := res.Intermediate("train_split")
+	te := res.Intermediate("test_split")
+	if tr.NumRows() != 675 || te.NumRows() != 225 {
+		t.Fatalf("split %d/%d", tr.NumRows(), te.NumRows())
+	}
+	// Model output has predictions; test predictions exist for every row.
+	modelOut := res.Intermediate("model")
+	if !modelOut.Has("pred") || !modelOut.Has("logerror") {
+		t.Fatalf("model output cols %v", modelOut.Names())
+	}
+	pt := res.Intermediate("pred_test")
+	if pt.NumRows() != 225 || !pt.Has("pred") {
+		t.Fatalf("pred_test %v", pt.Names())
+	}
+}
+
+func TestPipelineRerunIsDeterministicWithoutRefit(t *testing.T) {
+	p := buildDemo(t)
+	if err := p.Bind(env(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	first, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.Run() // transform-only re-run
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := first.Intermediate("pred_test").Col("pred").F
+	b := second.Intermediate("pred_test").Col("pred").F
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("re-run diverged at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPipelineRunToPartial(t *testing.T) {
+	p := buildDemo(t)
+	if err := p.Bind(env(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunTo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 3 || res.Intermediate("joined") == nil {
+		t.Fatalf("partial run: %v", res.IntermediateNames())
+	}
+	if _, err := p.RunTo(99); err == nil {
+		t.Fatal("out of range RunTo accepted")
+	}
+}
+
+func TestPipelineBindLimit(t *testing.T) {
+	p := buildDemo(t)
+	if err := p.Bind(env(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil { // fit first
+		t.Fatal(err)
+	}
+	if err := p.Bind(env(t), 100); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunTo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Intermediate("sales").NumRows(); got != 100 {
+		t.Fatalf("limited read rows %d", got)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	cases := map[string]Spec{
+		"no-name":    {Stages: []StageSpec{{Name: "a", Op: "read_table", Params: map[string]any{"table": "t"}}}},
+		"no-stages":  {Name: "x"},
+		"unknown-op": {Name: "x", Stages: []StageSpec{{Name: "a", Op: "wat"}}},
+		"dup-stage": {Name: "x", Stages: []StageSpec{
+			{Name: "a", Op: "read_table", Params: map[string]any{"table": "t"}},
+			{Name: "a", Op: "read_table", Params: map[string]any{"table": "t"}},
+		}},
+		"undefined-input": {Name: "x", Stages: []StageSpec{
+			{Name: "a", Op: "join", Inputs: []string{"ghost", "ghost2"}, Params: map[string]any{"on": "k"}},
+		}},
+		"bad-params": {Name: "x", Stages: []StageSpec{{Name: "a", Op: "join"}}},
+	}
+	for name, spec := range cases {
+		if _, err := New(spec); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestPipelineMissingTable(t *testing.T) {
+	p := buildDemo(t)
+	if err := p.Bind(map[string]*frame.Frame{}, 0); err == nil {
+		t.Fatal("bind with empty env accepted")
+	}
+}
+
+func TestPredictBeforeTrainFails(t *testing.T) {
+	spec := Spec{Name: "x", Stages: []StageSpec{
+		{Name: "src", Op: "read_table", Params: map[string]any{"table": "train"}},
+		{Name: "pred", Op: "predict", Inputs: []string{"src"}, Params: map[string]any{"model": "src"}},
+	}}
+	p, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind(env(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err == nil {
+		t.Fatal("predict against non-model stage accepted")
+	}
+}
+
+func TestFeatureEngineeringOps(t *testing.T) {
+	spec, err := SpecFromYAML(`
+name: fe
+stages:
+  - name: props
+    op: read_table
+    params: {table: properties}
+  - name: rec
+    op: construction_recency
+    inputs: [props]
+  - name: hood
+    op: neighborhood
+    inputs: [rec]
+    params: {bins: 4}
+  - name: res
+    op: is_residential
+    inputs: [hood]
+  - name: avg
+    op: group_avg
+    inputs: [res]
+    params: {group: regionidzip, col: taxvaluedollarcnt, name: region_tax}
+  - name: hot
+    op: onehot
+    inputs: [avg]
+    params: {cols: [propertytype]}
+  - name: scaled
+    op: scale
+    inputs: [hot]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind(env(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Intermediate("scaled")
+	for _, col := range []string{"construction_recency", "neighborhood", "is_residential", "region_tax", "propertytype=house"} {
+		if !out.Has(col) {
+			t.Fatalf("missing engineered column %s (have %v)", col, out.Names())
+		}
+	}
+	if out.Has("propertytype") {
+		t.Fatal("onehot kept original column")
+	}
+	// recency = 2017 - yearbuilt before scaling; after scaling it's
+	// standardized, so check the pre-scale intermediate.
+	rec := res.Intermediate("rec")
+	year, _ := rec.Col("yearbuilt").AsFloats()
+	recv := rec.Col("construction_recency").F
+	for i := range year {
+		if recv[i] != 2017-year[i] {
+			t.Fatalf("recency[%d] = %v, want %v", i, recv[i], 2017-year[i])
+		}
+	}
+}
+
+func TestOpsRegistryList(t *testing.T) {
+	ops := Ops()
+	if len(ops) < 15 {
+		t.Fatalf("registry has only %d ops", len(ops))
+	}
+	found := false
+	for _, o := range ops {
+		if o == "train_lgbm" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("train_lgbm missing from registry")
+	}
+}
+
+func TestElasticPipelineVariant(t *testing.T) {
+	spec, err := SpecFromYAML(`
+name: elastic
+stages:
+  - name: props
+    op: read_table
+    params: {table: properties}
+  - name: sales
+    op: read_table
+    params: {table: train}
+  - name: joined
+    op: join
+    inputs: [sales, props]
+    params: {on: parcelid}
+  - name: hot
+    op: onehot
+    inputs: [joined]
+    params: {cols: [propertytype, regionidzip]}
+  - name: filled
+    op: fillna
+    inputs: [hot]
+  - name: model
+    op: train_elastic
+    inputs: [filled]
+    params: {target: logerror, alpha: 0.01, l1_ratio: 0.5, normalize: 1}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind(env(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := res.Intermediate("model").Col("pred").F
+	for _, v := range preds {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("elastic predictions contain NaN/Inf")
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseYAMLBasicMapping(t *testing.T) {
+	doc, err := ParseYAML("name: hello\ncount: 3\nratio: 0.5\nflag: true\nnothing: null\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.(map[string]any)
+	if m["name"] != "hello" || m["count"] != 3 || m["ratio"] != 0.5 || m["flag"] != true || m["nothing"] != nil {
+		t.Fatalf("parsed %#v", m)
+	}
+}
+
+func TestParseYAMLNested(t *testing.T) {
+	src := `
+name: outer
+params:
+  alpha: 0.1
+  inner:
+    deep: yes_string
+list:
+  - a
+  - 2
+  - true
+`
+	doc, err := ParseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.(map[string]any)
+	params := m["params"].(map[string]any)
+	if params["alpha"] != 0.1 {
+		t.Fatalf("alpha %v", params["alpha"])
+	}
+	inner := params["inner"].(map[string]any)
+	if inner["deep"] != "yes_string" {
+		t.Fatalf("deep %v", inner["deep"])
+	}
+	if !reflect.DeepEqual(m["list"], []any{"a", 2, true}) {
+		t.Fatalf("list %#v", m["list"])
+	}
+}
+
+func TestParseYAMLSequenceOfMappings(t *testing.T) {
+	src := `
+stages:
+  - name: s1
+    op: read_table
+    params:
+      table: props
+  - name: s2
+    op: join
+    inputs: [s1, s1]
+`
+	doc, err := ParseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := doc.(map[string]any)["stages"].([]any)
+	if len(stages) != 2 {
+		t.Fatalf("stages %d", len(stages))
+	}
+	s1 := stages[0].(map[string]any)
+	if s1["name"] != "s1" || s1["op"] != "read_table" {
+		t.Fatalf("s1 %#v", s1)
+	}
+	if s1["params"].(map[string]any)["table"] != "props" {
+		t.Fatalf("s1 params %#v", s1["params"])
+	}
+	s2 := stages[1].(map[string]any)
+	if !reflect.DeepEqual(s2["inputs"], []any{"s1", "s1"}) {
+		t.Fatalf("inputs %#v", s2["inputs"])
+	}
+}
+
+func TestParseYAMLFlowStyles(t *testing.T) {
+	doc, err := ParseYAML(`params: {on: parcelid, frac: 0.8, tags: [a, b]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := doc.(map[string]any)["params"].(map[string]any)
+	if params["on"] != "parcelid" || params["frac"] != 0.8 {
+		t.Fatalf("flow map %#v", params)
+	}
+	if !reflect.DeepEqual(params["tags"], []any{"a", "b"}) {
+		t.Fatalf("flow list %#v", params["tags"])
+	}
+	doc, err = ParseYAML(`empty_list: []
+empty_map: {}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.(map[string]any)
+	if len(m["empty_list"].([]any)) != 0 || len(m["empty_map"].(map[string]any)) != 0 {
+		t.Fatalf("empties %#v", m)
+	}
+}
+
+func TestParseYAMLCommentsAndQuotes(t *testing.T) {
+	src := `
+# leading comment
+name: "hello # not a comment"
+other: plain # trailing comment
+quoted: 'single'
+`
+	doc, err := ParseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.(map[string]any)
+	if m["name"] != "hello # not a comment" || m["other"] != "plain" || m["quoted"] != "single" {
+		t.Fatalf("%#v", m)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"empty":        "",
+		"tabs":         "\tname: x",
+		"dup-key":      "a: 1\na: 2",
+		"bad-flow-seq": "x: [a, b",
+		"bad-flow-map": "x: {a: 1",
+		"unbalanced":   "x: [a]]",
+	} {
+		if _, err := ParseYAML(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+const sampleSpec = `
+name: demo
+stages:
+  - name: props
+    op: read_table
+    params: {table: properties}
+  - name: sales
+    op: read_table
+    params: {table: train}
+  - name: joined
+    op: join
+    inputs: [sales, props]
+    params: {on: parcelid}
+  - name: filled
+    op: fillna
+    inputs: [joined]
+    params: {strategy: mean}
+  - name: splits
+    op: split
+    inputs: [filled]
+    params: {frac: 0.75, seed: 3}
+    outputs: [train_split, test_split]
+  - name: model
+    op: train_xgb
+    inputs: [train_split]
+    params: {target: logerror, rounds: 5, max_depth: 3, eta: 0.3}
+  - name: pred_test
+    op: predict
+    inputs: [test_split]
+    params: {model: model}
+`
+
+func TestSpecFromYAML(t *testing.T) {
+	spec, err := SpecFromYAML(sampleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "demo" || len(spec.Stages) != 7 {
+		t.Fatalf("spec %+v", spec)
+	}
+	if !reflect.DeepEqual(spec.Stages[4].Outputs, []string{"train_split", "test_split"}) {
+		t.Fatalf("outputs %v", spec.Stages[4].Outputs)
+	}
+	if spec.Stages[2].Params["on"] != "parcelid" {
+		t.Fatalf("params %v", spec.Stages[2].Params)
+	}
+}
+
+func TestSpecFromYAMLErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"no-name":   "stages:\n  - name: a\n    op: read_table",
+		"no-stages": "name: x",
+		"no-op":     "name: x\nstages:\n  - name: a",
+		"bad-root":  "- a\n- b",
+	} {
+		if _, err := SpecFromYAML(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,414 @@
+// Package quant implements the activation quantization and summarization
+// schemes of MISTIQUE (Sec. 4.1):
+//
+//   - LP_QT: lower-precision float16 representation (2 bytes/value),
+//   - KBIT_QT: k-bit quantile binning with a reconstruction table
+//     (k=8 by default: 256 quantile bins, 1 byte/value before packing),
+//   - THRESHOLD_QT: binarization against a percentile threshold
+//     (1 bit/value), as used by NetDissect-style analyses,
+//   - POOL_QT: sigma x sigma average/max pooling of activation maps,
+//     reducing the number of stored values by sigma^2.
+//
+// LP/KBIT/THRESHOLD are value codecs: they encode a float32 column into
+// bytes and decode ("reconstruct") it back, trading fidelity for footprint.
+// POOL is a summarizer: it shrinks the intermediate itself before the
+// column store ever sees it.
+package quant
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mistique/internal/f16"
+	"mistique/internal/tensor"
+)
+
+// Kind identifies a value codec.
+type Kind uint8
+
+const (
+	// Full stores raw float32 values (4 bytes/value).
+	Full Kind = iota
+	// LP stores float16 values (2 bytes/value).
+	LP
+	// KBit stores quantile-bin indices (Bits bits/value, bit-packed).
+	KBit
+	// Threshold stores a 1-bit indicator of "activation above threshold".
+	Threshold
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Full:
+		return "FULL"
+	case LP:
+		return "LP_QT"
+	case KBit:
+		return "KBIT_QT"
+	case Threshold:
+		return "THRESHOLD_QT"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Quantizer encodes float32 columns under one of the codecs. The zero value
+// is the Full codec. KBit and Threshold quantizers must be fitted to a
+// sample of the activation distribution before use (the paper collects
+// samples first, then quantizes; see Sec. 4.1.1).
+type Quantizer struct {
+	Kind Kind
+	// Bits is the number of bits per value for KBit (1..16).
+	Bits int
+	// boundaries has 2^Bits-1 interior quantile cut points (ascending).
+	boundaries []float32
+	// reps has 2^Bits reconstruction values (bin representatives).
+	reps []float32
+	// Thresh is the binarization threshold for Threshold.
+	Thresh float32
+}
+
+// NewFull returns the identity (float32) codec.
+func NewFull() *Quantizer { return &Quantizer{Kind: Full} }
+
+// NewLP returns the float16 codec.
+func NewLP() *Quantizer { return &Quantizer{Kind: LP} }
+
+// FitKBit builds a KBit quantizer with 2^bits quantile bins estimated from
+// samples. Samples need not be sorted; NaNs are ignored. At least one
+// finite sample is required.
+func FitKBit(samples []float32, bits int) (*Quantizer, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("quant: bits must be in [1,16], got %d", bits)
+	}
+	if len(samples) > sketchThreshold {
+		// Huge calibration streams: bounded-memory epsilon-approximate
+		// quantiles instead of a full sort.
+		return fitKBitSketch(samples, bits)
+	}
+	s := finiteSorted(samples)
+	if len(s) == 0 {
+		return nil, errors.New("quant: FitKBit needs at least one finite sample")
+	}
+	n := 1 << bits
+	q := &Quantizer{Kind: KBit, Bits: bits}
+	q.boundaries = make([]float32, n-1)
+	for i := 1; i < n; i++ {
+		q.boundaries[i-1] = quantile(s, float64(i)/float64(n))
+	}
+	q.reps = make([]float32, n)
+	for i := 0; i < n; i++ {
+		q.reps[i] = quantile(s, (float64(i)+0.5)/float64(n))
+	}
+	return q, nil
+}
+
+// FitThreshold builds a Threshold quantizer whose cut point is the given
+// upper-tail percentile of samples: p(act > T) = alpha means
+// percentile = 1-alpha (NetDissect uses alpha=0.005, percentile 0.995).
+func FitThreshold(samples []float32, percentile float64) (*Quantizer, error) {
+	if percentile <= 0 || percentile >= 1 {
+		return nil, fmt.Errorf("quant: percentile must be in (0,1), got %g", percentile)
+	}
+	s := finiteSorted(samples)
+	if len(s) == 0 {
+		return nil, errors.New("quant: FitThreshold needs at least one finite sample")
+	}
+	return &Quantizer{Kind: Threshold, Thresh: quantile(s, percentile)}, nil
+}
+
+func finiteSorted(samples []float32) []float32 {
+	s := make([]float32, 0, len(samples))
+	for _, v := range samples {
+		if !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) {
+			s = append(s, v)
+		}
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+// quantile returns the p-quantile of ascending-sorted s by linear
+// interpolation.
+func quantile(s []float32, p float64) float32 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(s) {
+		hi = len(s) - 1
+	}
+	frac := float32(pos - float64(lo))
+	return s[lo] + frac*(s[hi]-s[lo])
+}
+
+// BitsPerValue returns the encoded width of one value in bits.
+func (q *Quantizer) BitsPerValue() int {
+	switch q.Kind {
+	case Full:
+		return 32
+	case LP:
+		return 16
+	case KBit:
+		return q.Bits
+	case Threshold:
+		return 1
+	}
+	panic("quant: unknown kind")
+}
+
+// Encode appends the encoded form of vals to dst and returns it.
+func (q *Quantizer) Encode(dst []byte, vals []float32) []byte {
+	switch q.Kind {
+	case Full:
+		for _, v := range vals {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+		}
+		return dst
+	case LP:
+		for _, v := range vals {
+			dst = binary.LittleEndian.AppendUint16(dst, f16.FromFloat32(v))
+		}
+		return dst
+	case KBit:
+		return q.encodeBits(dst, vals)
+	case Threshold:
+		return q.encodeThreshold(dst, vals)
+	}
+	panic("quant: unknown kind")
+}
+
+func (q *Quantizer) bin(v float32) uint32 {
+	// Binary search for the first boundary > v; the bin index is the count
+	// of boundaries <= v.
+	lo, hi := 0, len(q.boundaries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.boundaries[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(lo)
+}
+
+func (q *Quantizer) encodeBits(dst []byte, vals []float32) []byte {
+	var acc uint64
+	nbits := 0
+	for _, v := range vals {
+		acc |= uint64(q.bin(v)) << nbits
+		nbits += q.Bits
+		for nbits >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+func (q *Quantizer) encodeThreshold(dst []byte, vals []float32) []byte {
+	var acc byte
+	nbits := 0
+	for _, v := range vals {
+		if v > q.Thresh {
+			acc |= 1 << nbits
+		}
+		nbits++
+		if nbits == 8 {
+			dst = append(dst, acc)
+			acc, nbits = 0, 0
+		}
+	}
+	if nbits > 0 {
+		dst = append(dst, acc)
+	}
+	return dst
+}
+
+// EncodedLen returns the number of bytes Encode produces for n values.
+func (q *Quantizer) EncodedLen(n int) int {
+	return (n*q.BitsPerValue() + 7) / 8
+}
+
+// Decode reconstructs n float32 values from data, appending to dst. For
+// KBit the reconstruction is the bin representative (a quantile midpoint);
+// for Threshold it is 0 or 1. This is the "reconstruction cost" the paper's
+// cost model folds into the read constant.
+func (q *Quantizer) Decode(dst []float32, data []byte, n int) ([]float32, error) {
+	if want := q.EncodedLen(n); len(data) < want {
+		return nil, fmt.Errorf("quant: decode needs %d bytes for %d values, have %d", want, n, len(data))
+	}
+	switch q.Kind {
+	case Full:
+		for i := 0; i < n; i++ {
+			dst = append(dst, math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:])))
+		}
+		return dst, nil
+	case LP:
+		for i := 0; i < n; i++ {
+			dst = append(dst, f16.ToFloat32(binary.LittleEndian.Uint16(data[2*i:])))
+		}
+		return dst, nil
+	case KBit:
+		var acc uint64
+		nbits := 0
+		pos := 0
+		mask := uint64(1)<<q.Bits - 1
+		for i := 0; i < n; i++ {
+			for nbits < q.Bits {
+				acc |= uint64(data[pos]) << nbits
+				pos++
+				nbits += 8
+			}
+			dst = append(dst, q.reps[acc&mask])
+			acc >>= q.Bits
+			nbits -= q.Bits
+		}
+		return dst, nil
+	case Threshold:
+		for i := 0; i < n; i++ {
+			if data[i/8]&(1<<(i%8)) != 0 {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+		return dst, nil
+	}
+	panic("quant: unknown kind")
+}
+
+// Apply returns the reconstructed version of vals (Encode then Decode),
+// i.e. the values a diagnostic query observes after quantization.
+func (q *Quantizer) Apply(vals []float32) []float32 {
+	if q.Kind == Full {
+		return vals
+	}
+	enc := q.Encode(nil, vals)
+	out, err := q.Decode(make([]float32, 0, len(vals)), enc, len(vals))
+	if err != nil {
+		panic(err) // cannot happen: we just produced enc
+	}
+	return out
+}
+
+// MarshalBinary serializes the quantizer (kind, bits, tables, threshold).
+func (q *Quantizer) MarshalBinary() ([]byte, error) {
+	out := []byte{byte(q.Kind), byte(q.Bits)}
+	out = binary.LittleEndian.AppendUint32(out, math.Float32bits(q.Thresh))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(q.boundaries)))
+	for _, b := range q.boundaries {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(b))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(q.reps)))
+	for _, r := range q.reps {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(r))
+	}
+	return out, nil
+}
+
+// UnmarshalBinary deserializes a quantizer produced by MarshalBinary.
+func (q *Quantizer) UnmarshalBinary(data []byte) error {
+	if len(data) < 14 {
+		return errors.New("quant: truncated quantizer")
+	}
+	q.Kind = Kind(data[0])
+	q.Bits = int(data[1])
+	q.Thresh = math.Float32frombits(binary.LittleEndian.Uint32(data[2:]))
+	pos := 6
+	nb := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+	if len(data) < pos+4*nb+4 {
+		return errors.New("quant: truncated boundaries")
+	}
+	q.boundaries = make([]float32, nb)
+	for i := range q.boundaries {
+		q.boundaries[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+	}
+	nr := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+	if len(data) < pos+4*nr {
+		return errors.New("quant: truncated reps")
+	}
+	q.reps = make([]float32, nr)
+	for i := range q.reps {
+		q.reps[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+	}
+	return nil
+}
+
+// Agg selects the pooling aggregation.
+type Agg uint8
+
+const (
+	// Avg averages each pooling window (the paper's default).
+	Avg Agg = iota
+	// Max takes the maximum of each window.
+	Max
+)
+
+// Pool applies sigma x sigma pooling with the given aggregation to every
+// (example, channel) plane of x, producing a tensor with ceil(H/sigma) x
+// ceil(W/sigma) spatial maps. sigma >= H collapses each map to one value
+// (the paper's pool(S) extreme, e.g. pool(32) on CIFAR10).
+func Pool(x *tensor.T4, sigma int, agg Agg) *tensor.T4 {
+	if sigma < 1 {
+		panic("quant: pool sigma must be >= 1")
+	}
+	oh := (x.H + sigma - 1) / sigma
+	ow := (x.W + sigma - 1) / sigma
+	out := tensor.NewT4(x.N, x.C, oh, ow)
+	for n := 0; n < x.N; n++ {
+		for c := 0; c < x.C; c++ {
+			in := x.Plane(n, c)
+			dst := out.Plane(n, c)
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					y0, x0 := oy*sigma, ox*sigma
+					y1, x1 := y0+sigma, x0+sigma
+					if y1 > x.H {
+						y1 = x.H
+					}
+					if x1 > x.W {
+						x1 = x.W
+					}
+					var v float32
+					if agg == Max {
+						v = float32(math.Inf(-1))
+						for yy := y0; yy < y1; yy++ {
+							for xx := x0; xx < x1; xx++ {
+								if c := in[yy*x.W+xx]; c > v {
+									v = c
+								}
+							}
+						}
+					} else {
+						var sum float32
+						for yy := y0; yy < y1; yy++ {
+							for xx := x0; xx < x1; xx++ {
+								sum += in[yy*x.W+xx]
+							}
+						}
+						v = sum / float32((y1-y0)*(x1-x0))
+					}
+					dst[oy*ow+ox] = v
+				}
+			}
+		}
+	}
+	return out
+}

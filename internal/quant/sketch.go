@@ -1,0 +1,218 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GKSketch is a Greenwald-Khanna epsilon-approximate quantile summary.
+// KBIT_QT needs activation quantiles, and a full sort of every logged
+// activation does not scale to the paper's 350 GB streams; the sketch
+// maintains rank error at most eps*n in O((1/eps) * log(eps*n)) space, so
+// quantizer tables can be fitted in one pass over arbitrarily large
+// activation streams. FitKBit switches to a sketch automatically above
+// sketchThreshold samples.
+type GKSketch struct {
+	eps float64
+	// entries are (value, g, delta) tuples sorted by value: g is the gap
+	// in minimum rank from the previous entry, delta the rank uncertainty.
+	entries []gkEntry
+	n       int64
+	// buf batches inserts; merged on overflow or query.
+	buf []float32
+}
+
+type gkEntry struct {
+	v     float32
+	g     int64
+	delta int64
+}
+
+// NewGKSketch creates a sketch with the given rank-error fraction
+// (e.g. 0.001 keeps every quantile within 0.1% of true rank).
+func NewGKSketch(eps float64) (*GKSketch, error) {
+	if eps <= 0 || eps >= 0.5 {
+		return nil, fmt.Errorf("quant: GK eps must be in (0, 0.5), got %g", eps)
+	}
+	return &GKSketch{eps: eps}, nil
+}
+
+// Count returns the number of values added.
+func (s *GKSketch) Count() int64 { return s.n + int64(len(s.buf)) }
+
+// Add inserts one value. NaNs and infinities are ignored (as in FitKBit).
+func (s *GKSketch) Add(v float32) {
+	f := float64(v)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return
+	}
+	s.buf = append(s.buf, v)
+	if len(s.buf) >= s.batchSize() {
+		s.flush()
+	}
+}
+
+// AddSlice inserts a batch of values.
+func (s *GKSketch) AddSlice(vals []float32) {
+	for _, v := range vals {
+		s.Add(v)
+	}
+}
+
+func (s *GKSketch) batchSize() int {
+	b := int(1.0 / s.eps)
+	if b < 64 {
+		b = 64
+	}
+	return b
+}
+
+// flush merges the insert buffer into the summary and compresses.
+func (s *GKSketch) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	sort.Slice(s.buf, func(i, j int) bool { return s.buf[i] < s.buf[j] })
+	merged := make([]gkEntry, 0, len(s.entries)+len(s.buf))
+	i, j := 0, 0
+	for i < len(s.entries) || j < len(s.buf) {
+		if j >= len(s.buf) || (i < len(s.entries) && s.entries[i].v <= s.buf[j]) {
+			merged = append(merged, s.entries[i])
+			i++
+			continue
+		}
+		v := s.buf[j]
+		j++
+		s.n++
+		var delta int64
+		// Interior insertions carry the standard GK uncertainty.
+		if len(merged) > 0 && (i < len(s.entries) || j < len(s.buf)) {
+			delta = int64(2*s.eps*float64(s.n)) - 1
+			if delta < 0 {
+				delta = 0
+			}
+		}
+		merged = append(merged, gkEntry{v: v, g: 1, delta: delta})
+	}
+	s.entries = merged
+	s.buf = s.buf[:0]
+	s.compress()
+}
+
+// compress merges adjacent entries whose combined uncertainty stays within
+// the 2*eps*n budget.
+func (s *GKSketch) compress() {
+	if len(s.entries) < 3 {
+		return
+	}
+	budget := int64(2 * s.eps * float64(s.n))
+	out := s.entries[:0]
+	out = append(out, s.entries[0])
+	for i := 1; i < len(s.entries)-1; i++ {
+		e := s.entries[i]
+		next := s.entries[i+1]
+		if e.g+next.g+next.delta <= budget {
+			// Fold e into next (next absorbs e's gap).
+			s.entries[i+1].g += e.g
+			continue
+		}
+		out = append(out, e)
+	}
+	out = append(out, s.entries[len(s.entries)-1])
+	s.entries = out
+}
+
+// Quantile returns an eps-approximate phi-quantile (phi in [0, 1]).
+// Returns an error when the sketch is empty.
+func (s *GKSketch) Quantile(phi float64) (float32, error) {
+	s.flush()
+	if s.n == 0 {
+		return 0, fmt.Errorf("quant: empty sketch")
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := int64(phi*float64(s.n-1)) + 1
+	bound := int64(s.eps * float64(s.n))
+	var rmin int64
+	for i, e := range s.entries {
+		rmin += e.g
+		rmax := rmin + e.delta
+		if target-rmin <= bound && rmax-target <= bound {
+			return e.v, nil
+		}
+		if i == len(s.entries)-1 {
+			break
+		}
+	}
+	return s.entries[len(s.entries)-1].v, nil
+}
+
+// Size returns the number of summary entries (for tests: must stay far
+// below Count).
+func (s *GKSketch) Size() int {
+	s.flush()
+	return len(s.entries)
+}
+
+// sketchThreshold is the sample count above which FitKBit builds its
+// quantile table from a GK sketch instead of a full sort.
+const sketchThreshold = 1 << 20
+
+// fitKBitSketch fits the quantizer from a sketch over the samples.
+func fitKBitSketch(samples []float32, bits int) (*Quantizer, error) {
+	sk, err := NewGKSketch(0.25 / float64(int(1)<<bits))
+	if err != nil {
+		return nil, err
+	}
+	sk.AddSlice(samples)
+	return FitKBitFromSketch(sk, bits)
+}
+
+// FitKBitFromSketch builds a KBit quantizer from a GK sketch — the
+// streaming path for fitting tables over activation volumes too large to
+// buffer. The sketch's eps should be at most 1/2^(bits+1) so adjacent
+// quantile bins remain distinguishable.
+func FitKBitFromSketch(sk *GKSketch, bits int) (*Quantizer, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("quant: bits must be in [1,16], got %d", bits)
+	}
+	if sk.Count() == 0 {
+		return nil, fmt.Errorf("quant: FitKBitFromSketch needs a non-empty sketch")
+	}
+	n := 1 << bits
+	q := &Quantizer{Kind: KBit, Bits: bits}
+	q.boundaries = make([]float32, n-1)
+	for i := 1; i < n; i++ {
+		v, err := sk.Quantile(float64(i) / float64(n))
+		if err != nil {
+			return nil, err
+		}
+		q.boundaries[i-1] = v
+	}
+	// Boundaries must be non-decreasing for binary search; the sketch can
+	// return tiny inversions at equal-value plateaus.
+	for i := 1; i < len(q.boundaries); i++ {
+		if q.boundaries[i] < q.boundaries[i-1] {
+			q.boundaries[i] = q.boundaries[i-1]
+		}
+	}
+	q.reps = make([]float32, n)
+	for i := 0; i < n; i++ {
+		v, err := sk.Quantile((float64(i) + 0.5) / float64(n))
+		if err != nil {
+			return nil, err
+		}
+		q.reps[i] = v
+	}
+	for i := 1; i < len(q.reps); i++ {
+		if q.reps[i] < q.reps[i-1] {
+			q.reps[i] = q.reps[i-1]
+		}
+	}
+	return q, nil
+}

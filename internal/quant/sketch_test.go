@@ -1,0 +1,179 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestGKQuantileAccuracyUniform(t *testing.T) {
+	sk, err := NewGKSketch(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = rng.Float32()
+		sk.Add(vals[i])
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got, err := sk.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rank error at most ~eps*n: compare against the true rank window.
+		rank := sort.Search(n, func(i int) bool { return vals[i] >= got })
+		wantRank := int(phi * float64(n))
+		if absInt(rank-wantRank) > int(0.02*n) {
+			t.Fatalf("phi=%.2f: value %g at rank %d, want rank ~%d", phi, got, rank, wantRank)
+		}
+	}
+	// Space bound: orders of magnitude below n.
+	if sk.Size() > 4000 {
+		t.Fatalf("sketch holds %d entries for %d values", sk.Size(), n)
+	}
+	if sk.Count() != n {
+		t.Fatalf("count %d", sk.Count())
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestGKQuantileSkewed(t *testing.T) {
+	// Heavy-tailed (post-ReLU-like) distribution: mostly zeros, some mass.
+	sk, _ := NewGKSketch(0.005)
+	rng := rand.New(rand.NewSource(2))
+	n := 50000
+	zeros := 0
+	for i := 0; i < n; i++ {
+		v := float32(0)
+		if rng.Float64() > 0.7 {
+			v = float32(math.Abs(rng.NormFloat64()))
+		} else {
+			zeros++
+		}
+		sk.Add(v)
+	}
+	// Median of a 70%-zero distribution is 0.
+	med, err := sk.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 0 {
+		t.Fatalf("median %g, want 0", med)
+	}
+	// The 99th percentile is comfortably positive.
+	p99, _ := sk.Quantile(0.99)
+	if p99 < 1 {
+		t.Fatalf("p99 %g too small", p99)
+	}
+}
+
+func TestGKIgnoresNonFinite(t *testing.T) {
+	sk, _ := NewGKSketch(0.01)
+	sk.Add(float32(math.NaN()))
+	sk.Add(float32(math.Inf(1)))
+	if sk.Count() != 0 {
+		t.Fatalf("non-finite values counted: %d", sk.Count())
+	}
+	if _, err := sk.Quantile(0.5); err == nil {
+		t.Fatal("empty sketch quantile succeeded")
+	}
+	sk.Add(5)
+	v, err := sk.Quantile(0.5)
+	if err != nil || v != 5 {
+		t.Fatalf("singleton quantile %g %v", v, err)
+	}
+}
+
+func TestGKErrors(t *testing.T) {
+	if _, err := NewGKSketch(0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := NewGKSketch(0.7); err == nil {
+		t.Fatal("eps=0.7 accepted")
+	}
+}
+
+func TestFitKBitFromSketchMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float32, 200000)
+	for i := range vals {
+		vals[i] = float32(rng.NormFloat64() * 5)
+	}
+	exact, err := FitKBit(vals[:100000], 8) // below threshold: exact sort
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, _ := NewGKSketch(0.25 / 256)
+	sk.AddSlice(vals[:100000])
+	approx, err := FitKBitFromSketch(sk, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstructions agree closely on fresh data.
+	test := vals[100000:101000]
+	re := exact.Apply(test)
+	ra := approx.Apply(test)
+	var sumErr, sumAbs float64
+	for i := range re {
+		sumErr += math.Abs(float64(re[i] - ra[i]))
+		sumAbs += math.Abs(float64(re[i]))
+	}
+	if rel := sumErr / sumAbs; rel > 0.05 {
+		t.Fatalf("sketch-fitted quantizer deviates %.1f%% from exact", rel*100)
+	}
+}
+
+func TestFitKBitSwitchesToSketchAboveThreshold(t *testing.T) {
+	// Just over the threshold: must still produce a sane monotone quantizer.
+	n := sketchThreshold + 1024
+	vals := make([]float32, n)
+	rng := rand.New(rand.NewSource(4))
+	for i := range vals {
+		vals[i] = rng.Float32() * 100
+	}
+	q, err := FitKBit(vals, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float32{1, 10, 25, 50, 75, 99}
+	rec := q.Apply(probe)
+	for i := 1; i < len(rec); i++ {
+		if rec[i] < rec[i-1] {
+			t.Fatalf("non-monotone reconstruction %v", rec)
+		}
+	}
+	if rec[0] > 20 || rec[len(rec)-1] < 80 {
+		t.Fatalf("reconstruction out of range: %v", rec)
+	}
+}
+
+func TestFitKBitFromSketchErrors(t *testing.T) {
+	sk, _ := NewGKSketch(0.01)
+	if _, err := FitKBitFromSketch(sk, 8); err == nil {
+		t.Fatal("empty sketch accepted")
+	}
+	sk.Add(1)
+	if _, err := FitKBitFromSketch(sk, 0); err == nil {
+		t.Fatal("bits=0 accepted")
+	}
+}
+
+func BenchmarkGKAdd(b *testing.B) {
+	sk, _ := NewGKSketch(0.001)
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Add(rng.Float32())
+	}
+}

@@ -1,0 +1,177 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	d := NewDense(2, 3)
+	d.Set(0, 0, 1)
+	d.Set(1, 2, 5)
+	if d.At(0, 0) != 1 || d.At(1, 2) != 5 || d.At(0, 1) != 0 {
+		t.Fatalf("At/Set broken: %+v", d)
+	}
+	if got := d.Row(1); got[2] != 5 {
+		t.Fatalf("Row: %v", got)
+	}
+	if got := d.Col(2); got[0] != 0 || got[1] != 5 {
+		t.Fatalf("Col: %v", got)
+	}
+}
+
+func TestFromRowsAndClone(t *testing.T) {
+	d := FromRows([][]float32{{1, 2}, {3, 4}})
+	c := d.Clone()
+	c.Set(0, 0, 99)
+	if d.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	if !d.Equal(FromRows([][]float32{{1, 2}, {3, 4}})) {
+		t.Fatal("Equal broken")
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{5, 6}, {7, 8}})
+	got := a.MatMul(b)
+	want := FromRows([][]float32{{19, 22}, {43, 50}})
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulIdentityProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(8)
+		a := NewDense(n, m)
+		for i := range a.Data {
+			a.Data[i] = rng.Float32()
+		}
+		id := NewDense(m, m)
+		for i := 0; i < m; i++ {
+			id.Set(i, i, 1)
+		}
+		return a.MatMul(id).Equal(a)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewDense(1+rng.Intn(10), 1+rng.Intn(10))
+		for i := range a.Data {
+			a.Data[i] = rng.Float32()
+		}
+		return a.Transpose().Transpose().Equal(a)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectRowsCols(t *testing.T) {
+	d := FromRows([][]float32{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	r := d.SelectRows([]int{2, 0})
+	if !r.Equal(FromRows([][]float32{{7, 8, 9}, {1, 2, 3}})) {
+		t.Fatalf("SelectRows: %v", r.Data)
+	}
+	c := d.SelectCols([]int{1})
+	if !c.Equal(FromRows([][]float32{{2}, {5}, {8}})) {
+		t.Fatalf("SelectCols: %v", c.Data)
+	}
+	s := d.SliceRows(1, 3)
+	if s.Rows != 2 || s.At(0, 0) != 4 {
+		t.Fatalf("SliceRows: %v", s.Data)
+	}
+}
+
+func TestColMeanAndAddRowVec(t *testing.T) {
+	d := FromRows([][]float32{{1, 2}, {3, 4}})
+	m := d.ColMean()
+	if m[0] != 2 || m[1] != 3 {
+		t.Fatalf("ColMean: %v", m)
+	}
+	d.AddRowVec([]float32{10, 20})
+	if d.At(0, 0) != 11 || d.At(1, 1) != 24 {
+		t.Fatalf("AddRowVec: %v", d.Data)
+	}
+}
+
+func TestT4IndexingAndFlatten(t *testing.T) {
+	x := NewT4(2, 3, 4, 5)
+	x.Set(1, 2, 3, 4, 42)
+	if x.At(1, 2, 3, 4) != 42 {
+		t.Fatal("T4 At/Set broken")
+	}
+	f := x.Flatten()
+	if f.Rows != 2 || f.Cols != 60 {
+		t.Fatalf("Flatten shape %dx%d", f.Rows, f.Cols)
+	}
+	// element (1,2,3,4) lands at flat column 2*20+3*5+4 = 59
+	if f.At(1, 59) != 42 {
+		t.Fatal("Flatten layout mismatch")
+	}
+	back := Reshape4(f, 3, 4, 5)
+	if back.At(1, 2, 3, 4) != 42 {
+		t.Fatal("Reshape4 layout mismatch")
+	}
+}
+
+func TestT4PlaneAliases(t *testing.T) {
+	x := NewT4(1, 2, 2, 2)
+	p := x.Plane(0, 1)
+	p[3] = 7
+	if x.At(0, 1, 1, 1) != 7 {
+		t.Fatal("Plane does not alias storage")
+	}
+	if got := len(x.Example(0)); got != 8 {
+		t.Fatalf("Example len %d", got)
+	}
+}
+
+func TestL2Dist(t *testing.T) {
+	d := L2Dist([]float32{0, 0}, []float32{3, 4})
+	if math.Abs(d-5) > 1e-12 {
+		t.Fatalf("L2Dist = %v", d)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	a := NewDense(2, 3)
+	b := NewDense(2, 3)
+	mustPanic("matmul shape", func() { a.MatMul(b) })
+	mustPanic("ragged FromRows", func() { FromRows([][]float32{{1}, {1, 2}}) })
+	mustPanic("SetCol len", func() { a.SetCol(0, []float32{1}) })
+	mustPanic("reshape", func() { Reshape4(a, 2, 2, 2) })
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewDense(64, 64)
+	c := NewDense(64, 64)
+	for i := range a.Data {
+		a.Data[i] = rng.Float32()
+		c.Data[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MatMul(c)
+	}
+}

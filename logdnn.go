@@ -1,0 +1,249 @@
+package mistique
+
+import (
+	"fmt"
+	"time"
+
+	"mistique/internal/colstore"
+	"mistique/internal/metadata"
+	"mistique/internal/nn"
+	"mistique/internal/quant"
+	"mistique/internal/tensor"
+)
+
+// DNNLogOptions controls how network activations are logged.
+type DNNLogOptions struct {
+	// Scheme is the storage scheme (default SchemePool2, the paper's
+	// default trade-off).
+	Scheme Scheme
+	// BatchRows is the forward batch size (default RowBlockRows, so one
+	// batch fills exactly one RowBlock).
+	BatchRows int
+	// CalibRows is the sample size used to fit KBIT/THRESHOLD quantile
+	// tables (default 256).
+	CalibRows int
+	// Layers restricts logging to these layer indices (nil = all layers).
+	Layers []int
+	// PoolAgg selects the POOL_QT aggregation (quant.Avg, the paper's
+	// default, or quant.Max).
+	PoolAgg quant.Agg
+}
+
+func (o DNNLogOptions) withDefaults(blockRows int) DNNLogOptions {
+	if o.Scheme == "" {
+		o.Scheme = SchemePool2
+	}
+	if o.BatchRows <= 0 {
+		o.BatchRows = blockRows
+	}
+	if o.CalibRows <= 0 {
+		o.CalibRows = 256
+	}
+	return o
+}
+
+// LogDNN runs input through net layer by layer, applies the configured
+// quantization/summarization scheme, and logs every layer's activations as
+// a model intermediate named after the layer. The network and input are
+// retained so queries can re-run the forward pass (the RERUN strategy).
+//
+// Log each training checkpoint under its own model name (e.g. "vgg@e3");
+// frozen layers then produce byte-identical chunks across epochs, which
+// exact de-duplication collapses (the paper's fine-tuned-VGG16 result).
+func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNNLogOptions) (*LogReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.networks[name]; dup {
+		return nil, fmt.Errorf("mistique: DNN %q already logged", name)
+	}
+	s.meta.DeleteModel(name) // re-attach after reopen (see LogPipeline)
+	opts = opts.withDefaults(s.cfg.RowBlockRows)
+	if opts.BatchRows != s.cfg.RowBlockRows {
+		// Keeping batch == RowBlock makes block boundaries align with
+		// forward batches; other sizes are legal but would interleave.
+		opts.BatchRows = s.cfg.RowBlockRows
+	}
+	before := s.store.Stats()
+	start := time.Now()
+
+	logSet := make(map[int]bool)
+	for _, l := range opts.Layers {
+		if l < 0 || l >= net.NumLayers() {
+			return nil, fmt.Errorf("mistique: layer %d out of range", l)
+		}
+		logSet[l] = true
+	}
+	logAll := len(logSet) == 0
+
+	// Calibration pass for distribution-fitted quantizers.
+	quantizers := make([]*quant.Quantizer, net.NumLayers())
+	if opts.Scheme == Scheme8Bit || opts.Scheme == SchemeThreshold {
+		n := opts.CalibRows
+		if n > input.N {
+			n = input.N
+		}
+		sample := net.ForwardAll(input.SliceN(0, n))
+		for li, act := range sample {
+			if !logAll && !logSet[li] {
+				continue
+			}
+			var err error
+			switch opts.Scheme {
+			case Scheme8Bit:
+				quantizers[li], err = quant.FitKBit(act.Data, 8)
+			case SchemeThreshold:
+				quantizers[li], err = quant.FitThreshold(act.Data, 0.995)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("mistique: calibrate layer %d: %w", li, err)
+			}
+		}
+	}
+
+	dm := &dnnModel{net: net, input: input, opts: opts, layerOf: make(map[string]int)}
+	model := &metadata.Model{Name: name, Kind: metadata.DNN, TotalExamples: input.N}
+	interms := make([]*metadata.Interm, net.NumLayers())
+	layerSecs := make([]float64, net.NumLayers())
+
+	report := &LogReport{Model: name}
+	names := net.LayerNames()
+	for li, lname := range names {
+		dm.layerOf[lname] = li
+	}
+
+	// Stream batches: forward layer by layer, transform, store per block.
+	for block := 0; block*opts.BatchRows < input.N; block++ {
+		lo := block * opts.BatchRows
+		hi := lo + opts.BatchRows
+		if hi > input.N {
+			hi = input.N
+		}
+		cur := input.SliceN(lo, hi)
+		for li := 0; li < net.NumLayers(); li++ {
+			t0 := time.Now()
+			cur = net.Layers[li].Forward(cur)
+			layerSecs[li] += time.Since(t0).Seconds()
+			if !logAll && !logSet[li] {
+				continue
+			}
+			stored := s.transformActivation(cur, opts.Scheme, opts.PoolAgg)
+			m := stored.Flatten()
+			if interms[li] == nil {
+				cols := make([]string, m.Cols)
+				for j := range cols {
+					cols[j] = fmt.Sprintf("u%d", j)
+				}
+				interms[li] = &metadata.Interm{
+					Name:       names[li],
+					StageIndex: li,
+					Columns:    cols,
+					Rows:       input.N,
+					Blocks:     (input.N + opts.BatchRows - 1) / opts.BatchRows,
+				}
+			}
+			it := interms[li]
+			if s.adaptiveOn() {
+				continue
+			}
+			q := quantizers[li]
+			for j, cname := range it.Columns {
+				key := colKey(name, it.Name, cname, block)
+				res, err := s.store.PutColumn(key, m.Col(j), quantFor(opts.Scheme, q))
+				if err != nil {
+					return nil, fmt.Errorf("mistique: store %s: %w", key, err)
+				}
+				it.StoredBytes += res.EncodedBytes
+			}
+			it.Materialized = true
+			it.QuantScheme = string(opts.Scheme)
+		}
+	}
+
+	for li, lname := range names {
+		st := metadata.Stage{Name: lname, Index: li, ExecSeconds: layerSecs[li]}
+		if it := interms[li]; it != nil {
+			st.OutputColumns = len(it.Columns)
+			if it.Rows > 0 {
+				bits := schemeBits(opts.Scheme)
+				st.OutputBytesPerRow = int64(len(it.Columns)*bits+7) / 8
+			}
+			report.Intermediates++
+			if s.adaptiveOn() {
+				report.Skipped++
+			}
+		}
+		model.Stages = append(model.Stages, st)
+		if it := interms[li]; it != nil {
+			model.Intermediates = append(model.Intermediates, it)
+		}
+	}
+	if err := s.meta.RegisterModel(model); err != nil {
+		return nil, err
+	}
+	s.networks[name] = dm
+
+	report.Seconds = time.Since(start).Seconds()
+	after := s.store.Stats()
+	report.ColumnsStored = after.ChunksStored - before.ChunksStored
+	report.ColumnsDedup = after.ChunksDeduped - before.ChunksDeduped
+	report.StoredBytes = after.StoredBytes - before.StoredBytes
+	report.LogicalBytes = after.LogicalBytes - before.LogicalBytes
+	return report, nil
+}
+
+// transformActivation applies the scheme's summarization (pooling); value
+// codecs are applied later at chunk encoding time.
+func (s *System) transformActivation(act *tensor.T4, scheme Scheme, agg quant.Agg) *tensor.T4 {
+	switch scheme {
+	case SchemePool2:
+		if act.H > 1 || act.W > 1 {
+			return quant.Pool(act, 2, agg)
+		}
+	case SchemePool4:
+		if act.H > 1 || act.W > 1 {
+			return quant.Pool(act, 4, agg)
+		}
+	case SchemePool32:
+		if act.H > 1 || act.W > 1 {
+			return quant.Pool(act, maxInt(act.H, act.W), agg)
+		}
+	}
+	return act
+}
+
+// quantFor returns the value codec for a scheme (fitted quantizers are
+// passed through for the distribution-based schemes).
+func quantFor(scheme Scheme, fitted *quant.Quantizer) *quant.Quantizer {
+	switch scheme {
+	case SchemeLP:
+		return quant.NewLP()
+	case Scheme8Bit, SchemeThreshold:
+		return fitted
+	default:
+		return nil // FULL and POOL store raw float32 values
+	}
+}
+
+func schemeBits(scheme Scheme) int {
+	switch scheme {
+	case SchemeLP:
+		return 16
+	case Scheme8Bit:
+		return 8
+	case SchemeThreshold:
+		return 1
+	default:
+		return 32
+	}
+}
+
+func colKey(model, interm, col string, block int) colstore.ColumnKey {
+	return colstore.ColumnKey{Model: model, Intermediate: interm, Column: col, Block: block}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+package mistique
+
+import (
+	"fmt"
+	"time"
+
+	"mistique/internal/frame"
+	"mistique/internal/metadata"
+	"mistique/internal/pipeline"
+	"mistique/internal/quant"
+)
+
+// LogPipeline runs a TRAD pipeline against env, registers it with the
+// MetadataDB (including per-stage timings for the cost model) and logs
+// every intermediate it produces into the DataStore. With adaptive
+// materialization enabled (Config.Gamma > 0) intermediates are only
+// cataloged, not stored; they materialize later once their gamma exceeds
+// the threshold (Sec. 4.3 / Alg. 4).
+//
+// The pipeline object is retained so the ChunkReader can re-run its stored
+// transformers to answer queries (the RERUN strategy).
+func (s *System) LogPipeline(p *pipeline.Pipeline, env map[string]*frame.Frame) (*LogReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := p.Name
+	if _, dup := s.pipelines[name]; dup {
+		return nil, fmt.Errorf("mistique: pipeline %q already logged", name)
+	}
+	// Re-attach: the catalog knows this model from a previous process (the
+	// directory was reopened) but its transformer state is gone. Refresh
+	// the catalog entry; identical chunks re-presented to the store dedup
+	// against the flushed data, so the re-log is cheap and idempotent.
+	s.meta.DeleteModel(name)
+	if err := p.Bind(env, 0); err != nil {
+		return nil, err
+	}
+
+	before := s.store.Stats()
+	start := time.Now()
+	res, err := p.Run()
+	if err != nil {
+		return nil, fmt.Errorf("mistique: run %s: %w", name, err)
+	}
+	// The RERUN strategy executes stored transformers without refitting, so
+	// the cost model must be calibrated on transform-only timings: measure a
+	// second, fitted pass. (Its outputs are identical; we keep the first
+	// run's frames.)
+	timed, err := p.Run()
+	if err != nil {
+		return nil, fmt.Errorf("mistique: calibrate %s: %w", name, err)
+	}
+
+	pm := &pipelineModel{
+		p:       p,
+		env:     env,
+		stageOf: make(map[string]int),
+		colsOf:  make(map[string][]string),
+	}
+	model := &metadata.Model{Name: name, Kind: metadata.TRAD}
+	report := &LogReport{Model: name}
+
+	for si, sr := range res.Stages {
+		model.Stages = append(model.Stages, metadata.Stage{
+			Name:        sr.Name,
+			Index:       si,
+			ExecSeconds: timed.Stages[si].Seconds,
+		})
+		for _, out := range sr.Outputs {
+			m, cols := out.Frame.FloatMatrix()
+			pm.stageOf[out.Name] = si
+			pm.colsOf[out.Name] = cols
+			if m.Rows > model.TotalExamples {
+				model.TotalExamples = m.Rows
+			}
+			bytesPerRow := int64(4 * len(cols))
+			it := &metadata.Interm{
+				Name:       out.Name,
+				StageIndex: si,
+				Columns:    cols,
+				Rows:       m.Rows,
+				Blocks:     (m.Rows + s.cfg.RowBlockRows - 1) / s.cfg.RowBlockRows,
+			}
+			model.Intermediates = append(model.Intermediates, it)
+			model.Stages[si].OutputColumns = len(cols)
+			model.Stages[si].OutputBytesPerRow = bytesPerRow
+			report.Intermediates++
+			if s.adaptiveOn() || len(cols) == 0 || m.Rows == 0 {
+				report.Skipped++
+				continue
+			}
+			stored, err := s.storeMatrix(name, out.Name, m, cols, nil)
+			if err != nil {
+				return nil, err
+			}
+			it.Materialized = true
+			it.QuantScheme = string(SchemeFull)
+			it.StoredBytes = stored
+		}
+	}
+	report.Seconds = time.Since(start).Seconds()
+	if err := s.meta.RegisterModel(model); err != nil {
+		return nil, err
+	}
+	s.pipelines[name] = pm
+
+	after := s.store.Stats()
+	report.ColumnsStored = after.ChunksStored - before.ChunksStored
+	report.ColumnsDedup = after.ChunksDeduped - before.ChunksDeduped
+	report.StoredBytes = after.StoredBytes - before.StoredBytes
+	report.LogicalBytes = after.LogicalBytes - before.LogicalBytes
+	return report, nil
+}
+
+// materializeTRAD stores one pipeline intermediate on demand (the adaptive
+// path). It re-runs the stored transformers to obtain the frame.
+func (s *System) materializeTRAD(pm *pipelineModel, model, interm string) (int64, error) {
+	si, ok := pm.stageOf[interm]
+	if !ok {
+		return 0, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+	}
+	res, err := pm.p.RunTo(si)
+	if err != nil {
+		return 0, err
+	}
+	f := res.Intermediate(interm)
+	if f == nil {
+		return 0, fmt.Errorf("mistique: re-run did not produce %s.%s", model, interm)
+	}
+	m, cols := f.FloatMatrix()
+	stored, err := s.storeMatrix(model, interm, m, cols, func([]float32) (*quant.Quantizer, error) { return nil, nil })
+	if err != nil {
+		return 0, err
+	}
+	if err := s.meta.SetMaterialized(model, interm, stored, string(SchemeFull)); err != nil {
+		return 0, err
+	}
+	return stored, nil
+}

@@ -1,0 +1,423 @@
+package mistique
+
+import (
+	"fmt"
+	"time"
+
+	"mistique/internal/colstore"
+	"mistique/internal/cost"
+	"mistique/internal/metadata"
+	"mistique/internal/quant"
+	"mistique/internal/tensor"
+)
+
+// Result is the answer to an intermediate query.
+type Result struct {
+	Model        string
+	Intermediate string
+	Cols         []string
+	// Data is an nEx x len(Cols) matrix of (possibly reconstructed)
+	// values, in catalog column order.
+	Data *tensor.Dense
+	// Strategy says whether the engine read the stored intermediate or
+	// re-ran the model, per the cost model.
+	Strategy cost.Strategy
+	// EstReadSecs / EstRerunSecs are the cost-model estimates that drove
+	// the decision (zero when only one strategy was available).
+	EstReadSecs, EstRerunSecs float64
+	// FetchSeconds is the measured wall time of the fetch.
+	FetchSeconds float64
+	// MaterializedNow is true if this query triggered adaptive
+	// materialization of the intermediate.
+	MaterializedNow bool
+}
+
+// GetIntermediate fetches columns of an intermediate for the first nEx
+// examples. cols == nil fetches every column; nEx <= 0 fetches all rows.
+// The engine consults the query cost model (Sec. 5.1): if the intermediate
+// is materialized and reading is estimated cheaper than re-running, it
+// reads; otherwise it re-runs the stored model. Each query also updates
+// n_query(i), and under adaptive materialization (Config.Gamma > 0) a
+// re-run result whose gamma has crossed the threshold is stored on the
+// spot, so later queries read.
+func (s *System) GetIntermediate(model, interm string, cols []string, nEx int) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(model, interm, cols, nEx)
+}
+
+func (s *System) getLocked(model, interm string, cols []string, nEx int) (*Result, error) {
+	m := s.meta.Model(model)
+	if m == nil {
+		return nil, fmt.Errorf("mistique: unknown model %q", model)
+	}
+	it := s.meta.Intermediate(model, interm)
+	if it == nil {
+		return nil, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+	}
+	nQuery, err := s.meta.RecordQuery(model, interm)
+	if err != nil {
+		return nil, err
+	}
+	if nEx <= 0 || nEx > it.Rows {
+		nEx = it.Rows
+	}
+	if len(cols) == 0 {
+		cols = it.Columns
+	}
+
+	res := &Result{Model: model, Intermediate: interm, Cols: cols}
+
+	// Cost the two strategies.
+	bytesPerRow := s.bytesPerRow(m, it)
+	res.EstReadSecs = cost.ReadSeconds(bytesPerRow, nEx, s.cfg.Cost)
+	res.EstRerunSecs, err = cost.RerunSeconds(m, it.StageIndex, nEx, s.cfg.Cost)
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = cost.Rerun
+	if it.Materialized && cost.Choose(res.EstRerunSecs, res.EstReadSecs) == cost.Read {
+		res.Strategy = cost.Read
+	}
+
+	start := time.Now()
+	switch res.Strategy {
+	case cost.Read:
+		res.Data, err = s.readMatrix(model, interm, it, cols, nEx)
+	default:
+		res.Data, err = s.rerunMatrix(m, it, cols, nEx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.FetchSeconds = time.Since(start).Seconds()
+
+	// Adaptive materialization (Alg. 4): storage is worth it once the
+	// cumulative saved query time per byte crosses gamma.
+	if s.adaptiveOn() && !it.Materialized {
+		estBytes := bytesPerRow * int64(it.Rows)
+		fullRerun, rerr := cost.RerunSeconds(m, it.StageIndex, it.Rows, s.cfg.Cost)
+		fullRead := cost.ReadSeconds(bytesPerRow, it.Rows, s.cfg.Cost)
+		if rerr == nil && cost.Gamma(fullRerun, fullRead, nQuery, estBytes) >= s.cfg.Gamma {
+			if err := s.materialize(m, it); err != nil {
+				return nil, fmt.Errorf("mistique: adaptive materialization of %s.%s: %w", model, interm, err)
+			}
+			res.MaterializedNow = true
+		}
+	}
+	return res, nil
+}
+
+// Fetch retrieves an intermediate with a caller-forced strategy, bypassing
+// the cost model's choice (the evaluation harness uses this to measure both
+// sides of every read-vs-re-run trade-off). Forcing Read on an
+// unmaterialized intermediate is an error. Query counters still update.
+func (s *System) Fetch(model, interm string, cols []string, nEx int, strategy cost.Strategy) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.meta.Model(model)
+	if m == nil {
+		return nil, fmt.Errorf("mistique: unknown model %q", model)
+	}
+	it := s.meta.Intermediate(model, interm)
+	if it == nil {
+		return nil, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+	}
+	if _, err := s.meta.RecordQuery(model, interm); err != nil {
+		return nil, err
+	}
+	if nEx <= 0 || nEx > it.Rows {
+		nEx = it.Rows
+	}
+	if len(cols) == 0 {
+		cols = it.Columns
+	}
+	if strategy == cost.Read && !it.Materialized {
+		return nil, fmt.Errorf("mistique: %s.%s is not materialized; cannot force READ", model, interm)
+	}
+	res := &Result{Model: model, Intermediate: interm, Cols: cols, Strategy: strategy}
+	start := time.Now()
+	var err error
+	if strategy == cost.Read {
+		res.Data, err = s.readMatrix(model, interm, it, cols, nEx)
+	} else {
+		res.Data, err = s.rerunMatrix(m, it, cols, nEx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.FetchSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// Estimate returns the cost model's read and re-run predictions for
+// fetching nEx examples of an intermediate, without executing anything or
+// updating query counters.
+func (s *System) Estimate(model, interm string, nEx int) (readSecs, rerunSecs float64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.meta.Model(model)
+	if m == nil {
+		return 0, 0, fmt.Errorf("mistique: unknown model %q", model)
+	}
+	it := s.meta.Intermediate(model, interm)
+	if it == nil {
+		return 0, 0, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+	}
+	if nEx <= 0 || nEx > it.Rows {
+		nEx = it.Rows
+	}
+	readSecs = cost.ReadSeconds(s.bytesPerRow(m, it), nEx, s.cfg.Cost)
+	rerunSecs, err = cost.RerunSeconds(m, it.StageIndex, nEx, s.cfg.Cost)
+	return readSecs, rerunSecs, err
+}
+
+// GetColumn fetches a single column for the first nEx rows.
+func (s *System) GetColumn(model, interm, column string, nEx int) ([]float32, error) {
+	res, err := s.GetIntermediate(model, interm, []string{column}, nEx)
+	if err != nil {
+		return nil, err
+	}
+	return res.Data.Col(0), nil
+}
+
+// bytesPerRow returns the stored width of one example of the intermediate.
+func (s *System) bytesPerRow(m *metadata.Model, it *metadata.Interm) int64 {
+	if it.StageIndex >= 0 && it.StageIndex < len(m.Stages) {
+		if b := m.Stages[it.StageIndex].OutputBytesPerRow; b > 0 {
+			return b
+		}
+	}
+	return int64(4 * len(it.Columns))
+}
+
+// readMatrix assembles the requested columns from stored chunks.
+func (s *System) readMatrix(model, interm string, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
+	out := tensor.NewDense(nEx, len(cols))
+	blockRows := s.cfg.RowBlockRows
+	buf := make([]float32, 0, nEx)
+	for j, cname := range cols {
+		buf = buf[:0]
+		for b := 0; len(buf) < nEx; b++ {
+			key := colstore.ColumnKey{Model: model, Intermediate: interm, Column: cname, Block: b}
+			vals, err := s.store.GetColumn(key)
+			if err != nil {
+				return nil, fmt.Errorf("mistique: read %s: %w", key, err)
+			}
+			buf = append(buf, vals...)
+			if len(vals) < blockRows {
+				break // last block
+			}
+		}
+		if len(buf) < nEx {
+			return nil, fmt.Errorf("mistique: column %s.%s.%s has %d rows, need %d", model, interm, cname, len(buf), nEx)
+		}
+		out.SetCol(j, buf[:nEx])
+	}
+	return out, nil
+}
+
+// rerunMatrix recomputes the intermediate by executing the stored model.
+func (s *System) rerunMatrix(m *metadata.Model, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
+	switch m.Kind {
+	case metadata.TRAD:
+		return s.rerunTRAD(m.Name, it, cols, nEx)
+	case metadata.DNN:
+		return s.rerunDNN(m.Name, it, cols, nEx)
+	}
+	return nil, fmt.Errorf("mistique: model %s has unknown kind %q", m.Name, m.Kind)
+}
+
+func (s *System) rerunTRAD(model string, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
+	pm, ok := s.pipelines[model]
+	if !ok {
+		return nil, fmt.Errorf("mistique: pipeline %q not resident; re-log it to enable re-runs", model)
+	}
+	res, err := pm.p.RunTo(it.StageIndex)
+	if err != nil {
+		return nil, err
+	}
+	f := res.Intermediate(it.Name)
+	if f == nil {
+		return nil, fmt.Errorf("mistique: re-run did not produce %s.%s", model, it.Name)
+	}
+	full, names := f.FloatMatrix()
+	return selectCols(full, names, cols, nEx)
+}
+
+func (s *System) rerunDNN(model string, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
+	dm, ok := s.networks[model]
+	if !ok {
+		return nil, fmt.Errorf("mistique: network %q not resident; re-log it to enable re-runs", model)
+	}
+	in := dm.input
+	if nEx < in.N {
+		in = in.SliceN(0, nEx)
+	}
+	act := dm.net.ForwardBatched(in, it.StageIndex, dm.opts.BatchRows)
+	// Apply the same summarization as storage so the column space matches
+	// the catalog (pooled schemes shrink the unit count).
+	act = s.transformActivation(act, dm.opts.Scheme, dm.opts.PoolAgg)
+	m := act.Flatten()
+	return selectCols(m, it.Columns, cols, nEx)
+}
+
+// RerunRawDNN recomputes a layer's raw (un-summarized, full-precision)
+// activations — the ground truth the quantization-fidelity experiments
+// (Fig. 9, Tables 2-3) compare against.
+func (s *System) RerunRawDNN(model, layer string, nEx int) (*tensor.T4, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dm, ok := s.networks[model]
+	if !ok {
+		return nil, fmt.Errorf("mistique: network %q not resident", model)
+	}
+	li, ok := dm.layerOf[layer]
+	if !ok {
+		return nil, fmt.Errorf("mistique: network %q has no layer %q", model, layer)
+	}
+	in := dm.input
+	if nEx > 0 && nEx < in.N {
+		in = in.SliceN(0, nEx)
+	}
+	return dm.net.ForwardBatched(in, li, dm.opts.BatchRows), nil
+}
+
+func selectCols(full *tensor.Dense, names, want []string, nEx int) (*tensor.Dense, error) {
+	if nEx > full.Rows {
+		nEx = full.Rows
+	}
+	idx := make([]int, len(want))
+	pos := make(map[string]int, len(names))
+	for i, n := range names {
+		pos[n] = i
+	}
+	for i, w := range want {
+		j, ok := pos[w]
+		if !ok {
+			return nil, fmt.Errorf("mistique: no column %q in re-run output", w)
+		}
+		idx[i] = j
+	}
+	return full.SliceRows(0, nEx).SelectCols(idx), nil
+}
+
+// materialize stores an intermediate on demand (adaptive path).
+func (s *System) materialize(m *metadata.Model, it *metadata.Interm) error {
+	switch m.Kind {
+	case metadata.TRAD:
+		pm, ok := s.pipelines[m.Name]
+		if !ok {
+			return fmt.Errorf("pipeline %q not resident", m.Name)
+		}
+		_, err := s.materializeTRAD(pm, m.Name, it.Name)
+		return err
+	case metadata.DNN:
+		return s.materializeDNN(m.Name, it)
+	}
+	return fmt.Errorf("unknown model kind %q", m.Kind)
+}
+
+func (s *System) materializeDNN(model string, it *metadata.Interm) error {
+	dm, ok := s.networks[model]
+	if !ok {
+		return fmt.Errorf("network %q not resident", model)
+	}
+	full, err := s.rerunDNN(model, it, it.Columns, it.Rows)
+	if err != nil {
+		return err
+	}
+	// Distribution-fitted codecs need a table; fit it from the data being
+	// materialized.
+	var fitted *quant.Quantizer
+	switch dm.opts.Scheme {
+	case Scheme8Bit:
+		fitted, err = quant.FitKBit(full.Data, 8)
+	case SchemeThreshold:
+		fitted, err = quant.FitThreshold(full.Data, 0.995)
+	}
+	if err != nil {
+		return err
+	}
+	var stored int64
+	blockRows := s.cfg.RowBlockRows
+	for j, cname := range it.Columns {
+		col := full.Col(j)
+		for b := 0; b*blockRows < len(col); b++ {
+			lo, hi := b*blockRows, (b+1)*blockRows
+			if hi > len(col) {
+				hi = len(col)
+			}
+			res, err := s.store.PutColumn(colKey(model, it.Name, cname, b), col[lo:hi], quantFor(dm.opts.Scheme, fitted))
+			if err != nil {
+				return err
+			}
+			stored += res.EncodedBytes
+		}
+	}
+	return s.meta.SetMaterialized(model, it.Name, stored, string(dm.opts.Scheme))
+}
+
+// FilterRows evaluates `column op bound` over a materialized intermediate
+// using the store's zone maps to skip non-matching chunks — the "find
+// predictions for examples with neuron-50 activation > 0.5" query class of
+// Sec. 8.3. Returns matching global row offsets in order.
+func (s *System) FilterRows(model, interm, column string, op colstore.Op, bound float32) ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it := s.meta.Intermediate(model, interm)
+	if it == nil {
+		return nil, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+	}
+	if !it.Materialized {
+		return nil, fmt.Errorf("mistique: %s.%s not materialized; zone-map scans need stored chunks", model, interm)
+	}
+	if _, err := s.meta.RecordQuery(model, interm); err != nil {
+		return nil, err
+	}
+	matches, _, err := s.store.ScanColumn(model, interm, column, op, bound)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]int, len(matches))
+	for i, m := range matches {
+		rows[i] = m.Row
+	}
+	return rows, nil
+}
+
+// GetRows reads rows [from, to) of the given columns from a materialized
+// intermediate via the primary (row-aligned block) index, touching only
+// the covering RowBlocks.
+func (s *System) GetRows(model, interm string, cols []string, from, to int) (*tensor.Dense, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it := s.meta.Intermediate(model, interm)
+	if it == nil {
+		return nil, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+	}
+	if !it.Materialized {
+		return nil, fmt.Errorf("mistique: %s.%s not materialized", model, interm)
+	}
+	if to > it.Rows {
+		to = it.Rows
+	}
+	if from < 0 || from > to {
+		return nil, fmt.Errorf("mistique: bad row range [%d, %d)", from, to)
+	}
+	if _, err := s.meta.RecordQuery(model, interm); err != nil {
+		return nil, err
+	}
+	if len(cols) == 0 {
+		cols = it.Columns
+	}
+	out := tensor.NewDense(to-from, len(cols))
+	for j, cname := range cols {
+		vals, err := s.store.GetColumnRange(model, interm, cname, from, to)
+		if err != nil {
+			return nil, err
+		}
+		out.SetCol(j, vals)
+	}
+	return out, nil
+}
