@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // The paper's future-work section observes that "a diagnosis session often
@@ -13,18 +14,23 @@ import (
 // Prefetch call that pages an intermediate's partitions into the store's
 // buffer pool ahead of use.
 
-// Session wraps a System with a bounded result cache. A Session is not
-// safe for concurrent use (it models one analyst's interactive session);
-// open one Session per diagnosis thread.
+// Session wraps a System with a bounded result cache. A Session is safe
+// for concurrent use: the cache index is mutex-guarded, and misses query
+// the System outside the lock so concurrent analysts don't serialize on
+// each other's fetches.
 type Session struct {
 	sys *System
 	// capBytes bounds the cache payload (float32 data bytes).
 	capBytes int64
-	used     int64
-	entries  map[string]*sessionEntry
-	order    []string // LRU, least recent first
 
-	// Hits and Misses count cache outcomes for diagnostics.
+	mu      sync.Mutex
+	used    int64
+	entries map[string]*sessionEntry
+	order   []string // LRU, least recent first
+
+	// Hits and Misses count cache outcomes for diagnostics. They are
+	// updated under the session lock; read them via Stats when other
+	// goroutines may still be calling Get.
 	Hits, Misses int64
 }
 
@@ -55,21 +61,39 @@ func cacheKey(model, interm string, cols []string, nEx int) string {
 // Data as read-only.
 func (se *Session) Get(model, interm string, cols []string, nEx int) (*Result, error) {
 	key := cacheKey(model, interm, cols, nEx)
+	se.mu.Lock()
 	if e, ok := se.entries[key]; ok {
 		se.Hits++
-		se.touch(key)
+		se.touchLocked(key)
+		se.mu.Unlock()
 		return e.res, nil
 	}
 	se.Misses++
+	se.mu.Unlock()
+	// Fetch outside the lock; a concurrent miss on the same key runs its
+	// own query and whichever inserts first wins (results are identical).
 	res, err := se.sys.GetIntermediate(model, interm, cols, nEx)
 	if err != nil {
 		return nil, err
 	}
-	se.insert(key, res)
+	se.mu.Lock()
+	se.insertLocked(key, res)
+	se.mu.Unlock()
 	return res, nil
 }
 
-func (se *Session) insert(key string, res *Result) {
+// Stats returns the hit/miss counters, safe to call while other
+// goroutines are still querying through the session.
+func (se *Session) Stats() (hits, misses int64) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.Hits, se.Misses
+}
+
+func (se *Session) insertLocked(key string, res *Result) {
+	if _, dup := se.entries[key]; dup {
+		return // a concurrent miss for the same key got here first
+	}
 	bytes := int64(len(res.Data.Data)) * 4
 	if bytes > se.capBytes {
 		return // larger than the whole cache: don't thrash
@@ -87,7 +111,7 @@ func (se *Session) insert(key string, res *Result) {
 	}
 }
 
-func (se *Session) touch(key string) {
+func (se *Session) touchLocked(key string) {
 	for i, k := range se.order {
 		if k == key {
 			copy(se.order[i:], se.order[i+1:])
@@ -98,11 +122,17 @@ func (se *Session) touch(key string) {
 }
 
 // Len returns the number of cached results.
-func (se *Session) Len() int { return len(se.entries) }
+func (se *Session) Len() int {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return len(se.entries)
+}
 
 // Invalidate drops every cached result for the given model (e.g. after
 // re-logging it).
 func (se *Session) Invalidate(model string) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
 	prefix := model + "\x00"
 	kept := se.order[:0]
 	for _, k := range se.order {
@@ -123,15 +153,13 @@ func (se *Session) Invalidate(model string) {
 // discards) each column's chunks; the partitions stay resident subject to
 // the pool's LRU policy.
 func (s *System) Prefetch(model, interm string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	it := s.meta.Intermediate(model, interm)
-	if it == nil {
+	it, ok := s.meta.IntermSnapshot(model, interm)
+	if !ok {
 		return fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
 	}
 	if !it.Materialized {
 		return fmt.Errorf("mistique: %s.%s not materialized; nothing to prefetch", model, interm)
 	}
-	_, err := s.readMatrix(model, interm, it, it.Columns, it.Rows)
+	_, err := s.readMatrix(model, interm, &it, it.Columns, it.Rows)
 	return err
 }

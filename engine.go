@@ -13,6 +13,12 @@
 // materialized intermediate). The MetadataDB (internal/metadata) records
 // models, stage timings, intermediate locations and query counts.
 //
+// A System is safe for concurrent use: Log*, GetIntermediate, Flush,
+// Calibrate and DropModel may be called from multiple goroutines, and the
+// hot paths (per-column quantize/encode/dedup on ingest, partition
+// compression on flush, chunk reads on query) fan out across a worker pool
+// bounded by Config.Workers. See DESIGN.md for the concurrency model.
+//
 // Basic use:
 //
 //	sys, _ := mistique.Open(dir, mistique.Config{})
@@ -28,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mistique/internal/colstore"
@@ -35,6 +42,7 @@ import (
 	"mistique/internal/frame"
 	"mistique/internal/metadata"
 	"mistique/internal/nn"
+	"mistique/internal/parallel"
 	"mistique/internal/pipeline"
 	"mistique/internal/quant"
 	"mistique/internal/tensor"
@@ -78,11 +86,19 @@ type Config struct {
 	Gamma float64
 	// Cost holds calibrated cost-model constants; zero uses defaults.
 	Cost cost.Params
+	// Workers bounds the goroutines each hot path fans out to: per-column
+	// quantizer fitting, encoding and dedup hashing on ingest; partition
+	// compression on flush/compaction; chunk reads on query. 0 selects
+	// GOMAXPROCS; 1 recovers the serial baseline for A/B benchmarking.
+	Workers int
 }
 
 // System is a MISTIQUE instance rooted at a directory.
 type System struct {
-	mu    sync.Mutex
+	// mu guards the resident-model maps (pipelines, networks, logging)
+	// and the mutable cost constants in cfg.Cost. Everything else in cfg
+	// is immutable after Open; store and meta synchronize internally.
+	mu    sync.RWMutex
 	cfg   Config
 	dir   string
 	store *colstore.Store
@@ -90,6 +106,9 @@ type System struct {
 
 	pipelines map[string]*pipelineModel
 	networks  map[string]*dnnModel
+	// logging holds model names with a Log* call in flight, so concurrent
+	// logs of the same name fail fast instead of racing.
+	logging map[string]struct{}
 }
 
 type pipelineModel struct {
@@ -99,6 +118,9 @@ type pipelineModel struct {
 	stageOf map[string]int
 	// colsOf maps intermediate name -> numeric column names.
 	colsOf map[string][]string
+	// exec serializes pipeline re-runs: transformers keep per-run state,
+	// so only one RunTo may execute at a time.
+	exec sync.Mutex
 }
 
 type dnnModel struct {
@@ -107,6 +129,9 @@ type dnnModel struct {
 	opts  DNNLogOptions
 	// layerOf maps intermediate (layer) name -> layer index.
 	layerOf map[string]int
+	// exec serializes forward passes: layers cache their last input for
+	// backprop, so Network is not reentrant.
+	exec sync.Mutex
 }
 
 // Open creates or reopens a System rooted at dir. Reopening a previously
@@ -120,6 +145,9 @@ func Open(dir string, cfg Config) (*System, error) {
 		cfg.RowBlockRows = 1024
 	}
 	cfg.Store.RowBlockRows = cfg.RowBlockRows
+	if cfg.Store.Workers == 0 {
+		cfg.Store.Workers = cfg.Workers
+	}
 	if cfg.Cost == (cost.Params{}) {
 		cfg.Cost = cost.DefaultParams()
 	}
@@ -142,6 +170,7 @@ func Open(dir string, cfg Config) (*System, error) {
 		meta:      meta,
 		pipelines: make(map[string]*pipelineModel),
 		networks:  make(map[string]*dnnModel),
+		logging:   make(map[string]struct{}),
 	}, nil
 }
 
@@ -151,7 +180,8 @@ func (s *System) Metadata() *metadata.DB { return s.meta }
 // Store exposes the column store for stats and flushing.
 func (s *System) Store() *colstore.Store { return s.store }
 
-// Flush writes all dirty partitions to disk and persists the catalog.
+// Flush writes all dirty partitions to disk (concurrently, bounded by
+// Config.Workers) and persists the catalog.
 func (s *System) Flush() error {
 	if err := s.store.Flush(); err != nil {
 		return err
@@ -164,6 +194,55 @@ func (s *System) DiskBytes() (int64, error) { return s.store.DiskBytes() }
 
 // adaptiveOn reports whether adaptive materialization gates storage.
 func (s *System) adaptiveOn() bool { return s.cfg.Gamma > 0 }
+
+// workers returns the ingest/query fan-out bound (immutable after Open).
+func (s *System) workers() int { return s.cfg.Workers }
+
+// beginLogging reserves a model name for an in-flight Log* call. It fails
+// if the name is already resident or being logged.
+func (s *System) beginLogging(name string, kind string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.pipelines[name]; dup {
+		return fmt.Errorf("mistique: pipeline %q already logged", name)
+	}
+	if _, dup := s.networks[name]; dup {
+		return fmt.Errorf("mistique: %s %q already logged", kind, name)
+	}
+	if _, dup := s.logging[name]; dup {
+		return fmt.Errorf("mistique: %s %q is being logged concurrently", kind, name)
+	}
+	s.logging[name] = struct{}{}
+	return nil
+}
+
+// endLogging releases the reservation, installing the finished model when
+// pm or dm is non-nil.
+func (s *System) endLogging(name string, pm *pipelineModel, dm *dnnModel) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.logging, name)
+	if pm != nil {
+		s.pipelines[name] = pm
+	}
+	if dm != nil {
+		s.networks[name] = dm
+	}
+}
+
+func (s *System) pipelineModelFor(name string) (*pipelineModel, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pm, ok := s.pipelines[name]
+	return pm, ok
+}
+
+func (s *System) dnnModelFor(name string) (*dnnModel, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dm, ok := s.networks[name]
+	return dm, ok
+}
 
 // LogReport summarizes one logging run.
 type LogReport struct {
@@ -180,19 +259,20 @@ type LogReport struct {
 
 // storeMatrix splits a matrix into RowBlock-sized column chunks and stores
 // them under (model, interm). mkQuant supplies the value codec for each
-// column (nil, or returning nil, means raw float32). Returns encoded bytes
-// actually stored (after de-duplication).
+// column (nil, or returning nil, means raw float32). Columns are fitted,
+// encoded and dedup-hashed concurrently across the worker pool. Returns
+// encoded bytes actually stored (after de-duplication).
 func (s *System) storeMatrix(model, interm string, m *tensor.Dense, cols []string, mkQuant func(col []float32) (*quant.Quantizer, error)) (int64, error) {
 	blockRows := s.cfg.RowBlockRows
 	var stored int64
-	for j, name := range cols {
+	err := parallel.ForEach(len(cols), s.workers(), func(j int) error {
 		col := m.Col(j)
 		var q *quant.Quantizer
 		if mkQuant != nil {
 			var err error
 			q, err = mkQuant(col)
 			if err != nil {
-				return stored, err
+				return err
 			}
 		}
 		for b := 0; b*blockRows < len(col); b++ {
@@ -201,15 +281,16 @@ func (s *System) storeMatrix(model, interm string, m *tensor.Dense, cols []strin
 			if hi > len(col) {
 				hi = len(col)
 			}
-			key := colstore.ColumnKey{Model: model, Intermediate: interm, Column: name, Block: b}
+			key := colstore.ColumnKey{Model: model, Intermediate: interm, Column: cols[j], Block: b}
 			res, err := s.store.PutColumn(key, col[lo:hi], q)
 			if err != nil {
-				return stored, fmt.Errorf("mistique: store %s: %w", key, err)
+				return fmt.Errorf("mistique: store %s: %w", key, err)
 			}
-			stored += res.EncodedBytes
+			atomic.AddInt64(&stored, res.EncodedBytes)
 		}
-	}
-	return stored, nil
+		return nil
+	})
+	return atomic.LoadInt64(&stored), err
 }
 
 // DropModel removes a model from the system: its catalog entries, its
@@ -241,8 +322,6 @@ func (s *System) CompactStore() (int64, error) {
 // folds read, decompression and reconstruction cost into this one
 // constant, and so do we. Returns the measured bytes/second.
 func (s *System) Calibrate() (float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.store.Flush(); err != nil {
 		return 0, err
 	}
@@ -251,12 +330,13 @@ func (s *System) Calibrate() (float64, error) {
 	var probeModel string
 	var probe *metadata.Interm
 	for _, name := range s.meta.Models() {
-		for _, it := range s.meta.Model(name).Intermediates {
+		for _, it := range s.meta.IntermSnapshots(name) {
+			it := it
 			if !it.Materialized || it.Rows == 0 || len(it.Columns) == 0 {
 				continue
 			}
 			if probe == nil || int64(it.Rows)*int64(len(it.Columns)) > int64(probe.Rows)*int64(len(probe.Columns)) {
-				probeModel, probe = name, it
+				probeModel, probe = name, &it
 			}
 		}
 	}
@@ -276,16 +356,24 @@ func (s *System) Calibrate() (float64, error) {
 		elapsed = 1e-9
 	}
 	rate := float64(len(m.Data)) * 4 / elapsed
+	s.mu.Lock()
 	s.cfg.Cost.ReadBytesPerSec = rate
+	s.mu.Unlock()
 	return rate, nil
 }
 
 // CostParams returns the cost-model constants currently in effect.
 func (s *System) CostParams() cost.Params {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.cfg.Cost
 }
 
-// nowSeconds returns a monotonic timestamp in seconds.
-func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+// processStart anchors nowSeconds. time.Since reads Go's monotonic clock,
+// so elapsed measurements (Calibrate's read-rate probe) cannot jump or go
+// negative across wall-clock adjustments — which the previous
+// time.Now().UnixNano() reading could.
+var processStart = time.Now()
+
+// nowSeconds returns a monotonic timestamp in seconds since process start.
+func nowSeconds() float64 { return time.Since(processStart).Seconds() }

@@ -17,6 +17,29 @@
 //     partitions; a new chunk joins the partition holding its most similar
 //     existing chunk (Jaccard >= tau), so the partition compressor can
 //     exploit cross-chunk redundancy.
+//
+// Concurrency model. The store is safe for fully concurrent PutColumn,
+// GetColumn, Flush, Compact, DeleteModel and scan calls. Three locks with a
+// strict acquisition order keep it so:
+//
+//   - flushMu serializes the writers that walk every partition (Flush,
+//     Compact, DropCache) against each other. It is always taken first and
+//     never while holding any other lock.
+//   - partition.loadMu serializes cold page-ins of one partition. It is
+//     taken only when mu is NOT held (mu may be taken underneath it).
+//   - mu is the index lock guarding every map, the LRU, stats, and all
+//     partition metadata (chunks slice header, dirty/sealed/onDisk/flushing
+//     flags). It is always the innermost lock.
+//
+// The expensive work — chunk encoding, content hashing, MinHash signing,
+// gzip (de)compression and value decoding — happens outside mu. That is
+// sound because chunk payloads are immutable once created and a partition's
+// chunks slice is append-only (elements [0, len) never change); writers
+// snapshot the slice header under mu and serialize the snapshot without the
+// lock. Partition files are written to a unique temp file and renamed, so a
+// concurrent file reader always sees a complete old or new file; the
+// per-partition flushing flag keeps the evictor from writing (or dropping)
+// a partition whose file a Flush/Compact worker currently owns.
 package colstore
 
 import (
@@ -25,6 +48,7 @@ import (
 	"sync"
 
 	"mistique/internal/minhash"
+	"mistique/internal/parallel"
 	"mistique/internal/quant"
 )
 
@@ -70,6 +94,9 @@ type Config struct {
 	// MinHashBucket is the discretization width for similarity hashing
 	// (default 0.01).
 	MinHashBucket float64
+	// Workers bounds the goroutines used by Flush and Compact to compress
+	// and write partitions (0 = GOMAXPROCS, 1 = serial).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -114,7 +141,7 @@ func (k ColumnKey) String() string {
 }
 
 // chunk is the in-memory form of a ColumnChunk: encoded payload plus the
-// codec needed to reconstruct values.
+// codec needed to reconstruct values. Immutable once created.
 type chunk struct {
 	enc   []byte
 	count int
@@ -129,6 +156,12 @@ type partition struct {
 	sealed bool
 	dirty  bool // has content not yet on disk
 	onDisk bool
+	// flushing marks a partition whose file a Flush/Compact worker is
+	// writing; the evictor leaves it alone (see package comment).
+	flushing bool
+	// loadMu serializes cold page-ins so concurrent readers decompress a
+	// partition once. Taken only when Store.mu is not held.
+	loadMu sync.Mutex
 }
 
 // PutResult reports what PutColumn did.
@@ -161,6 +194,10 @@ type Stats struct {
 
 // Store is the DataStore. It is safe for concurrent use.
 type Store struct {
+	// flushMu serializes Flush/Compact/DropCache; see package comment for
+	// the full lock order.
+	flushMu sync.Mutex
+	// mu is the index lock (innermost).
 	mu  sync.Mutex
 	cfg Config
 	dir string
@@ -232,17 +269,26 @@ func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (Pu
 	if q == nil {
 		q = quant.NewFull()
 	}
+	// Encoding, content hashing and MinHash signing are the CPU-heavy part
+	// of a put; all three happen before the index lock so concurrent puts
+	// overlap them.
 	enc := q.Encode(nil, vals)
+	var h [32]byte
+	if !s.cfg.DisableExactDedup {
+		h = contentHash(enc, q)
+	}
+	var sig []uint64
+	if s.cfg.Mode == ModeSimilarity && !s.cfg.DisableApproxDedup {
+		sig = s.hasher.SignFloats(vals, s.cfg.MinHashBucket)
+	}
+	zn := zoneOf(q.Apply(vals))
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	s.stats.ChunksPut++
 	s.stats.LogicalBytes += int64(len(enc))
 
-	var h [32]byte
-	if !s.cfg.DisableExactDedup {
-		h = contentHash(enc, q)
-	}
 	if existing, dup := s.columns[key]; dup {
 		// Idempotent re-put: logging the same model into a reopened store
 		// re-presents identical chunks; accept them as dedup hits. A
@@ -267,7 +313,7 @@ func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (Pu
 		}
 	}
 
-	p, coLocated := s.pickPartition(vals)
+	p, coLocated := s.pickPartition(sig)
 	c := &chunk{enc: enc, count: len(vals), q: q}
 	p.chunks = append(p.chunks, c)
 	p.bytes += int64(len(enc))
@@ -283,12 +329,11 @@ func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (Pu
 	s.columns[key] = id
 	// Zone maps describe the values a reader observes, i.e. the
 	// reconstruction, so predicate skipping stays sound under quantization.
-	s.zones[id] = zoneOf(q.Apply(vals))
+	s.zones[id] = zn
 	if !s.cfg.DisableExactDedup {
 		s.hashes[h] = id
 	}
-	if s.cfg.Mode == ModeSimilarity && !s.cfg.DisableApproxDedup {
-		sig := s.hasher.SignFloats(vals, s.cfg.MinHashBucket)
+	if sig != nil {
 		s.lsh.Insert(s.nextSig, sig)
 		s.sigPart[s.nextSig] = p.id
 		s.nextSig++
@@ -338,15 +383,16 @@ func contentHash(enc []byte, q *quant.Quantizer) [32]byte {
 	return out
 }
 
-// pickPartition chooses (or creates) the partition a new chunk joins.
-func (s *Store) pickPartition(vals []float32) (p *partition, coLocated bool) {
+// pickPartition chooses (or creates) the partition a new chunk joins. sig
+// is the chunk's MinHash signature, pre-computed outside the lock (nil when
+// approximate dedup is off).
+func (s *Store) pickPartition(sig []uint64) (p *partition, coLocated bool) {
 	switch s.cfg.Mode {
 	case ModeSimilarity:
-		if !s.cfg.DisableApproxDedup {
-			sig := s.hasher.SignFloats(vals, s.cfg.MinHashBucket)
+		if sig != nil {
 			if sigID, _, ok := s.lsh.QueryBest(sig, s.cfg.SimilarityThreshold); ok {
 				pid := s.sigPart[sigID]
-				if cand, resident := s.parts[pid]; resident && !cand.sealed && !cand.onDisk {
+				if cand, resident := s.parts[pid]; resident && !cand.sealed && !cand.onDisk && cand.chunks != nil {
 					return cand, true
 				}
 			}
@@ -398,12 +444,12 @@ func (s *Store) newPartition() *partition {
 // GetColumn reads back the reconstructed values of a stored column chunk.
 func (s *Store) GetColumn(key ColumnKey) ([]float32, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	id, ok := s.columns[key]
+	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("colstore: column %s not stored", key)
 	}
-	return s.readChunkLocked(id)
+	return s.readChunk(id)
 }
 
 // Has reports whether the column chunk is stored.
@@ -424,20 +470,17 @@ func (s *Store) Lookup(key ColumnKey) (ChunkID, bool) {
 
 // GetChunk reads a chunk by physical id.
 func (s *Store) GetChunk(id ChunkID) ([]float32, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.readChunkLocked(id)
+	return s.readChunk(id)
 }
 
-func (s *Store) readChunkLocked(id ChunkID) ([]float32, error) {
-	p, err := s.loadPartitionLocked(id.Partition)
+// readChunk fetches the (immutable) chunk for id — paging its partition in
+// from disk if evicted — and decodes it outside the index lock, so
+// concurrent readers of different chunks decode in parallel.
+func (s *Store) readChunk(id ChunkID) ([]float32, error) {
+	c, err := s.chunkRef(id)
 	if err != nil {
 		return nil, err
 	}
-	if id.Index < 0 || id.Index >= len(p.chunks) {
-		return nil, fmt.Errorf("colstore: chunk %d/%d out of range", id.Partition, id.Index)
-	}
-	c := p.chunks[id.Index]
 	out, err := c.q.Decode(make([]float32, 0, c.count), c.enc, c.count)
 	if err != nil {
 		return nil, fmt.Errorf("colstore: decode chunk %d/%d: %w", id.Partition, id.Index, err)
@@ -445,30 +488,176 @@ func (s *Store) readChunkLocked(id ChunkID) ([]float32, error) {
 	return out, nil
 }
 
-// Flush writes every dirty partition to disk and persists the manifest
-// (the store's durability point: a flushed store can be reopened and read
-// without re-logging). Partitions stay resident until evicted by memory
-// pressure.
-func (s *Store) Flush() error {
+// chunkRef resolves id to its in-memory chunk, loading the partition from
+// disk if needed. The returned chunk is immutable.
+func (s *Store) chunkRef(id ChunkID) (*chunk, error) {
+	s.mu.Lock()
+	p, ok := s.parts[id.Partition]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("colstore: unknown partition %d", id.Partition)
+	}
+	if p.chunks != nil {
+		c, err := chunkAtLocked(p, id)
+		s.touchLocked(id.Partition)
+		s.mu.Unlock()
+		return c, err
+	}
+	s.mu.Unlock()
+
+	// Cold partition: page it in under its load lock so N concurrent
+	// readers decompress it once. mu is re-acquired underneath loadMu
+	// (the allowed order); the state is re-checked after each acquisition.
+	p.loadMu.Lock()
+	defer p.loadMu.Unlock()
+	s.mu.Lock()
+	if _, still := s.parts[id.Partition]; !still {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("colstore: unknown partition %d", id.Partition)
+	}
+	if p.chunks != nil {
+		c, err := chunkAtLocked(p, id)
+		s.touchLocked(id.Partition)
+		s.mu.Unlock()
+		return c, err
+	}
+	path := s.partPath(id.Partition)
+	s.mu.Unlock()
+
+	chunks, payload, fileBytes, err := readPartitionFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: read partition %d: %w", id.Partition, err)
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, p := range s.parts {
-		if p.dirty && len(p.chunks) > 0 {
-			if err := s.writePartitionLocked(p); err != nil {
-				return err
-			}
+	if p.chunks == nil {
+		p.chunks = chunks
+		p.bytes = payload
+		p.dirty = false
+		s.memBytes += payload
+		s.stats.DiskReads++
+		s.stats.DiskReadBytes += fileBytes
+		s.touchLocked(id.Partition)
+		if err := s.evictIfNeededLocked(); err != nil {
+			return nil, err
+		}
+		if p.chunks == nil {
+			// Pathological budget smaller than one partition: keep it
+			// resident anyway for this read.
+			p.chunks = chunks
+			s.memBytes += payload
 		}
 	}
+	return chunkAtLocked(p, id)
+}
+
+func chunkAtLocked(p *partition, id ChunkID) (*chunk, error) {
+	if id.Index < 0 || id.Index >= len(p.chunks) {
+		return nil, fmt.Errorf("colstore: chunk %d/%d out of range", id.Partition, id.Index)
+	}
+	return p.chunks[id.Index], nil
+}
+
+// readChunkLocked decodes a chunk while the caller holds mu (used by the
+// lock-held walkers: Verify, scans). Prefer readChunk on hot paths.
+func (s *Store) readChunkLocked(id ChunkID) ([]float32, error) {
+	p, err := s.loadPartitionLocked(id.Partition)
+	if err != nil {
+		return nil, err
+	}
+	c, err := chunkAtLocked(p, id)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.q.Decode(make([]float32, 0, c.count), c.enc, c.count)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: decode chunk %d/%d: %w", id.Partition, id.Index, err)
+	}
+	return out, nil
+}
+
+// flushTask pairs a partition with the chunk snapshot a worker serializes.
+type flushTask struct {
+	p      *partition
+	chunks []*chunk
+}
+
+// Flush writes every dirty partition to disk and persists the manifest
+// (the store's durability point: a flushed store can be reopened and read
+// without re-logging). Partitions are gzip-compressed and written
+// concurrently, bounded by Config.Workers. Partitions stay resident until
+// evicted by memory pressure. Puts racing a Flush are safe: the worker
+// serializes a snapshot, and a partition that grew meanwhile simply stays
+// dirty for the next Flush.
+func (s *Store) Flush() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	return s.flushDirty()
+}
+
+// flushDirty does the Flush work; the caller holds flushMu.
+func (s *Store) flushDirty() error {
+	s.mu.Lock()
+	var tasks []flushTask
+	for _, p := range s.parts {
+		if p.dirty && len(p.chunks) > 0 {
+			p.flushing = true
+			tasks = append(tasks, flushTask{p: p, chunks: p.chunks})
+		}
+	}
+	workers := s.cfg.Workers
+	s.mu.Unlock()
+
+	werr := parallel.ForEach(len(tasks), workers, func(i int) error {
+		return s.writeSnapshot(tasks[i])
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range tasks {
+		t.p.flushing = false
+	}
+	if werr != nil {
+		return werr
+	}
 	return s.writeManifestLocked()
+}
+
+// writeSnapshot compresses and writes one partition snapshot, then updates
+// the partition's state under mu. Used by the parallel Flush/Compact
+// workers; the caller must have set p.flushing under mu.
+func (s *Store) writeSnapshot(t flushTask) error {
+	size, err := s.writePartitionFile(t.p.id, t.chunks)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.p.onDisk = true
+	// Only mark clean if no chunks were appended since the snapshot;
+	// otherwise the file is a prefix and the next flush rewrites it.
+	if len(t.p.chunks) == len(t.chunks) {
+		t.p.dirty = false
+	}
+	s.stats.DiskWrites++
+	s.stats.DiskWriteBytes += size
+	return nil
 }
 
 // DropCache flushes and then releases all in-memory partition payloads,
 // forcing subsequent reads to hit disk. Used by read benchmarks.
 func (s *Store) DropCache() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	if err := s.flushDirty(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, p := range s.parts {
 		if p.dirty && len(p.chunks) > 0 {
+			// A put raced the flush above; write the straggler serially.
 			if err := s.writePartitionLocked(p); err != nil {
 				return err
 			}
@@ -492,10 +681,7 @@ func (s *Store) Stats() Stats {
 // DiskBytes returns the total size of partition files on disk. Call Flush
 // first for a complete figure.
 func (s *Store) DiskBytes() (int64, error) {
-	s.mu.Lock()
-	dir := s.dir
-	s.mu.Unlock()
-	return dirSize(dir)
+	return dirSize(s.dir)
 }
 
 // touchLocked moves pid to the most-recently-used end of the LRU list.
@@ -511,18 +697,21 @@ func (s *Store) touchLocked(pid int64) {
 }
 
 // evictIfNeededLocked writes out and drops LRU partitions until the memory
-// budget is met. The partition currently being filled is never evicted.
+// budget is met. The partition currently being filled is never evicted,
+// and neither is one whose file a Flush/Compact worker owns (flushing).
 func (s *Store) evictIfNeededLocked() error {
-	for s.memBytes > s.cfg.MemBudgetBytes && len(s.lru) > 1 {
+	skipped := 0
+	for s.memBytes > s.cfg.MemBudgetBytes && len(s.lru) > 1 && skipped < len(s.lru) {
 		pid := s.lru[0]
 		s.lru = s.lru[1:]
 		p, ok := s.parts[pid]
 		if !ok || p.chunks == nil {
 			continue
 		}
-		if pid == s.current {
-			// Keep the open partition resident; re-queue it.
+		if pid == s.current || p.flushing {
+			// Keep the open / being-flushed partition resident; re-queue.
 			s.lru = append(s.lru, pid)
+			skipped++
 			if len(s.lru) == 1 {
 				break
 			}

@@ -1,0 +1,231 @@
+package colstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The store-level half of the concurrency suite (the engine-level half is
+// mistique's TestConcurrentEngine): hammer one Store from many goroutines
+// mixing puts, reads, flushes, compactions and model deletes, under a
+// memory budget small enough that eviction and cold page-ins race the
+// writers too. Run with -race.
+
+// stressVal is the deterministic value generator: every (goroutine, iter,
+// row) triple maps to a distinct value so chunks never dedup by accident
+// and read-back mismatches are attributable.
+func stressVal(g, i, r int) float32 {
+	return float32(g*100000+i*1000+r) / 16
+}
+
+func stressCol(g, i, n int) []float32 {
+	out := make([]float32, n)
+	for r := range out {
+		out[r] = stressVal(g, i, r)
+	}
+	return out
+}
+
+func TestConcurrentStore(t *testing.T) {
+	const (
+		writers = 4
+		iters   = 24
+		rows    = 64
+	)
+	s := openTest(t, Config{
+		RowBlockRows: rows,
+		// Tiny pool and partitions: force seals, evictions and page-ins
+		// while puts, flushes and compactions are in flight.
+		MemBudgetBytes:       16 << 10,
+		PartitionTargetBytes: 4 << 10,
+		Mode:                 ModeSimilarity,
+		Workers:              4,
+	})
+
+	var wg sync.WaitGroup
+	// Writers: put a distinct column, then immediately read it back.
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := key(fmt.Sprintf("m%d", g), "x", fmt.Sprintf("c%d", i), 0)
+				vals := stressCol(g, i, rows)
+				if _, err := s.PutColumn(k, vals, nil); err != nil {
+					t.Errorf("put %s: %v", k, err)
+					return
+				}
+				got, err := s.GetColumn(k)
+				if err != nil {
+					t.Errorf("get %s: %v", k, err)
+					return
+				}
+				for r := range vals {
+					if got[r] != vals[r] {
+						t.Errorf("%s row %d: got %v want %v", k, r, got[r], vals[r])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Re-readers: walk everything already written by writer 0.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters*2; i++ {
+			k := key("m0", "x", fmt.Sprintf("c%d", i%iters), 0)
+			got, err := s.GetColumn(k)
+			if err != nil {
+				continue // not written yet
+			}
+			want := stressCol(0, i%iters, rows)
+			for r := range want {
+				if got[r] != want[r] {
+					t.Errorf("reread %s row %d: got %v want %v", k, r, got[r], want[r])
+					return
+				}
+			}
+		}
+	}()
+	// Dedup prober: presents the same payload under many keys; the
+	// check-and-insert must stay atomic so exactly one copy is stored.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		shared := stressCol(99, 0, rows)
+		for i := 0; i < iters; i++ {
+			k := key("dedup", "x", fmt.Sprintf("c%d", i), 0)
+			if _, err := s.PutColumn(k, shared, nil); err != nil {
+				t.Errorf("dedup put: %v", err)
+				return
+			}
+		}
+	}()
+	// Flusher and compactor: walk every partition while writers append.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/2; i++ {
+			if err := s.Flush(); err != nil {
+				t.Errorf("flush: %v", err)
+				return
+			}
+		}
+	}()
+	// Deleter: churn a scratch model and reclaim its space.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			k := key("scratch", "x", fmt.Sprintf("c%d", i), 0)
+			if _, err := s.PutColumn(k, stressCol(50, i, rows), nil); err != nil {
+				t.Errorf("scratch put: %v", err)
+				return
+			}
+			s.DeleteModel("scratch")
+			if _, _, err := s.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Everything the writers stored must still read back exactly, the
+	// dedup probe must have stored one physical chunk, and the store must
+	// pass its own fsck.
+	for g := 0; g < writers; g++ {
+		for i := 0; i < iters; i++ {
+			k := key(fmt.Sprintf("m%d", g), "x", fmt.Sprintf("c%d", i), 0)
+			got, err := s.GetColumn(k)
+			if err != nil {
+				t.Fatalf("final get %s: %v", k, err)
+			}
+			for r := range got {
+				if got[r] != stressVal(g, i, r) {
+					t.Fatalf("final %s row %d: got %v want %v", k, r, got[r], stressVal(g, i, r))
+				}
+			}
+		}
+	}
+	ids := make(map[ChunkID]bool)
+	for i := 0; i < iters; i++ {
+		id, ok := s.Lookup(key("dedup", "x", fmt.Sprintf("c%d", i), 0))
+		if !ok {
+			t.Fatalf("dedup key %d missing", i)
+		}
+		ids[id] = true
+	}
+	if len(ids) != 1 {
+		t.Fatalf("dedup stored %d physical chunks, want 1", len(ids))
+	}
+	rep, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems) > 0 {
+		t.Fatalf("verify: %v", rep.Problems)
+	}
+}
+
+// TestConcurrentFlushCompact has Flush, Compact and DropCache contend for
+// the same partitions while a writer keeps dirtying them: the flushMu
+// serialization plus snapshot writes must never lose data.
+func TestConcurrentFlushCompact(t *testing.T) {
+	const rows = 64
+	s := openTest(t, Config{
+		RowBlockRows:         rows,
+		PartitionTargetBytes: 2 << 10,
+		Mode:                 ModeArrival,
+		Workers:              4,
+	})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := key("m", "x", fmt.Sprintf("c%d", i), 0)
+			if _, err := s.PutColumn(k, stressCol(7, i, rows), nil); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+			if i%8 == 7 {
+				s.DeleteModel("nothing") // no-op delete in the mix
+			}
+		}
+	}()
+	for i := 0; i < 6; i++ {
+		if err := s.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		if _, _, err := s.Compact(); err != nil {
+			t.Fatalf("compact: %v", err)
+		}
+		if err := s.DropCache(); err != nil {
+			t.Fatalf("drop cache: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	rep, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems) > 0 {
+		t.Fatalf("verify: %v", rep.Problems)
+	}
+}

@@ -3,6 +3,8 @@ package colstore
 import (
 	"fmt"
 	"os"
+
+	"mistique/internal/parallel"
 )
 
 // Deletion and compaction. Chunks are shared between logical columns by
@@ -91,11 +93,15 @@ func (s *Store) partitionChunksLocked(pid int64, p *partition) ([]*chunk, error)
 // dropping them and remapping the surviving chunks' ids. Returns the
 // number of chunks dropped and encoded bytes reclaimed. Partitions that
 // become empty are deleted outright. The manifest is rewritten, so the
-// store stays reopenable.
+// store stays reopenable. The index surgery happens under the index lock;
+// the rewritten partition files are then gzip-compressed and written
+// concurrently (bounded by Config.Workers), like Flush.
 func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	refs := s.refCountLocked()
+	var rewrites []flushTask
 
 	// Reverse index: partition -> column keys referencing it.
 	byPart := make(map[int64][]ColumnKey)
@@ -106,6 +112,7 @@ func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 	for pid, p := range s.parts {
 		chunks, err := s.partitionChunksLocked(pid, p)
 		if err != nil {
+			s.mu.Unlock()
 			return droppedChunks, reclaimed, err
 		}
 		hasGarbage := false
@@ -177,6 +184,7 @@ func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 			// Empty partition: remove entirely.
 			if p.onDisk {
 				if rmErr := os.Remove(s.partPath(pid)); rmErr != nil && !os.IsNotExist(rmErr) {
+					s.mu.Unlock()
 					return droppedChunks, reclaimed, fmt.Errorf("colstore: compact remove partition %d: %w", pid, rmErr)
 				}
 			}
@@ -185,12 +193,29 @@ func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 			continue
 		}
 		if p.onDisk {
-			if err := s.writePartitionLocked(p); err != nil {
-				return droppedChunks, reclaimed, err
-			}
+			// The partition is resident after the remap and on-disk files
+			// never receive appends, so the snapshot is stable; mark it
+			// flushing to fence off the evictor and rewrite concurrently.
+			p.flushing = true
+			rewrites = append(rewrites, flushTask{p: p, chunks: live})
 		}
 	}
 	s.stats.StoredBytes -= reclaimed
+	workers := s.cfg.Workers
+	s.mu.Unlock()
+
+	werr := parallel.ForEach(len(rewrites), workers, func(i int) error {
+		return s.writeSnapshot(rewrites[i])
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range rewrites {
+		t.p.flushing = false
+	}
+	if werr != nil {
+		return droppedChunks, reclaimed, werr
+	}
 	return droppedChunks, reclaimed, s.writeManifestLocked()
 }
 

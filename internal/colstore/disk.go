@@ -30,18 +30,22 @@ func (s *Store) partPath(pid int64) string {
 	return filepath.Join(s.dir, fmt.Sprintf("partition_%08d.bin.gz", pid))
 }
 
-// writePartitionLocked gzip-compresses a partition and writes it to disk
-// atomically (write temp, rename).
-func (s *Store) writePartitionLocked(p *partition) error {
-	path := s.partPath(p.id)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+// writePartitionFile gzip-compresses a chunk snapshot and writes it as
+// partition pid's file, atomically (unique temp file, then rename — so a
+// concurrent reader of the same path always sees a complete file, and two
+// concurrent writers cannot interleave). Returns the compressed file size.
+// Holds no Store locks: chunks are immutable, so the snapshot can be
+// serialized concurrently with puts appending to the live partition.
+func writePartitionFileAt(path string, chunks []*chunk) (int64, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return fmt.Errorf("colstore: create %s: %w", tmp, err)
+		return 0, fmt.Errorf("colstore: create temp for %s: %w", path, err)
 	}
+	tmp := f.Name()
 	bw := bufio.NewWriter(f)
 	zw := gzip.NewWriter(bw)
-	n, err := writePartitionTo(zw, p)
+	_, err = writePartitionTo(zw, chunks)
 	if err == nil {
 		err = zw.Close()
 	}
@@ -53,25 +57,39 @@ func (s *Store) writePartitionLocked(p *partition) error {
 	}
 	if err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("colstore: write partition %d: %w", p.id, err)
+		return 0, fmt.Errorf("colstore: write partition file %s: %w", path, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("colstore: rename %s: %w", tmp, err)
+		return 0, fmt.Errorf("colstore: rename %s: %w", tmp, err)
 	}
 	st, err := os.Stat(path)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (s *Store) writePartitionFile(pid int64, chunks []*chunk) (int64, error) {
+	return writePartitionFileAt(s.partPath(pid), chunks)
+}
+
+// writePartitionLocked writes a partition's current chunks while the
+// caller holds mu (eviction and DropCache stragglers use it; the parallel
+// Flush path uses writeSnapshot instead).
+func (s *Store) writePartitionLocked(p *partition) error {
+	size, err := s.writePartitionFile(p.id, p.chunks)
+	if err != nil {
+		return fmt.Errorf("colstore: write partition %d: %w", p.id, err)
 	}
 	p.dirty = false
 	p.onDisk = true
 	s.stats.DiskWrites++
-	s.stats.DiskWriteBytes += st.Size()
-	_ = n
+	s.stats.DiskWriteBytes += size
 	return nil
 }
 
-func writePartitionTo(w io.Writer, p *partition) (int64, error) {
+func writePartitionTo(w io.Writer, chunks []*chunk) (int64, error) {
 	var written int64
 	put := func(b []byte) error {
 		n, err := w.Write(b)
@@ -81,11 +99,11 @@ func writePartitionTo(w io.Writer, p *partition) (int64, error) {
 	hdr := make([]byte, 0, 10)
 	hdr = append(hdr, partMagic...)
 	hdr = binary.LittleEndian.AppendUint16(hdr, partVersion)
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(p.chunks)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(chunks)))
 	if err := put(hdr); err != nil {
 		return written, err
 	}
-	for _, c := range p.chunks {
+	for _, c := range chunks {
 		qb, err := c.q.MarshalBinary()
 		if err != nil {
 			return written, err
@@ -107,8 +125,35 @@ func writePartitionTo(w io.Writer, p *partition) (int64, error) {
 	return written, nil
 }
 
+// readPartitionFile opens, gunzips and decodes one partition file. Holds no
+// Store locks; safe to run concurrently with writers thanks to the atomic
+// temp-and-rename write protocol.
+func readPartitionFile(path string) (chunks []*chunk, payload, fileBytes int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	zr, err := gzip.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("gunzip: %w", err)
+	}
+	defer zr.Close()
+	chunks, payload, err = readPartitionFrom(zr)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return chunks, payload, st.Size(), nil
+}
+
 // loadPartitionLocked returns the resident partition, reading it from disk
-// if its payload was evicted.
+// if its payload was evicted. The caller holds mu for the whole IO — this
+// is the slow path kept for the lock-held walkers (Verify, Compact,
+// GarbageBytes); the concurrent read path is Store.chunkRef.
 func (s *Store) loadPartitionLocked(pid int64) (*partition, error) {
 	p, ok := s.parts[pid]
 	if !ok {
@@ -118,22 +163,7 @@ func (s *Store) loadPartitionLocked(pid int64) (*partition, error) {
 		s.touchLocked(pid)
 		return p, nil
 	}
-	path := s.partPath(pid)
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("colstore: open partition %d: %w", pid, err)
-	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return nil, err
-	}
-	zr, err := gzip.NewReader(bufio.NewReader(f))
-	if err != nil {
-		return nil, fmt.Errorf("colstore: gunzip partition %d: %w", pid, err)
-	}
-	defer zr.Close()
-	chunks, payload, err := readPartitionFrom(zr)
+	chunks, payload, fileBytes, err := readPartitionFile(s.partPath(pid))
 	if err != nil {
 		return nil, fmt.Errorf("colstore: read partition %d: %w", pid, err)
 	}
@@ -142,7 +172,7 @@ func (s *Store) loadPartitionLocked(pid int64) (*partition, error) {
 	p.dirty = false
 	s.memBytes += payload
 	s.stats.DiskReads++
-	s.stats.DiskReadBytes += st.Size()
+	s.stats.DiskReadBytes += fileBytes
 	s.touchLocked(pid)
 	if err := s.evictIfNeededLocked(); err != nil {
 		return nil, err
@@ -155,6 +185,14 @@ func (s *Store) loadPartitionLocked(pid int64) (*partition, error) {
 	}
 	return p, nil
 }
+
+// Sanity bounds for partition decoding. A corrupt (or malicious) header
+// must produce an error, not a multi-gigabyte allocation: length fields are
+// validated before any buffer is sized from them.
+const (
+	maxChunkBlob  = 1 << 30 // quantizer table or encoded payload
+	chunkPrealloc = 1 << 12 // initial chunk-slice capacity
+)
 
 func readPartitionFrom(r io.Reader) ([]*chunk, int64, error) {
 	br := bufio.NewReader(r)
@@ -169,7 +207,11 @@ func readPartitionFrom(r io.Reader) ([]*chunk, int64, error) {
 		return nil, 0, fmt.Errorf("unsupported version %d", v)
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[6:]))
-	chunks := make([]*chunk, 0, n)
+	prealloc := n
+	if prealloc > chunkPrealloc {
+		prealloc = chunkPrealloc // grow on demand; don't trust the header
+	}
+	chunks := make([]*chunk, 0, prealloc)
 	var payload int64
 	meta := make([]byte, 12)
 	for i := 0; i < n; i++ {
@@ -179,6 +221,9 @@ func readPartitionFrom(r io.Reader) ([]*chunk, int64, error) {
 		count := int(binary.LittleEndian.Uint32(meta))
 		qlen := int(binary.LittleEndian.Uint32(meta[4:]))
 		elen := int(binary.LittleEndian.Uint32(meta[8:]))
+		if qlen > maxChunkBlob || elen > maxChunkBlob {
+			return nil, 0, fmt.Errorf("chunk %d implausible sizes q=%d e=%d", i, qlen, elen)
+		}
 		qb := make([]byte, qlen)
 		if _, err := io.ReadFull(br, qb); err != nil {
 			return nil, 0, fmt.Errorf("chunk %d quantizer: %w", i, err)
@@ -203,6 +248,11 @@ func dirSize(dir string) (int64, error) {
 	var total int64
 	err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
 		if err != nil {
+			// Temp files vanish mid-walk when a flush or compaction races
+			// the scan; they are not part of the footprint.
+			if os.IsNotExist(err) {
+				return nil
+			}
 			return err
 		}
 		if !info.IsDir() {

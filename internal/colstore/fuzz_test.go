@@ -1,0 +1,167 @@
+package colstore
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mistique/internal/quant"
+)
+
+// gzipped compresses a raw partition image the way flush does.
+func gzipped(t testing.TB, raw []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// validPartitionImage serializes a small two-chunk partition (one FULL, one
+// KBIT chunk) exactly as the flush path would.
+func validPartitionImage(t testing.TB) []byte {
+	t.Helper()
+	full := quant.NewFull()
+	vals := []float32{0, 1.5, -2.25, 3, 4, 5.5, -6, 7}
+	kq, err := quant.FitKBit(vals, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := []*chunk{
+		{enc: full.Encode(nil, vals), count: len(vals), q: full},
+		{enc: kq.Encode(nil, vals), count: len(vals), q: kq},
+	}
+	var raw bytes.Buffer
+	if _, err := writePartitionTo(&raw, chunks); err != nil {
+		t.Fatal(err)
+	}
+	return raw.Bytes()
+}
+
+// FuzzPartitionFile feeds arbitrary bytes through the partition read path
+// (gunzip -> header parse -> chunk decode). A corrupt or truncated file
+// must produce an error — never a panic, never a runaway allocation — and
+// anything that parses must survive a re-serialize/re-read round trip and
+// decode every chunk cleanly.
+func FuzzPartitionFile(f *testing.F) {
+	raw := validPartitionImage(f)
+	valid := gzipped(f, raw)
+	f.Add(valid)
+	// Truncated gzip stream: the classic crash-mid-flush file.
+	f.Add(valid[:len(valid)/2])
+	// Truncated partition body under intact compression.
+	f.Add(gzipped(f, raw[:len(raw)-3]))
+	// Corrupted magic and version.
+	badMagic := append([]byte(nil), raw...)
+	badMagic[0] = 'X'
+	f.Add(gzipped(f, badMagic))
+	badVersion := append([]byte(nil), raw...)
+	badVersion[4] = 0xff
+	f.Add(gzipped(f, badVersion))
+	// Header promising a absurd chunk count / blob length.
+	lies := append([]byte(nil), raw...)
+	lies[6], lies[7], lies[8], lies[9] = 0xff, 0xff, 0xff, 0xff
+	f.Add(gzipped(f, lies))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "partition_00000000.bin.gz")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		chunks, payload, _, err := readPartitionFile(path)
+		if err != nil {
+			return // rejected cleanly: that's the contract
+		}
+		// Whatever parsed must be fully usable: decodable chunks and a
+		// stable round trip through the writer.
+		var sum int64
+		for i, c := range chunks {
+			if c.count < 0 || c.count > 1<<20 {
+				t.Fatalf("chunk %d parsed with absurd count %d", i, c.count)
+			}
+			if _, derr := c.q.Decode(make([]float32, 0, c.count), c.enc, c.count); derr != nil {
+				continue // short payload for the claimed count: error, not panic
+			}
+			sum += int64(len(c.enc))
+		}
+		var raw bytes.Buffer
+		if _, werr := writePartitionTo(&raw, chunks); werr != nil {
+			t.Fatalf("re-serialize parsed partition: %v", werr)
+		}
+		again, payload2, rerr := readPartitionFrom(bytes.NewReader(raw.Bytes()))
+		if rerr != nil {
+			t.Fatalf("re-read serialized partition: %v", rerr)
+		}
+		if len(again) != len(chunks) || payload2 != payload {
+			t.Fatalf("round trip changed shape: %d/%d chunks, %d/%d payload",
+				len(again), len(chunks), payload2, payload)
+		}
+		for i := range again {
+			if again[i].count != chunks[i].count || !bytesEqual(again[i].enc, chunks[i].enc) {
+				t.Fatalf("round trip changed chunk %d", i)
+			}
+		}
+	})
+}
+
+// FuzzColumnRoundTrip drives PutColumn/GetColumn with fuzz-chosen values
+// and block shapes: whatever the store accepts it must read back exactly
+// (FULL codec), flushed or not.
+func FuzzColumnRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(2))
+	f.Add([]byte{0xff, 0xfe, 0, 0, 1, 1, 1, 1, 9, 9, 9, 9}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, blocks uint8) {
+		if len(raw) == 0 || len(raw) > 1<<12 {
+			return
+		}
+		vals := make([]float32, len(raw))
+		for i, b := range raw {
+			vals[i] = (float32(b) - 127) / 3
+		}
+		dir := t.TempDir()
+		s, err := Open(dir, Config{RowBlockRows: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nBlocks := int(blocks%4) + 1
+		per := len(vals) / nBlocks
+		if per == 0 {
+			return
+		}
+		for b := 0; b < nBlocks; b++ {
+			part := vals[b*per : (b+1)*per]
+			if _, err := s.PutColumn(key("m", "x", "c", b), part, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.DropCache(); err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < nBlocks; b++ {
+			got, err := s.GetColumn(key("m", "x", "c", b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := vals[b*per : (b+1)*per]
+			if len(got) != len(want) {
+				t.Fatalf("block %d: %d values, want %d", b, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("block %d value %d: got %v want %v", b, i, got[i], want[i])
+				}
+			}
+		}
+	})
+}

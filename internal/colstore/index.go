@@ -98,36 +98,46 @@ type ScanMatch struct {
 // matches in row order and the number of chunks skipped (for tests and
 // EXPLAIN-style diagnostics).
 func (s *Store) ScanColumn(model, interm, column string, op Op, bound float32) (matches []ScanMatch, skipped int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	blockRows := s.cfg.RowBlockRows
+	// Resolve the block chain and apply zone pruning under the index lock;
+	// chunk reads and value comparisons run outside it.
+	type blockRef struct {
+		block int
+		id    ChunkID
+	}
+	var refs []blockRef
+	s.mu.Lock()
 	for b := 0; ; b++ {
 		key := ColumnKey{Model: model, Intermediate: interm, Column: column, Block: b}
 		id, ok := s.columns[key]
 		if !ok {
 			if b == 0 {
+				s.mu.Unlock()
 				return nil, 0, fmt.Errorf("colstore: column %s not stored", key)
 			}
-			return matches, skipped, nil
+			break
 		}
 		if z, ok := s.zones[id]; ok && z.canSkip(op, bound) {
 			skipped++
 			continue
 		}
-		vals, err := s.readChunkLocked(id)
+		refs = append(refs, blockRef{block: b, id: id})
+	}
+	s.mu.Unlock()
+
+	for _, ref := range refs {
+		vals, err := s.readChunk(ref.id)
 		if err != nil {
 			return nil, skipped, err
 		}
-		base := b * blockRows
+		base := ref.block * blockRows
 		for i, v := range vals {
 			if op.matches(v, bound) {
 				matches = append(matches, ScanMatch{Row: base + i, Value: v})
 			}
 		}
-		if len(vals) < blockRows {
-			return matches, skipped, nil // short block terminates the column
-		}
 	}
+	return matches, skipped, nil
 }
 
 // GetColumnRange reads rows [from, to) of a logical column, touching only
@@ -136,17 +146,26 @@ func (s *Store) GetColumnRange(model, interm, column string, from, to int) ([]fl
 	if from < 0 || to < from {
 		return nil, fmt.Errorf("colstore: bad row range [%d, %d)", from, to)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	blockRows := s.cfg.RowBlockRows
-	out := make([]float32, 0, to-from)
-	for b := from / blockRows; b*blockRows < to; b++ {
+	firstBlock := from / blockRows
+	// Resolve the covering block ids under the index lock, then decode
+	// outside it.
+	var ids []ChunkID
+	s.mu.Lock()
+	for b := firstBlock; b*blockRows < to; b++ {
 		key := ColumnKey{Model: model, Intermediate: interm, Column: column, Block: b}
 		id, ok := s.columns[key]
 		if !ok {
+			s.mu.Unlock()
 			return nil, fmt.Errorf("colstore: column %s not stored (range [%d,%d))", key, from, to)
 		}
-		vals, err := s.readChunkLocked(id)
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	out := make([]float32, 0, to-from)
+	for bi, id := range ids {
+		b := firstBlock + bi
+		vals, err := s.readChunk(id)
 		if err != nil {
 			return nil, err
 		}

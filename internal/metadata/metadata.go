@@ -129,7 +129,9 @@ func (db *DB) AddIntermediate(model string, it *Interm) error {
 	return nil
 }
 
-// Intermediate returns the catalog entry or nil.
+// Intermediate returns the catalog entry or nil. The returned pointer is
+// shared with the catalog; prefer IntermSnapshot when reading fields that
+// concurrent RecordQuery/SetMaterialized calls may update.
 func (db *DB) Intermediate(model, name string) *Interm {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -137,6 +139,36 @@ func (db *DB) Intermediate(model, name string) *Interm {
 		return m.byName[name]
 	}
 	return nil
+}
+
+// IntermSnapshot returns a copy of the catalog entry, safe to read without
+// holding the DB lock. The Columns slice is shared but never mutated in
+// place after registration.
+func (db *DB) IntermSnapshot(model, name string) (Interm, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if m := db.models[model]; m != nil {
+		if it := m.byName[name]; it != nil {
+			return *it, true
+		}
+	}
+	return Interm{}, false
+}
+
+// IntermSnapshots returns copies of every catalog entry of a model (nil if
+// the model is unknown), safe to iterate without holding the DB lock.
+func (db *DB) IntermSnapshots(model string) []Interm {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := db.models[model]
+	if m == nil {
+		return nil
+	}
+	out := make([]Interm, len(m.Intermediates))
+	for i, it := range m.Intermediates {
+		out[i] = *it
+	}
+	return out
 }
 
 // RecordQuery bumps the query counter for an intermediate and returns the
@@ -182,16 +214,18 @@ type snapshot struct {
 	Models []*Model `json:"models"`
 }
 
-// Save writes the catalog to a JSON file.
+// Save writes the catalog to a JSON file. Marshaling happens under the
+// read lock: concurrent RecordQuery/SetMaterialized calls mutate Interm
+// fields in place, and serializing unlocked would race with them.
 func (db *DB) Save(path string) error {
 	db.mu.RLock()
 	snap := snapshot{Models: make([]*Model, 0, len(db.models))}
 	for _, m := range db.models {
 		snap.Models = append(snap.Models, m)
 	}
-	db.mu.RUnlock()
 	sort.Slice(snap.Models, func(i, j int) bool { return snap.Models[i].Name < snap.Models[j].Name })
 	blob, err := json.MarshalIndent(&snap, "", "  ")
+	db.mu.RUnlock()
 	if err != nil {
 		return fmt.Errorf("metadata: marshal: %w", err)
 	}

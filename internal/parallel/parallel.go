@@ -1,0 +1,140 @@
+// Package parallel provides the shared worker-pool primitives behind every
+// concurrent hot path in mistique: ingest fan-out (per-column quantize +
+// encode + dedup), partition flush/compaction, and parallel chunk reads.
+//
+// The package is deliberately tiny: a bounded parallel-for (ForEach) and a
+// bounded error group (Group). Both degrade to exact serial execution when
+// workers <= 1, which is what Config.Workers = 1 uses to recover the
+// single-threaded baseline for A/B benchmarking.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: n <= 0 selects GOMAXPROCS (use all
+// available parallelism), any positive n is used as-is.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines and returns the first error encountered (remaining indices
+// are still visited; fn must be safe to call after another index failed).
+// With workers <= 1 (or n <= 1) it runs serially on the calling goroutine
+// and stops at the first error, matching a plain loop.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		ferr error
+	)
+	idx := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if ferr == nil {
+						ferr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return ferr
+}
+
+// Group is a bounded error group: at most workers tasks run concurrently,
+// Go submits a task, Wait joins all tasks and returns the first error.
+// With workers <= 1, Go runs the task synchronously on the caller (exact
+// serial semantics); Err lets long submit loops bail out early.
+type Group struct {
+	workers int
+	sem     chan struct{}
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	err     error
+}
+
+// NewGroup creates a group bounded to Workers(workers) concurrent tasks.
+func NewGroup(workers int) *Group {
+	workers = Workers(workers)
+	g := &Group{workers: workers}
+	if workers > 1 {
+		g.sem = make(chan struct{}, workers)
+	}
+	return g
+}
+
+// Go runs fn, synchronously when the group is serial, otherwise on a new
+// goroutine once a worker slot frees up. The first error is retained.
+func (g *Group) Go(fn func() error) {
+	if g.sem == nil {
+		if err := fn(); err != nil {
+			g.setErr(err)
+		}
+		return
+	}
+	g.sem <- struct{}{}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		if err := fn(); err != nil {
+			g.setErr(err)
+		}
+	}()
+}
+
+// Wait blocks until every submitted task finished and returns the first
+// error any of them produced.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.Err()
+}
+
+// Err returns the first recorded error without waiting (submit loops use
+// it to stop enqueueing doomed work).
+func (g *Group) Err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+func (g *Group) setErr(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.mu.Unlock()
+}

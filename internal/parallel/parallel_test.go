@@ -1,0 +1,135 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 100
+		seen := make([]int32, n)
+		err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(50, workers, func(i int) error {
+			if i == 17 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestForEachSerialStopsEarly(t *testing.T) {
+	var calls int32
+	boom := errors.New("boom")
+	_ = ForEach(10, 1, func(i int) error {
+		atomic.AddInt32(&calls, 1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if calls != 4 {
+		t.Fatalf("serial ForEach made %d calls after error at 3", calls)
+	}
+}
+
+func TestGroup(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		g := NewGroup(workers)
+		var sum int64
+		for i := 1; i <= 64; i++ {
+			i := i
+			g.Go(func() error {
+				atomic.AddInt64(&sum, int64(i))
+				return nil
+			})
+		}
+		if err := g.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if sum != 64*65/2 {
+			t.Fatalf("workers=%d: sum = %d", workers, sum)
+		}
+	}
+}
+
+func TestGroupError(t *testing.T) {
+	boom := errors.New("boom")
+	g := NewGroup(4)
+	for i := 0; i < 16; i++ {
+		i := i
+		g.Go(func() error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := g.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+func TestGroupBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	g := NewGroup(workers)
+	var cur, peak int64
+	for i := 0; i < 40; i++ {
+		g.Go(func() error {
+			c := atomic.AddInt64(&cur, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+					break
+				}
+			}
+			runtime.Gosched()
+			atomic.AddInt64(&cur, -1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent tasks, bound %d", peak, workers)
+	}
+}

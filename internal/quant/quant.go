@@ -348,6 +348,21 @@ func (q *Quantizer) UnmarshalBinary(data []byte) error {
 		q.reps[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[pos:]))
 		pos += 4
 	}
+	// A quantizer deserialized from untrusted bytes (a corrupt partition
+	// file) must be safe to Decode with: reject shapes that would make
+	// Decode index outside its tables or compute degenerate bit masks.
+	switch q.Kind {
+	case Full, LP, Threshold:
+	case KBit:
+		if q.Bits < 1 || q.Bits > 16 {
+			return fmt.Errorf("quant: kbit bits %d out of range", q.Bits)
+		}
+		if len(q.reps) != 1<<q.Bits {
+			return fmt.Errorf("quant: kbit needs %d reps, have %d", 1<<q.Bits, len(q.reps))
+		}
+	default:
+		return fmt.Errorf("quant: unknown kind %d", q.Kind)
+	}
 	return nil
 }
 

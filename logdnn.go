@@ -2,11 +2,13 @@ package mistique
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mistique/internal/colstore"
 	"mistique/internal/metadata"
 	"mistique/internal/nn"
+	"mistique/internal/parallel"
 	"mistique/internal/quant"
 	"mistique/internal/tensor"
 )
@@ -50,12 +52,17 @@ func (o DNNLogOptions) withDefaults(blockRows int) DNNLogOptions {
 // Log each training checkpoint under its own model name (e.g. "vgg@e3");
 // frozen layers then produce byte-identical chunks across epochs, which
 // exact de-duplication collapses (the paper's fine-tuned-VGG16 result).
+//
+// Storage overlaps execution: the forward pass streams batch by batch on
+// the calling goroutine while each (block, layer) activation is quantized,
+// encoded and stored by the worker pool, so a slow disk no longer
+// serializes with the GEMMs.
 func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNNLogOptions) (*LogReport, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.networks[name]; dup {
-		return nil, fmt.Errorf("mistique: DNN %q already logged", name)
+	if err := s.beginLogging(name, "DNN"); err != nil {
+		return nil, err
 	}
+	var done *dnnModel
+	defer func() { s.endLogging(name, nil, done) }()
 	s.meta.DeleteModel(name) // re-attach after reopen (see LogPipeline)
 	opts = opts.withDefaults(s.cfg.RowBlockRows)
 	if opts.BatchRows != s.cfg.RowBlockRows {
@@ -67,6 +74,9 @@ func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNN
 	start := time.Now()
 
 	logSet := make(map[int]bool)
+	// maxLayer bounds the forward pass: layers past the deepest logged one
+	// produce nothing we keep, so they are never executed.
+	maxLayer := net.NumLayers() - 1
 	for _, l := range opts.Layers {
 		if l < 0 || l >= net.NumLayers() {
 			return nil, fmt.Errorf("mistique: layer %d out of range", l)
@@ -74,6 +84,14 @@ func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNN
 		logSet[l] = true
 	}
 	logAll := len(logSet) == 0
+	if !logAll {
+		maxLayer = 0
+		for l := range logSet {
+			if l > maxLayer {
+				maxLayer = l
+			}
+		}
+	}
 
 	// Calibration pass for distribution-fitted quantizers.
 	quantizers := make([]*quant.Quantizer, net.NumLayers())
@@ -111,25 +129,33 @@ func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNN
 		dm.layerOf[lname] = li
 	}
 
-	// Stream batches: forward layer by layer, transform, store per block.
+	// Stream batches: the forward pass runs layer by layer on this
+	// goroutine (Network is not reentrant); each logged activation block is
+	// handed to the worker pool to summarize, encode and store while the
+	// next batch computes. Layer outputs are freshly allocated and never
+	// mutated, so workers read them without copies.
+	g := parallel.NewGroup(s.workers())
+	storedBytes := make([]int64, net.NumLayers())
 	for block := 0; block*opts.BatchRows < input.N; block++ {
+		if g.Err() != nil {
+			break // storage already failed; stop producing work
+		}
 		lo := block * opts.BatchRows
 		hi := lo + opts.BatchRows
 		if hi > input.N {
 			hi = input.N
 		}
 		cur := input.SliceN(lo, hi)
-		for li := 0; li < net.NumLayers(); li++ {
+		for li := 0; li <= maxLayer; li++ {
 			t0 := time.Now()
 			cur = net.Layers[li].Forward(cur)
 			layerSecs[li] += time.Since(t0).Seconds()
 			if !logAll && !logSet[li] {
 				continue
 			}
-			stored := s.transformActivation(cur, opts.Scheme, opts.PoolAgg)
-			m := stored.Flatten()
 			if interms[li] == nil {
-				cols := make([]string, m.Cols)
+				nCols := s.transformActivation(cur, opts.Scheme, opts.PoolAgg).Flatten().Cols
+				cols := make([]string, nCols)
 				for j := range cols {
 					cols[j] = fmt.Sprintf("u%d", j)
 				}
@@ -141,19 +167,33 @@ func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNN
 					Blocks:     (input.N + opts.BatchRows - 1) / opts.BatchRows,
 				}
 			}
-			it := interms[li]
 			if s.adaptiveOn() {
 				continue
 			}
-			q := quantizers[li]
-			for j, cname := range it.Columns {
-				key := colKey(name, it.Name, cname, block)
-				res, err := s.store.PutColumn(key, m.Col(j), quantFor(opts.Scheme, q))
-				if err != nil {
-					return nil, fmt.Errorf("mistique: store %s: %w", key, err)
+			it, act, q, li, block := interms[li], cur, quantizers[li], li, block
+			g.Go(func() error {
+				m := s.transformActivation(act, opts.Scheme, opts.PoolAgg).Flatten()
+				for j, cname := range it.Columns {
+					key := colKey(name, it.Name, cname, block)
+					res, err := s.store.PutColumn(key, m.Col(j), quantFor(opts.Scheme, q))
+					if err != nil {
+						return fmt.Errorf("mistique: store %s: %w", key, err)
+					}
+					atomic.AddInt64(&storedBytes[li], res.EncodedBytes)
 				}
-				it.StoredBytes += res.EncodedBytes
+				return nil
+			})
+		}
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	if !s.adaptiveOn() {
+		for li, it := range interms {
+			if it == nil {
+				continue
 			}
+			it.StoredBytes = storedBytes[li]
 			it.Materialized = true
 			it.QuantScheme = string(opts.Scheme)
 		}
@@ -180,7 +220,7 @@ func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNN
 	if err := s.meta.RegisterModel(model); err != nil {
 		return nil, err
 	}
-	s.networks[name] = dm
+	done = dm // install in s.networks via the deferred endLogging
 
 	report.Seconds = time.Since(start).Seconds()
 	after := s.store.Stats()

@@ -19,13 +19,19 @@ import (
 //
 // The pipeline object is retained so the ChunkReader can re-run its stored
 // transformers to answer queries (the RERUN strategy).
+//
+// Execution overlaps storage: the calibration re-run (which times the
+// fitted transformers for the cost model) executes on its own goroutine
+// while the first run's frames are chunked, encoded and stored — the two
+// touch disjoint data (pipeline ops clone their inputs, and the first
+// run's frames are immutable once produced).
 func (s *System) LogPipeline(p *pipeline.Pipeline, env map[string]*frame.Frame) (*LogReport, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	name := p.Name
-	if _, dup := s.pipelines[name]; dup {
-		return nil, fmt.Errorf("mistique: pipeline %q already logged", name)
+	if err := s.beginLogging(name, "pipeline"); err != nil {
+		return nil, err
 	}
+	var done *pipelineModel
+	defer func() { s.endLogging(name, done, nil) }()
 	// Re-attach: the catalog knows this model from a previous process (the
 	// directory was reopened) but its transformer state is gone. Refresh
 	// the catalog entry; identical chunks re-presented to the store dedup
@@ -44,11 +50,17 @@ func (s *System) LogPipeline(p *pipeline.Pipeline, env map[string]*frame.Frame) 
 	// The RERUN strategy executes stored transformers without refitting, so
 	// the cost model must be calibrated on transform-only timings: measure a
 	// second, fitted pass. (Its outputs are identical; we keep the first
-	// run's frames.)
-	timed, err := p.Run()
-	if err != nil {
-		return nil, fmt.Errorf("mistique: calibrate %s: %w", name, err)
+	// run's frames.) It runs concurrently with storage below and is joined
+	// before stage timings are recorded.
+	type timedRun struct {
+		res *pipeline.RunResult
+		err error
 	}
+	timedCh := make(chan timedRun, 1)
+	go func() {
+		r, err := p.Run()
+		timedCh <- timedRun{res: r, err: err}
+	}()
 
 	pm := &pipelineModel{
 		p:       p,
@@ -59,11 +71,14 @@ func (s *System) LogPipeline(p *pipeline.Pipeline, env map[string]*frame.Frame) 
 	model := &metadata.Model{Name: name, Kind: metadata.TRAD}
 	report := &LogReport{Model: name}
 
+	// Store each intermediate in turn; storeMatrix fans its columns out
+	// across the worker pool, so the column axis (the wide one) is already
+	// parallel and stacking another fan-out here would only oversubscribe.
+	var storeErr error
 	for si, sr := range res.Stages {
 		model.Stages = append(model.Stages, metadata.Stage{
-			Name:        sr.Name,
-			Index:       si,
-			ExecSeconds: timed.Stages[si].Seconds,
+			Name:  sr.Name,
+			Index: si,
 		})
 		for _, out := range sr.Outputs {
 			m, cols := out.Frame.FloatMatrix()
@@ -90,18 +105,33 @@ func (s *System) LogPipeline(p *pipeline.Pipeline, env map[string]*frame.Frame) 
 			}
 			stored, err := s.storeMatrix(name, out.Name, m, cols, nil)
 			if err != nil {
-				return nil, err
+				storeErr = err
+				break
 			}
 			it.Materialized = true
 			it.QuantScheme = string(SchemeFull)
 			it.StoredBytes = stored
 		}
+		if storeErr != nil {
+			break
+		}
+	}
+
+	timed := <-timedCh
+	if storeErr != nil {
+		return nil, storeErr
+	}
+	if timed.err != nil {
+		return nil, fmt.Errorf("mistique: calibrate %s: %w", name, timed.err)
+	}
+	for si := range model.Stages {
+		model.Stages[si].ExecSeconds = timed.res.Stages[si].Seconds
 	}
 	report.Seconds = time.Since(start).Seconds()
 	if err := s.meta.RegisterModel(model); err != nil {
 		return nil, err
 	}
-	s.pipelines[name] = pm
+	done = pm // install in s.pipelines via the deferred endLogging
 
 	after := s.store.Stats()
 	report.ColumnsStored = after.ChunksStored - before.ChunksStored
@@ -112,13 +142,17 @@ func (s *System) LogPipeline(p *pipeline.Pipeline, env map[string]*frame.Frame) 
 }
 
 // materializeTRAD stores one pipeline intermediate on demand (the adaptive
-// path). It re-runs the stored transformers to obtain the frame.
+// path). It re-runs the stored transformers to obtain the frame; the
+// re-run holds the model's execution lock (transformers keep per-run
+// state), storage does not.
 func (s *System) materializeTRAD(pm *pipelineModel, model, interm string) (int64, error) {
 	si, ok := pm.stageOf[interm]
 	if !ok {
 		return 0, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
 	}
+	pm.exec.Lock()
 	res, err := pm.p.RunTo(si)
+	pm.exec.Unlock()
 	if err != nil {
 		return 0, err
 	}

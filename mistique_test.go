@@ -1,6 +1,7 @@
 package mistique
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -128,9 +129,7 @@ func TestReadMatchesRerun(t *testing.T) {
 	// Force a re-run through the internal path and compare.
 	m := s.Metadata().Model("demo")
 	it := s.Metadata().Intermediate("demo", "model")
-	s.mu.Lock()
 	rerun, err := s.rerunMatrix(m, it, []string{"pred"}, it.Rows)
-	s.mu.Unlock()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,9 +232,7 @@ func TestLogDNNPool2Shrinks(t *testing.T) {
 	}
 	m := s.Metadata().Model("cnn@e0")
 	it := s.Metadata().Intermediate("cnn@e0", "conv1_1")
-	s.mu.Lock()
 	rerun, err := s.rerunMatrix(m, it, []string{"u0", "u100"}, 32)
-	s.mu.Unlock()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -858,5 +855,160 @@ func TestMaxPoolScheme(t *testing.T) {
 		if read.Data.At(i, 0) != want {
 			t.Fatalf("max-pool stored %v, want %v at row %d", read.Data.At(i, 0), want, i)
 		}
+	}
+}
+
+// TestConcurrentEngine hammers one System from many goroutines mixing every
+// public mutating and reading entry point: DNN logging, intermediate reads,
+// flushes, cost-model calibration and model drops. Run under -race it is the
+// engine-level half of the concurrency suite; the store-level half lives in
+// internal/colstore. Reads of the long-lived base model must stay correct
+// throughout; operations racing a concurrent DropModel of a scratch model
+// may fail, but only with a clean error.
+func TestConcurrentEngine(t *testing.T) {
+	s := openSys(t, Config{RowBlockRows: 64, Store: colstore.Config{Mode: colstore.ModeArrival}})
+	logDemo(t, s)
+
+	want, err := s.GetIntermediate("demo", "joined", []string{"logerror"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	imgs, _ := data.Images(32, 4, 2)
+	const loggers, readers, iters = 2, 2, 3
+	var wg sync.WaitGroup
+
+	// Loggers: log a scratch DNN (first conv only, pooled to 8 columns so
+	// the forward pass stays cheap under -race), read it back, drop it.
+	for g := 0; g < loggers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			net := nn.SimpleCNN(fmt.Sprintf("cnn%d", g), 4, 1)
+			for i := 0; i < iters; i++ {
+				name := fmt.Sprintf("cnn@g%d-i%d", g, i)
+				if _, err := s.LogDNN(name, net, imgs, DNNLogOptions{Scheme: SchemePool32, Layers: []int{0}}); err != nil {
+					t.Errorf("LogDNN %s: %v", name, err)
+					return
+				}
+				if _, err := s.GetIntermediate(name, "conv1_1", []string{"u0"}, 0); err != nil {
+					t.Errorf("read %s: %v", name, err)
+					return
+				}
+				if err := s.DropModel(name); err != nil {
+					t.Errorf("drop %s: %v", name, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Readers: the base pipeline's data is never dropped; every read must
+	// succeed and return the same values.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters*2; i++ {
+				res, err := s.GetIntermediate("demo", "joined", []string{"logerror"}, 0)
+				if err != nil {
+					t.Errorf("base read: %v", err)
+					return
+				}
+				for j := range want.Data.Data {
+					if res.Data.Data[j] != want.Data.Data[j] {
+						t.Errorf("base read changed at %d", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Flusher + calibrator: walk every partition while puts and drops race.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters*2; i++ {
+			if err := s.Flush(); err != nil {
+				t.Errorf("flush: %v", err)
+				return
+			}
+			// Calibrate may lose its probe to a concurrent DropModel; that
+			// returns an error, never a crash.
+			if _, err := s.Calibrate(); err != nil {
+				t.Logf("calibrate (benign under races): %v", err)
+			}
+		}
+	}()
+
+	// Dropper/compactor: reclaim space while everyone else runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := s.CompactStore(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// The store must still be internally consistent and the base model intact.
+	rep, err := s.Store().Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems) > 0 {
+		t.Fatalf("store verify: %v", rep.Problems)
+	}
+	res, err := s.GetIntermediate("demo", "joined", []string{"logerror"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want.Data.Data {
+		if res.Data.Data[j] != want.Data.Data[j] {
+			t.Fatalf("base data corrupted at %d", j)
+		}
+	}
+}
+
+// TestConcurrentSessions drives one shared Session cache from several
+// goroutines: the cache index must stay consistent and every answer must
+// match the single-threaded result.
+func TestConcurrentSessions(t *testing.T) {
+	s := openSys(t, Config{})
+	logDemo(t, s)
+	want, err := s.GetIntermediate("demo", "model", []string{"pred"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(s, 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				res, err := sess.Get("demo", "model", []string{"pred"}, 0)
+				if err != nil {
+					t.Errorf("session get: %v", err)
+					return
+				}
+				for j := range want.Data.Data {
+					if res.Data.Data[j] != want.Data.Data[j] {
+						t.Errorf("session result differs at %d", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses := sess.Stats()
+	if hits+misses != 32 || sess.Len() != 1 {
+		t.Fatalf("hits=%d misses=%d len=%d", hits, misses, sess.Len())
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"mistique/internal/colstore"
 	"mistique/internal/cost"
 	"mistique/internal/metadata"
+	"mistique/internal/parallel"
 	"mistique/internal/quant"
 	"mistique/internal/tensor"
 )
@@ -40,19 +41,18 @@ type Result struct {
 // n_query(i), and under adaptive materialization (Config.Gamma > 0) a
 // re-run result whose gamma has crossed the threshold is stored on the
 // spot, so later queries read.
+//
+// Queries run without any engine-wide lock: reads fan chunk fetches out
+// across the worker pool, and re-runs serialize only on the model's own
+// execution mutex, so queries against different models proceed in
+// parallel.
 func (s *System) GetIntermediate(model, interm string, cols []string, nEx int) (*Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.getLocked(model, interm, cols, nEx)
-}
-
-func (s *System) getLocked(model, interm string, cols []string, nEx int) (*Result, error) {
 	m := s.meta.Model(model)
 	if m == nil {
 		return nil, fmt.Errorf("mistique: unknown model %q", model)
 	}
-	it := s.meta.Intermediate(model, interm)
-	if it == nil {
+	it, ok := s.meta.IntermSnapshot(model, interm)
+	if !ok {
 		return nil, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
 	}
 	nQuery, err := s.meta.RecordQuery(model, interm)
@@ -68,10 +68,11 @@ func (s *System) getLocked(model, interm string, cols []string, nEx int) (*Resul
 
 	res := &Result{Model: model, Intermediate: interm, Cols: cols}
 
-	// Cost the two strategies.
-	bytesPerRow := s.bytesPerRow(m, it)
-	res.EstReadSecs = cost.ReadSeconds(bytesPerRow, nEx, s.cfg.Cost)
-	res.EstRerunSecs, err = cost.RerunSeconds(m, it.StageIndex, nEx, s.cfg.Cost)
+	// Cost the two strategies against a stable snapshot of the constants.
+	costP := s.CostParams()
+	bytesPerRow := s.bytesPerRow(m, &it)
+	res.EstReadSecs = cost.ReadSeconds(bytesPerRow, nEx, costP)
+	res.EstRerunSecs, err = cost.RerunSeconds(m, it.StageIndex, nEx, costP)
 	if err != nil {
 		return nil, err
 	}
@@ -83,9 +84,9 @@ func (s *System) getLocked(model, interm string, cols []string, nEx int) (*Resul
 	start := time.Now()
 	switch res.Strategy {
 	case cost.Read:
-		res.Data, err = s.readMatrix(model, interm, it, cols, nEx)
+		res.Data, err = s.readMatrix(model, interm, &it, cols, nEx)
 	default:
-		res.Data, err = s.rerunMatrix(m, it, cols, nEx)
+		res.Data, err = s.rerunMatrix(m, &it, cols, nEx)
 	}
 	if err != nil {
 		return nil, err
@@ -93,13 +94,21 @@ func (s *System) getLocked(model, interm string, cols []string, nEx int) (*Resul
 	res.FetchSeconds = time.Since(start).Seconds()
 
 	// Adaptive materialization (Alg. 4): storage is worth it once the
-	// cumulative saved query time per byte crosses gamma.
+	// cumulative saved query time per byte crosses gamma. Two queries
+	// racing past the threshold both materialize; the store accepts the
+	// identical re-puts as dedup hits, so the race is benign.
 	if s.adaptiveOn() && !it.Materialized {
 		estBytes := bytesPerRow * int64(it.Rows)
-		fullRerun, rerr := cost.RerunSeconds(m, it.StageIndex, it.Rows, s.cfg.Cost)
-		fullRead := cost.ReadSeconds(bytesPerRow, it.Rows, s.cfg.Cost)
+		fullRerun, rerr := cost.RerunSeconds(m, it.StageIndex, it.Rows, costP)
+		fullRead := cost.ReadSeconds(bytesPerRow, it.Rows, costP)
 		if rerr == nil && cost.Gamma(fullRerun, fullRead, nQuery, estBytes) >= s.cfg.Gamma {
-			if err := s.materialize(m, it); err != nil {
+			if err := s.materialize(m, &it); err != nil {
+				// A concurrent DropModel may have removed the catalog entry
+				// mid-materialization; scrub the stray column mappings so
+				// their chunks stay reclaimable.
+				if s.meta.Model(model) == nil {
+					s.store.DeleteModel(model)
+				}
 				return nil, fmt.Errorf("mistique: adaptive materialization of %s.%s: %w", model, interm, err)
 			}
 			res.MaterializedNow = true
@@ -113,14 +122,12 @@ func (s *System) getLocked(model, interm string, cols []string, nEx int) (*Resul
 // sides of every read-vs-re-run trade-off). Forcing Read on an
 // unmaterialized intermediate is an error. Query counters still update.
 func (s *System) Fetch(model, interm string, cols []string, nEx int, strategy cost.Strategy) (*Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	m := s.meta.Model(model)
 	if m == nil {
 		return nil, fmt.Errorf("mistique: unknown model %q", model)
 	}
-	it := s.meta.Intermediate(model, interm)
-	if it == nil {
+	it, ok := s.meta.IntermSnapshot(model, interm)
+	if !ok {
 		return nil, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
 	}
 	if _, err := s.meta.RecordQuery(model, interm); err != nil {
@@ -139,9 +146,9 @@ func (s *System) Fetch(model, interm string, cols []string, nEx int, strategy co
 	start := time.Now()
 	var err error
 	if strategy == cost.Read {
-		res.Data, err = s.readMatrix(model, interm, it, cols, nEx)
+		res.Data, err = s.readMatrix(model, interm, &it, cols, nEx)
 	} else {
-		res.Data, err = s.rerunMatrix(m, it, cols, nEx)
+		res.Data, err = s.rerunMatrix(m, &it, cols, nEx)
 	}
 	if err != nil {
 		return nil, err
@@ -154,21 +161,20 @@ func (s *System) Fetch(model, interm string, cols []string, nEx int, strategy co
 // fetching nEx examples of an intermediate, without executing anything or
 // updating query counters.
 func (s *System) Estimate(model, interm string, nEx int) (readSecs, rerunSecs float64, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	m := s.meta.Model(model)
 	if m == nil {
 		return 0, 0, fmt.Errorf("mistique: unknown model %q", model)
 	}
-	it := s.meta.Intermediate(model, interm)
-	if it == nil {
+	it, ok := s.meta.IntermSnapshot(model, interm)
+	if !ok {
 		return 0, 0, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
 	}
 	if nEx <= 0 || nEx > it.Rows {
 		nEx = it.Rows
 	}
-	readSecs = cost.ReadSeconds(s.bytesPerRow(m, it), nEx, s.cfg.Cost)
-	rerunSecs, err = cost.RerunSeconds(m, it.StageIndex, nEx, s.cfg.Cost)
+	costP := s.CostParams()
+	readSecs = cost.ReadSeconds(s.bytesPerRow(m, &it), nEx, costP)
+	rerunSecs, err = cost.RerunSeconds(m, it.StageIndex, nEx, costP)
 	return readSecs, rerunSecs, err
 }
 
@@ -191,28 +197,44 @@ func (s *System) bytesPerRow(m *metadata.Model, it *metadata.Interm) int64 {
 	return int64(4 * len(it.Columns))
 }
 
-// readMatrix assembles the requested columns from stored chunks.
+// readMatrix is the ChunkReader's assembly path: it fans the requested
+// intermediate's (column, block) chunks out across the worker pool, each
+// task reading, decompressing and decoding one chunk and scattering it
+// into a disjoint region of the output matrix — so reassembly preserves
+// per-(column, block) ordering regardless of completion order.
 func (s *System) readMatrix(model, interm string, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
 	out := tensor.NewDense(nEx, len(cols))
 	blockRows := s.cfg.RowBlockRows
-	buf := make([]float32, 0, nEx)
-	for j, cname := range cols {
-		buf = buf[:0]
-		for b := 0; len(buf) < nEx; b++ {
-			key := colstore.ColumnKey{Model: model, Intermediate: interm, Column: cname, Block: b}
-			vals, err := s.store.GetColumn(key)
-			if err != nil {
-				return nil, fmt.Errorf("mistique: read %s: %w", key, err)
-			}
-			buf = append(buf, vals...)
-			if len(vals) < blockRows {
-				break // last block
-			}
+	nBlocks := (nEx + blockRows - 1) / blockRows
+	type task struct{ j, b int }
+	tasks := make([]task, 0, len(cols)*nBlocks)
+	for j := range cols {
+		for b := 0; b < nBlocks; b++ {
+			tasks = append(tasks, task{j: j, b: b})
 		}
-		if len(buf) < nEx {
-			return nil, fmt.Errorf("mistique: column %s.%s.%s has %d rows, need %d", model, interm, cname, len(buf), nEx)
+	}
+	err := parallel.ForEach(len(tasks), s.workers(), func(i int) error {
+		t := tasks[i]
+		lo := t.b * blockRows
+		want := nEx - lo
+		if want > blockRows {
+			want = blockRows
 		}
-		out.SetCol(j, buf[:nEx])
+		key := colstore.ColumnKey{Model: model, Intermediate: interm, Column: cols[t.j], Block: t.b}
+		vals, err := s.store.GetColumn(key)
+		if err != nil {
+			return fmt.Errorf("mistique: read %s: %w", key, err)
+		}
+		if len(vals) < want {
+			return fmt.Errorf("mistique: column %s.%s.%s has %d rows in block %d, need %d", model, interm, cols[t.j], len(vals), t.b, want)
+		}
+		for r := 0; r < want; r++ {
+			out.Data[(lo+r)*out.Cols+t.j] = vals[r]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -229,11 +251,13 @@ func (s *System) rerunMatrix(m *metadata.Model, it *metadata.Interm, cols []stri
 }
 
 func (s *System) rerunTRAD(model string, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
-	pm, ok := s.pipelines[model]
+	pm, ok := s.pipelineModelFor(model)
 	if !ok {
 		return nil, fmt.Errorf("mistique: pipeline %q not resident; re-log it to enable re-runs", model)
 	}
+	pm.exec.Lock()
 	res, err := pm.p.RunTo(it.StageIndex)
+	pm.exec.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +270,7 @@ func (s *System) rerunTRAD(model string, it *metadata.Interm, cols []string, nEx
 }
 
 func (s *System) rerunDNN(model string, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
-	dm, ok := s.networks[model]
+	dm, ok := s.dnnModelFor(model)
 	if !ok {
 		return nil, fmt.Errorf("mistique: network %q not resident; re-log it to enable re-runs", model)
 	}
@@ -254,7 +278,9 @@ func (s *System) rerunDNN(model string, it *metadata.Interm, cols []string, nEx 
 	if nEx < in.N {
 		in = in.SliceN(0, nEx)
 	}
+	dm.exec.Lock()
 	act := dm.net.ForwardBatched(in, it.StageIndex, dm.opts.BatchRows)
+	dm.exec.Unlock()
 	// Apply the same summarization as storage so the column space matches
 	// the catalog (pooled schemes shrink the unit count).
 	act = s.transformActivation(act, dm.opts.Scheme, dm.opts.PoolAgg)
@@ -266,9 +292,7 @@ func (s *System) rerunDNN(model string, it *metadata.Interm, cols []string, nEx 
 // activations — the ground truth the quantization-fidelity experiments
 // (Fig. 9, Tables 2-3) compare against.
 func (s *System) RerunRawDNN(model, layer string, nEx int) (*tensor.T4, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	dm, ok := s.networks[model]
+	dm, ok := s.dnnModelFor(model)
 	if !ok {
 		return nil, fmt.Errorf("mistique: network %q not resident", model)
 	}
@@ -280,6 +304,8 @@ func (s *System) RerunRawDNN(model, layer string, nEx int) (*tensor.T4, error) {
 	if nEx > 0 && nEx < in.N {
 		in = in.SliceN(0, nEx)
 	}
+	dm.exec.Lock()
+	defer dm.exec.Unlock()
 	return dm.net.ForwardBatched(in, li, dm.opts.BatchRows), nil
 }
 
@@ -306,7 +332,7 @@ func selectCols(full *tensor.Dense, names, want []string, nEx int) (*tensor.Dens
 func (s *System) materialize(m *metadata.Model, it *metadata.Interm) error {
 	switch m.Kind {
 	case metadata.TRAD:
-		pm, ok := s.pipelines[m.Name]
+		pm, ok := s.pipelineModelFor(m.Name)
 		if !ok {
 			return fmt.Errorf("pipeline %q not resident", m.Name)
 		}
@@ -319,7 +345,7 @@ func (s *System) materialize(m *metadata.Model, it *metadata.Interm) error {
 }
 
 func (s *System) materializeDNN(model string, it *metadata.Interm) error {
-	dm, ok := s.networks[model]
+	dm, ok := s.dnnModelFor(model)
 	if !ok {
 		return fmt.Errorf("network %q not resident", model)
 	}
@@ -339,21 +365,11 @@ func (s *System) materializeDNN(model string, it *metadata.Interm) error {
 	if err != nil {
 		return err
 	}
-	var stored int64
-	blockRows := s.cfg.RowBlockRows
-	for j, cname := range it.Columns {
-		col := full.Col(j)
-		for b := 0; b*blockRows < len(col); b++ {
-			lo, hi := b*blockRows, (b+1)*blockRows
-			if hi > len(col) {
-				hi = len(col)
-			}
-			res, err := s.store.PutColumn(colKey(model, it.Name, cname, b), col[lo:hi], quantFor(dm.opts.Scheme, fitted))
-			if err != nil {
-				return err
-			}
-			stored += res.EncodedBytes
-		}
+	stored, err := s.storeMatrix(model, it.Name, full, it.Columns, func([]float32) (*quant.Quantizer, error) {
+		return quantFor(dm.opts.Scheme, fitted), nil
+	})
+	if err != nil {
+		return err
 	}
 	return s.meta.SetMaterialized(model, it.Name, stored, string(dm.opts.Scheme))
 }
@@ -363,10 +379,8 @@ func (s *System) materializeDNN(model string, it *metadata.Interm) error {
 // predictions for examples with neuron-50 activation > 0.5" query class of
 // Sec. 8.3. Returns matching global row offsets in order.
 func (s *System) FilterRows(model, interm, column string, op colstore.Op, bound float32) ([]int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	it := s.meta.Intermediate(model, interm)
-	if it == nil {
+	it, ok := s.meta.IntermSnapshot(model, interm)
+	if !ok {
 		return nil, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
 	}
 	if !it.Materialized {
@@ -388,12 +402,10 @@ func (s *System) FilterRows(model, interm, column string, op colstore.Op, bound 
 
 // GetRows reads rows [from, to) of the given columns from a materialized
 // intermediate via the primary (row-aligned block) index, touching only
-// the covering RowBlocks.
+// the covering RowBlocks. Columns are fetched concurrently.
 func (s *System) GetRows(model, interm string, cols []string, from, to int) (*tensor.Dense, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	it := s.meta.Intermediate(model, interm)
-	if it == nil {
+	it, ok := s.meta.IntermSnapshot(model, interm)
+	if !ok {
 		return nil, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
 	}
 	if !it.Materialized {
@@ -412,12 +424,16 @@ func (s *System) GetRows(model, interm string, cols []string, from, to int) (*te
 		cols = it.Columns
 	}
 	out := tensor.NewDense(to-from, len(cols))
-	for j, cname := range cols {
-		vals, err := s.store.GetColumnRange(model, interm, cname, from, to)
+	err := parallel.ForEach(len(cols), s.workers(), func(j int) error {
+		vals, err := s.store.GetColumnRange(model, interm, cols[j], from, to)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out.SetCol(j, vals)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
