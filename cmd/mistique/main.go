@@ -50,6 +50,8 @@ func main() {
 		err = runScan(*dir, args)
 	case "fsck":
 		err = runFsck(*dir)
+	case "compact":
+		err = runCompact(*dir)
 	default:
 		usage()
 		os.Exit(2)
@@ -69,6 +71,7 @@ commands:
   scan     -model M -interm I -col C -op OP -bound V    zone-map predicate scan
   stats                                                 store statistics
   fsck                                                  verify store integrity
+  compact                                               reclaim garbage chunks
   catalog                                               list logged models`)
 }
 
@@ -251,6 +254,19 @@ func runFsck(dir string) error {
 		fmt.Println("PROBLEM:", p)
 	}
 	return fmt.Errorf("%d integrity problems", len(rep.Problems))
+}
+
+func runCompact(dir string) error {
+	sys, err := open(dir, true, 0)
+	if err != nil {
+		return err
+	}
+	reclaimed, err := sys.CompactStore()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reclaimed %d bytes\n", reclaimed)
+	return nil
 }
 
 func runStats(dir string) error {

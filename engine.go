@@ -30,6 +30,7 @@
 package mistique
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -159,6 +160,14 @@ func Open(dir string, cfg Config) (*System, error) {
 	metaPath := filepath.Join(dir, "metadata.json")
 	if _, statErr := os.Stat(metaPath); statErr == nil {
 		meta, err = metadata.Load(metaPath)
+		if errors.Is(err, metadata.ErrCorrupt) {
+			// Fail soft, like the store does for its manifest: quarantine
+			// the corrupt catalog and start fresh. Stored chunks survive in
+			// the column store and become queryable again as models are
+			// re-logged.
+			os.Rename(metaPath, metaPath+".corrupt")
+			meta, err = metadata.NewDB(), nil
+		}
 		if err != nil {
 			return nil, fmt.Errorf("mistique: reopen catalog: %w", err)
 		}
@@ -176,6 +185,10 @@ func Open(dir string, cfg Config) (*System, error) {
 
 // Metadata exposes the catalog (read-mostly; used by tools and tests).
 func (s *System) Metadata() *metadata.DB { return s.meta }
+
+// RecoveryReport returns what the store's Open-time recovery sweep had to
+// repair (nil only before Open completes; Clean() reports a healthy start).
+func (s *System) RecoveryReport() *colstore.RecoveryReport { return s.store.LastRecovery() }
 
 // Store exposes the column store for stats and flushing.
 func (s *System) Store() *colstore.Store { return s.store }

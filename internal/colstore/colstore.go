@@ -44,13 +44,27 @@ package colstore
 
 import (
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"sync"
 
+	"mistique/internal/faultfs"
 	"mistique/internal/minhash"
 	"mistique/internal/parallel"
 	"mistique/internal/quant"
 )
+
+// ErrUnavailable marks a chunk whose backing partition is missing,
+// corrupt, or quarantined. The data is not gone — MISTIQUE can always
+// re-run the model (the paper's RERUN strategy) — so callers holding a
+// model treat this error as "recover via re-run", never as fatal.
+var ErrUnavailable = errors.New("colstore: chunk unavailable (missing or quarantined partition)")
+
+// ErrNotStored marks a lookup of a column the store has no mapping for.
+// The engine treats it like ErrUnavailable when the catalog says the
+// intermediate was materialized (a catalog/store mismatch after partial
+// recovery), and as a caller bug otherwise.
+var ErrNotStored = errors.New("colstore: column not stored")
 
 // Mode selects how ColumnChunks are assigned to Partitions.
 type Mode int
@@ -97,6 +111,15 @@ type Config struct {
 	// Workers bounds the goroutines used by Flush and Compact to compress
 	// and write partitions (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// FS overrides the filesystem used for durable writes (nil = real OS).
+	// Fault-injection tests substitute a faultfs.Injector to tear writes,
+	// fail fsyncs and simulate crashes at arbitrary points.
+	FS faultfs.FS
+	// SkipRecoveryScan disables the checksum verification of every
+	// partition file during Open. Orphan sweeping and manifest
+	// reconciliation still run; corrupt files are then caught (and
+	// quarantined) lazily on first read instead.
+	SkipRecoveryScan bool
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +179,18 @@ type partition struct {
 	sealed bool
 	dirty  bool // has content not yet on disk
 	onDisk bool
+	// gen is the file generation: compaction rewrites a partition under a
+	// new generation and the manifest flips old→new atomically, so a crash
+	// mid-compact can never leave the manifest pointing at remapped data.
+	gen int
+	// lost marks a partition whose file is missing or quarantined; every
+	// chunk read returns ErrUnavailable and the engine recovers by re-run.
+	lost bool
+	// diskChunks is the number of chunks known to be in the on-disk file
+	// (-1 = not yet verified). wantChunks is the count the manifest
+	// promised; a shortfall marks the tail chunks unavailable.
+	diskChunks int
+	wantChunks int
 	// flushing marks a partition whose file a Flush/Compact worker is
 	// writing; the evictor leaves it alone (see package comment).
 	flushing bool
@@ -190,6 +225,15 @@ type Stats struct {
 	DiskWrites     int64
 	DiskReadBytes  int64
 	DiskWriteBytes int64
+	// RecoveredReads counts queries that hit a missing/corrupt chunk and
+	// were transparently answered by re-running the model.
+	RecoveredReads int64
+	// CorruptPartitions counts partitions quarantined after failing a
+	// checksum or going missing (at Open or on a cold read).
+	CorruptPartitions int64
+	// FsyncCount counts fsyncs issued on partition/manifest files and
+	// their directory — the price of the durability guarantees.
+	FsyncCount int64
 }
 
 // Store is the DataStore. It is safe for concurrent use.
@@ -201,6 +245,16 @@ type Store struct {
 	mu  sync.Mutex
 	cfg Config
 	dir string
+	// fs is the injectable write-side filesystem (faultfs.OS in prod).
+	fs faultfs.FS
+	// generation is the manifest generation, bumped on every write; a
+	// reopened store continues the sequence.
+	generation int64
+	// lostChunks records chunk ids the recovery sweep found unreachable
+	// (partial files, vanished partitions); reads return ErrUnavailable.
+	lostChunks map[ChunkID]struct{}
+	// recovery is the report of the last Open's recovery sweep.
+	recovery *RecoveryReport
 
 	parts    map[int64]*partition
 	nextPart int64
@@ -235,25 +289,49 @@ type Store struct {
 // manifest from a previous Flush, the column map and partition index are
 // restored and all flushed chunks are readable; dedup state is rebuilt
 // lazily (new chunks do not dedup against pre-restart data).
+//
+// Open is also the recovery point: orphan temp files from a crashed flush
+// are swept, the manifest is reconciled against the directory, and
+// missing or checksum-failing partition files are quarantined into a
+// corrupt/ subdirectory instead of aborting — their chunks answer
+// ErrUnavailable and the engine recovers them by re-running the model.
 func Open(dir string, cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
 	if err := mkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("colstore: open %s: %w", dir, err)
 	}
 	const sigBits = 64
-	s := &Store{
-		cfg:     cfg,
-		dir:     dir,
-		parts:   make(map[int64]*partition),
-		current: -1,
-		hashes:  make(map[[32]byte]ChunkID),
-		hasher:  minhash.NewHasher(sigBits, 0x5155454e), // deterministic
-		lsh:     minhash.NewIndex(16, 4),                // candidate threshold ~(1/16)^(1/4) = 0.5
-		sigPart: make(map[int]int64),
-		columns: make(map[ColumnKey]ChunkID),
-		zones:   make(map[ChunkID]zone),
+	fs := cfg.FS
+	if fs == nil {
+		fs = faultfs.OS()
 	}
+	s := &Store{
+		cfg:        cfg,
+		dir:        dir,
+		fs:         fs,
+		parts:      make(map[int64]*partition),
+		current:    -1,
+		hashes:     make(map[[32]byte]ChunkID),
+		hasher:     minhash.NewHasher(sigBits, 0x5155454e), // deterministic
+		lsh:        minhash.NewIndex(16, 4),                // candidate threshold ~(1/16)^(1/4) = 0.5
+		sigPart:    make(map[int]int64),
+		columns:    make(map[ColumnKey]ChunkID),
+		zones:      make(map[ChunkID]zone),
+		lostChunks: make(map[ChunkID]struct{}),
+	}
+	manifestCorrupt := false
 	if err := s.loadManifest(); err != nil {
+		if !errors.Is(err, errCorruptManifest) {
+			return nil, err
+		}
+		// A corrupt manifest survives only literal disk corruption (the
+		// write protocol is atomic); quarantine it and start from an empty
+		// logical state — the sweep below quarantines the now-unreferenced
+		// partition files, and re-logging/re-running rebuilds the data.
+		manifestCorrupt = true
+		s.moveToCorrupt(manifestName)
+	}
+	if err := s.recoverOnOpen(manifestCorrupt); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -299,11 +377,21 @@ func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (Pu
 				return PutResult{ID: id, Deduped: true}, nil
 			}
 		}
-		if same, err := s.chunkMatchesLocked(existing, enc); err == nil && same {
+		same, err := s.chunkMatchesLocked(existing, enc)
+		switch {
+		case err == nil && same:
 			s.stats.ChunksDeduped++
 			return PutResult{ID: existing, Deduped: true}, nil
+		case err != nil && errors.Is(err, ErrUnavailable):
+			// The mapped chunk was lost to corruption. Re-logging the model
+			// is the natural repair, so accept the re-put: drop the dead
+			// mapping and fall through to store a fresh chunk.
+			delete(s.columns, key)
+		case err != nil:
+			return PutResult{}, err
+		default:
+			return PutResult{}, fmt.Errorf("colstore: column %s already stored with different content", key)
 		}
-		return PutResult{}, fmt.Errorf("colstore: column %s already stored with different content", key)
 	}
 	if !s.cfg.DisableExactDedup {
 		if id, ok := s.hashes[h]; ok {
@@ -351,6 +439,9 @@ func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (Pu
 // equals enc (used for idempotent re-puts when exact dedup is disabled or
 // the hash table was not restored after reopen).
 func (s *Store) chunkMatchesLocked(id ChunkID, enc []byte) (bool, error) {
+	if _, bad := s.lostChunks[id]; bad {
+		return false, fmt.Errorf("colstore: chunk %d/%d: %w", id.Partition, id.Index, ErrUnavailable)
+	}
 	p, err := s.loadPartitionLocked(id.Partition)
 	if err != nil {
 		return false, err
@@ -447,7 +538,7 @@ func (s *Store) GetColumn(key ColumnKey) ([]float32, error) {
 	id, ok := s.columns[key]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("colstore: column %s not stored", key)
+		return nil, fmt.Errorf("colstore: column %s: %w", key, ErrNotStored)
 	}
 	return s.readChunk(id)
 }
@@ -495,7 +586,15 @@ func (s *Store) chunkRef(id ChunkID) (*chunk, error) {
 	p, ok := s.parts[id.Partition]
 	if !ok {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("colstore: unknown partition %d", id.Partition)
+		return nil, fmt.Errorf("colstore: unknown partition %d: %w", id.Partition, ErrUnavailable)
+	}
+	if p.lost {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("colstore: partition %d: %w", id.Partition, ErrUnavailable)
+	}
+	if _, bad := s.lostChunks[id]; bad {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("colstore: chunk %d/%d: %w", id.Partition, id.Index, ErrUnavailable)
 	}
 	if p.chunks != nil {
 		c, err := chunkAtLocked(p, id)
@@ -513,7 +612,11 @@ func (s *Store) chunkRef(id ChunkID) (*chunk, error) {
 	s.mu.Lock()
 	if _, still := s.parts[id.Partition]; !still {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("colstore: unknown partition %d", id.Partition)
+		return nil, fmt.Errorf("colstore: unknown partition %d: %w", id.Partition, ErrUnavailable)
+	}
+	if p.lost {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("colstore: partition %d: %w", id.Partition, ErrUnavailable)
 	}
 	if p.chunks != nil {
 		c, err := chunkAtLocked(p, id)
@@ -521,12 +624,18 @@ func (s *Store) chunkRef(id ChunkID) (*chunk, error) {
 		s.mu.Unlock()
 		return c, err
 	}
-	path := s.partPath(id.Partition)
+	path := s.partPathGen(id.Partition, p.gen)
 	s.mu.Unlock()
 
 	chunks, payload, fileBytes, err := readPartitionFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("colstore: read partition %d: %w", id.Partition, err)
+		// The file failed its checksum (or vanished): quarantine it so no
+		// later read trusts it, and tell the caller the chunk is
+		// recoverable-by-rerun rather than fatally gone.
+		s.mu.Lock()
+		s.quarantineLocked(p, err)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("colstore: read partition %d: %v: %w", id.Partition, err, ErrUnavailable)
 	}
 
 	s.mu.Lock()
@@ -577,10 +686,13 @@ func (s *Store) readChunkLocked(id ChunkID) ([]float32, error) {
 	return out, nil
 }
 
-// flushTask pairs a partition with the chunk snapshot a worker serializes.
+// flushTask pairs a partition with the chunk snapshot a worker serializes
+// and the destination path (resolved under mu, since compaction can bump
+// the partition's file generation).
 type flushTask struct {
 	p      *partition
 	chunks []*chunk
+	path   string
 }
 
 // Flush writes every dirty partition to disk and persists the manifest
@@ -601,9 +713,9 @@ func (s *Store) flushDirty() error {
 	s.mu.Lock()
 	var tasks []flushTask
 	for _, p := range s.parts {
-		if p.dirty && len(p.chunks) > 0 {
+		if p.dirty && len(p.chunks) > 0 && !p.lost {
 			p.flushing = true
-			tasks = append(tasks, flushTask{p: p, chunks: p.chunks})
+			tasks = append(tasks, flushTask{p: p, chunks: p.chunks, path: s.partPathGen(p.id, p.gen)})
 		}
 	}
 	workers := s.cfg.Workers
@@ -628,13 +740,15 @@ func (s *Store) flushDirty() error {
 // the partition's state under mu. Used by the parallel Flush/Compact
 // workers; the caller must have set p.flushing under mu.
 func (s *Store) writeSnapshot(t flushTask) error {
-	size, err := s.writePartitionFile(t.p.id, t.chunks)
+	size, fsyncs, err := writePartitionFileAt(s.fs, t.path, t.chunks)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.FsyncCount += fsyncs
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	t.p.onDisk = true
+	t.p.diskChunks = len(t.chunks)
 	// Only mark clean if no chunks were appended since the snapshot;
 	// otherwise the file is a prefix and the next flush rewrites it.
 	if len(t.p.chunks) == len(t.chunks) {
@@ -676,6 +790,23 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// NoteRecoveredRead records that a query hit an unavailable chunk and was
+// transparently answered by re-running the model (the engine calls this
+// from its rerun-fallback path).
+func (s *Store) NoteRecoveredRead() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.RecoveredReads++
+}
+
+// ManifestGeneration returns the generation number of the last manifest
+// written (or restored). Zero means no manifest has ever been written.
+func (s *Store) ManifestGeneration() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.generation
 }
 
 // DiskBytes returns the total size of partition files on disk. Call Flush

@@ -28,11 +28,25 @@ func (s *Store) refCountLocked() map[ChunkID]int {
 // number of logical columns removed. Physical bytes are reclaimed by the
 // next Compact.
 func (s *Store) DeleteModel(model string) int {
+	return s.deleteWhere(func(k ColumnKey) bool { return k.Model == model })
+}
+
+// DeleteColumns drops the column mappings of one intermediate. The
+// engine's recovery path uses it before re-materializing an intermediate
+// whose chunks were quarantined, so the fresh puts are stored instead of
+// colliding with dead mappings.
+func (s *Store) DeleteColumns(model, interm string) int {
+	return s.deleteWhere(func(k ColumnKey) bool {
+		return k.Model == model && k.Intermediate == interm
+	})
+}
+
+func (s *Store) deleteWhere(match func(ColumnKey) bool) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	removed := 0
 	for k := range s.columns {
-		if k.Model == model {
+		if match(k) {
 			delete(s.columns, k)
 			removed++
 		}
@@ -51,6 +65,11 @@ func (s *Store) DeleteModel(model string) int {
 				delete(s.zones, id)
 			}
 		}
+		for id := range s.lostChunks {
+			if refs[id] == 0 {
+				delete(s.lostChunks, id)
+			}
+		}
 	}
 	return removed
 }
@@ -63,6 +82,9 @@ func (s *Store) GarbageBytes() (int64, error) {
 	refs := s.refCountLocked()
 	var garbage int64
 	for pid, p := range s.parts {
+		if p.lost {
+			continue // quarantined: no readable bytes to reclaim
+		}
 		chunks, err := s.partitionChunksLocked(pid, p)
 		if err != nil {
 			return 0, err
@@ -96,12 +118,21 @@ func (s *Store) partitionChunksLocked(pid int64, p *partition) ([]*chunk, error)
 // store stays reopenable. The index surgery happens under the index lock;
 // the rewritten partition files are then gzip-compressed and written
 // concurrently (bounded by Config.Workers), like Flush.
+//
+// Compaction is crash-safe: a rewrite remaps chunk indices, so it goes to
+// a NEW file generation, and the manifest write flips old→new atomically.
+// Old-generation files are removed only after the manifest is durable; a
+// crash at any point leaves a manifest whose referenced files are intact
+// (stale leftovers are quarantined by the next Open's recovery sweep).
 func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
 	s.mu.Lock()
 	refs := s.refCountLocked()
 	var rewrites []flushTask
+	// removals collects files to delete after the manifest commits: old
+	// generations of rewritten partitions and files of emptied ones.
+	var removals []string
 
 	// Reverse index: partition -> column keys referencing it.
 	byPart := make(map[int64][]ColumnKey)
@@ -110,6 +141,28 @@ func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 	}
 
 	for pid, p := range s.parts {
+		if p.lost {
+			// Quarantined: nothing readable to rewrite. Once no column
+			// references it (every mapping healed, re-logged or deleted),
+			// the tombstone itself is garbage — drop it so the manifest
+			// forgets it. The quarantined file stays in corrupt/ for
+			// post-mortem.
+			if len(byPart[pid]) == 0 {
+				for id := range s.lostChunks {
+					if id.Partition == pid {
+						delete(s.lostChunks, id)
+					}
+				}
+				for id := range s.zones {
+					if id.Partition == pid {
+						delete(s.zones, id)
+					}
+				}
+				delete(s.parts, pid)
+				s.stats.Partitions--
+			}
+			continue
+		}
 		chunks, err := s.partitionChunksLocked(pid, p)
 		if err != nil {
 			s.mu.Unlock()
@@ -181,12 +234,10 @@ func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 		p.dirty = true
 
 		if len(live) == 0 {
-			// Empty partition: remove entirely.
+			// Empty partition: drop it from the index now, remove its file
+			// only after the manifest no longer references it.
 			if p.onDisk {
-				if rmErr := os.Remove(s.partPath(pid)); rmErr != nil && !os.IsNotExist(rmErr) {
-					s.mu.Unlock()
-					return droppedChunks, reclaimed, fmt.Errorf("colstore: compact remove partition %d: %w", pid, rmErr)
-				}
+				removals = append(removals, s.partPathGen(pid, p.gen))
 			}
 			delete(s.parts, pid)
 			s.stats.Partitions--
@@ -195,9 +246,12 @@ func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 		if p.onDisk {
 			// The partition is resident after the remap and on-disk files
 			// never receive appends, so the snapshot is stable; mark it
-			// flushing to fence off the evictor and rewrite concurrently.
+			// flushing to fence off the evictor and rewrite concurrently —
+			// under a bumped file generation, since the chunk indices moved.
+			removals = append(removals, s.partPathGen(pid, p.gen))
+			p.gen++
 			p.flushing = true
-			rewrites = append(rewrites, flushTask{p: p, chunks: live})
+			rewrites = append(rewrites, flushTask{p: p, chunks: live, path: s.partPathGen(pid, p.gen)})
 		}
 	}
 	s.stats.StoredBytes -= reclaimed
@@ -216,7 +270,18 @@ func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 	if werr != nil {
 		return droppedChunks, reclaimed, werr
 	}
-	return droppedChunks, reclaimed, s.writeManifestLocked()
+	if err := s.writeManifestLocked(); err != nil {
+		return droppedChunks, reclaimed, err
+	}
+	// The manifest is durable; the old generations are now garbage. Best
+	// effort: a failed (or crashed) removal leaves files the next Open
+	// quarantines.
+	for _, path := range removals {
+		if err := s.fs.Remove(path); err != nil && !os.IsNotExist(err) {
+			break // crashed/failing fs: recovery sweeps the rest later
+		}
+	}
+	return droppedChunks, reclaimed, nil
 }
 
 // VerifyReport summarizes a store integrity check.
@@ -238,8 +303,30 @@ func (s *Store) Verify() (*VerifyReport, error) {
 	rep := &VerifyReport{Columns: len(s.columns)}
 	refs := s.refCountLocked()
 
+	// A quarantined partition is only a problem while columns still point
+	// into it — that data is unavailable until healed. Once every mapping
+	// has been healed or deleted, the tombstone is just garbage awaiting
+	// Compact.
+	lostRefs := make(map[int64]int)
+	for _, id := range s.columns {
+		if _, bad := s.lostChunks[id]; bad {
+			lostRefs[id.Partition]++
+			continue
+		}
+		if p, ok := s.parts[id.Partition]; ok && p.lost {
+			lostRefs[id.Partition]++
+		}
+	}
+
 	for pid, p := range s.parts {
 		rep.Partitions++
+		if p.lost {
+			if n := lostRefs[pid]; n > 0 {
+				rep.Problems = append(rep.Problems,
+					fmt.Sprintf("partition %d quarantined: %d columns unavailable (rerun or re-log to heal)", pid, n))
+			}
+			continue
+		}
 		chunks, err := s.partitionChunksLocked(pid, p)
 		if err != nil {
 			rep.Problems = append(rep.Problems, fmt.Sprintf("partition %d unreadable: %v", pid, err))

@@ -5,10 +5,12 @@ import (
 	"compress/gzip"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 
+	"mistique/internal/faultfs"
 	"mistique/internal/quant"
 )
 
@@ -21,26 +23,51 @@ import (
 //	  count   uint32 (number of values)
 //	  qlen    uint32, quantizer blob
 //	  elen    uint32, encoded payload
+//	  crc32c  uint32 over the chunk's meta+quantizer+payload (v2)
+//	crc32c  uint32 over every preceding byte (v2 whole-file footer)
+//
+// Version 2 adds the CRC32-C checksums; v1 files (no checksums) remain
+// readable. Every read verifies both levels: a bit flip, truncation or
+// torn write yields an error — never silently wrong values — and the
+// store quarantines the file and falls back to re-running the model.
 const (
 	partMagic   = "MQPT"
-	partVersion = 1
+	partVersion = 2
 )
 
-func (s *Store) partPath(pid int64) string {
-	return filepath.Join(s.dir, fmt.Sprintf("partition_%08d.bin.gz", pid))
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64), shared by partition files and the metadata envelope.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// partFileName is the on-disk name of one partition generation. Gen 0
+// keeps the legacy name so pre-upgrade directories reopen unchanged;
+// compaction bumps the generation and writes a new file, which makes the
+// rewrite crash-safe (the manifest flips old→new atomically, and
+// whichever file the surviving manifest names is intact).
+func partFileName(pid int64, gen int) string {
+	if gen == 0 {
+		return fmt.Sprintf("partition_%08d.bin.gz", pid)
+	}
+	return fmt.Sprintf("partition_%08d.g%04d.bin.gz", pid, gen)
 }
 
-// writePartitionFile gzip-compresses a chunk snapshot and writes it as
-// partition pid's file, atomically (unique temp file, then rename — so a
-// concurrent reader of the same path always sees a complete file, and two
-// concurrent writers cannot interleave). Returns the compressed file size.
-// Holds no Store locks: chunks are immutable, so the snapshot can be
-// serialized concurrently with puts appending to the live partition.
-func writePartitionFileAt(path string, chunks []*chunk) (int64, error) {
+func (s *Store) partPathGen(pid int64, gen int) string {
+	return filepath.Join(s.dir, partFileName(pid, gen))
+}
+
+// writePartitionFileAt gzip-compresses a chunk snapshot and writes it at
+// path, atomically and durably: unique temp file, fsync the file, rename,
+// fsync the parent directory — so a concurrent reader of the same path
+// always sees a complete file and a crash at any point leaves either the
+// old file or the new one, never a prefix. Returns the compressed file
+// size and the number of fsyncs issued. Holds no Store locks: chunks are
+// immutable, so the snapshot can be serialized concurrently with puts
+// appending to the live partition.
+func writePartitionFileAt(fs faultfs.FS, path string, chunks []*chunk) (size, fsyncs int64, err error) {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	f, err := fs.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return 0, fmt.Errorf("colstore: create temp for %s: %w", path, err)
+		return 0, 0, fmt.Errorf("colstore: create temp for %s: %w", path, err)
 	}
 	tmp := f.Name()
 	bw := bufio.NewWriter(f)
@@ -52,82 +79,116 @@ func writePartitionFileAt(path string, chunks []*chunk) (int64, error) {
 	if err == nil {
 		err = bw.Flush()
 	}
+	if err == nil {
+		// The write barrier: the data must be on the platter before the
+		// rename publishes the name.
+		err = f.Sync()
+		if err == nil {
+			fsyncs++
+		}
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
-		return 0, fmt.Errorf("colstore: write partition file %s: %w", path, err)
+		fs.Remove(tmp) // best effort; a crashed process leaves the orphan
+		return 0, fsyncs, fmt.Errorf("colstore: write partition file %s: %w", path, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return 0, fmt.Errorf("colstore: rename %s: %w", tmp, err)
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return 0, fsyncs, fmt.Errorf("colstore: rename %s: %w", tmp, err)
 	}
+	if err := fs.SyncDir(dir); err != nil {
+		return 0, fsyncs, fmt.Errorf("colstore: sync dir %s: %w", dir, err)
+	}
+	fsyncs++
 	st, err := os.Stat(path)
 	if err != nil {
-		return 0, err
+		return 0, fsyncs, err
 	}
-	return st.Size(), nil
-}
-
-func (s *Store) writePartitionFile(pid int64, chunks []*chunk) (int64, error) {
-	return writePartitionFileAt(s.partPath(pid), chunks)
+	return st.Size(), fsyncs, nil
 }
 
 // writePartitionLocked writes a partition's current chunks while the
 // caller holds mu (eviction and DropCache stragglers use it; the parallel
 // Flush path uses writeSnapshot instead).
 func (s *Store) writePartitionLocked(p *partition) error {
-	size, err := s.writePartitionFile(p.id, p.chunks)
+	size, fsyncs, err := writePartitionFileAt(s.fs, s.partPathGen(p.id, p.gen), p.chunks)
+	s.stats.FsyncCount += fsyncs
 	if err != nil {
 		return fmt.Errorf("colstore: write partition %d: %w", p.id, err)
 	}
 	p.dirty = false
 	p.onDisk = true
+	p.diskChunks = len(p.chunks)
 	s.stats.DiskWrites++
 	s.stats.DiskWriteBytes += size
 	return nil
 }
 
+// crcWriter tees writes into a running CRC32-C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, castagnoli, p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
 func writePartitionTo(w io.Writer, chunks []*chunk) (int64, error) {
-	var written int64
-	put := func(b []byte) error {
-		n, err := w.Write(b)
-		written += int64(n)
-		return err
-	}
+	cw := &crcWriter{w: w}
 	hdr := make([]byte, 0, 10)
 	hdr = append(hdr, partMagic...)
 	hdr = binary.LittleEndian.AppendUint16(hdr, partVersion)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(chunks)))
-	if err := put(hdr); err != nil {
-		return written, err
+	if _, err := cw.Write(hdr); err != nil {
+		return cw.n, err
 	}
 	for _, c := range chunks {
 		qb, err := c.q.MarshalBinary()
 		if err != nil {
-			return written, err
+			return cw.n, err
 		}
 		meta := make([]byte, 0, 12)
 		meta = binary.LittleEndian.AppendUint32(meta, uint32(c.count))
 		meta = binary.LittleEndian.AppendUint32(meta, uint32(len(qb)))
 		meta = binary.LittleEndian.AppendUint32(meta, uint32(len(c.enc)))
-		if err := put(meta); err != nil {
-			return written, err
+		chunkCRC := crc32.Update(0, castagnoli, meta)
+		chunkCRC = crc32.Update(chunkCRC, castagnoli, qb)
+		chunkCRC = crc32.Update(chunkCRC, castagnoli, c.enc)
+		if _, err := cw.Write(meta); err != nil {
+			return cw.n, err
 		}
-		if err := put(qb); err != nil {
-			return written, err
+		if _, err := cw.Write(qb); err != nil {
+			return cw.n, err
 		}
-		if err := put(c.enc); err != nil {
-			return written, err
+		if _, err := cw.Write(c.enc); err != nil {
+			return cw.n, err
+		}
+		var crcBuf [4]byte
+		binary.LittleEndian.PutUint32(crcBuf[:], chunkCRC)
+		if _, err := cw.Write(crcBuf[:]); err != nil {
+			return cw.n, err
 		}
 	}
-	return written, nil
+	// Whole-file footer: CRC over everything above, written outside the
+	// running hash.
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], cw.crc)
+	if _, err := w.Write(foot[:]); err != nil {
+		return cw.n, err
+	}
+	return cw.n + 4, nil
 }
 
-// readPartitionFile opens, gunzips and decodes one partition file. Holds no
-// Store locks; safe to run concurrently with writers thanks to the atomic
-// temp-and-rename write protocol.
+// readPartitionFile opens, gunzips, decodes and checksum-verifies one
+// partition file. Holds no Store locks; safe to run concurrently with
+// writers thanks to the atomic temp-and-rename write protocol.
 func readPartitionFile(path string) (chunks []*chunk, payload, fileBytes int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -159,13 +220,17 @@ func (s *Store) loadPartitionLocked(pid int64) (*partition, error) {
 	if !ok {
 		return nil, fmt.Errorf("colstore: unknown partition %d", pid)
 	}
+	if p.lost {
+		return nil, fmt.Errorf("colstore: partition %d: %w", pid, ErrUnavailable)
+	}
 	if p.chunks != nil {
 		s.touchLocked(pid)
 		return p, nil
 	}
-	chunks, payload, fileBytes, err := readPartitionFile(s.partPath(pid))
+	chunks, payload, fileBytes, err := readPartitionFile(s.partPathGen(pid, p.gen))
 	if err != nil {
-		return nil, fmt.Errorf("colstore: read partition %d: %w", pid, err)
+		s.quarantineLocked(p, err)
+		return nil, fmt.Errorf("colstore: read partition %d: %v: %w", pid, err, ErrUnavailable)
 	}
 	p.chunks = chunks
 	p.bytes = payload
@@ -196,15 +261,26 @@ const (
 
 func readPartitionFrom(r io.Reader) ([]*chunk, int64, error) {
 	br := bufio.NewReader(r)
+	fileCRC := uint32(0)
+	// readFull pulls exactly len(buf) bytes and folds them into the
+	// whole-file checksum (the footer itself is read outside it).
+	readFull := func(buf []byte) error {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		fileCRC = crc32.Update(fileCRC, castagnoli, buf)
+		return nil
+	}
 	hdr := make([]byte, 10)
-	if _, err := io.ReadFull(br, hdr); err != nil {
+	if err := readFull(hdr); err != nil {
 		return nil, 0, err
 	}
 	if string(hdr[:4]) != partMagic {
 		return nil, 0, fmt.Errorf("bad magic %q", hdr[:4])
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:]); v != partVersion {
-		return nil, 0, fmt.Errorf("unsupported version %d", v)
+	version := binary.LittleEndian.Uint16(hdr[4:])
+	if version != 1 && version != partVersion {
+		return nil, 0, fmt.Errorf("unsupported version %d", version)
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[6:]))
 	prealloc := n
@@ -214,8 +290,9 @@ func readPartitionFrom(r io.Reader) ([]*chunk, int64, error) {
 	chunks := make([]*chunk, 0, prealloc)
 	var payload int64
 	meta := make([]byte, 12)
+	crcBuf := make([]byte, 4)
 	for i := 0; i < n; i++ {
-		if _, err := io.ReadFull(br, meta); err != nil {
+		if err := readFull(meta); err != nil {
 			return nil, 0, fmt.Errorf("chunk %d header: %w", i, err)
 		}
 		count := int(binary.LittleEndian.Uint32(meta))
@@ -225,19 +302,43 @@ func readPartitionFrom(r io.Reader) ([]*chunk, int64, error) {
 			return nil, 0, fmt.Errorf("chunk %d implausible sizes q=%d e=%d", i, qlen, elen)
 		}
 		qb := make([]byte, qlen)
-		if _, err := io.ReadFull(br, qb); err != nil {
+		if err := readFull(qb); err != nil {
 			return nil, 0, fmt.Errorf("chunk %d quantizer: %w", i, err)
+		}
+		enc := make([]byte, elen)
+		if err := readFull(enc); err != nil {
+			return nil, 0, fmt.Errorf("chunk %d payload: %w", i, err)
+		}
+		if version >= 2 {
+			if err := readFull(crcBuf); err != nil {
+				return nil, 0, fmt.Errorf("chunk %d checksum: %w", i, err)
+			}
+			want := binary.LittleEndian.Uint32(crcBuf)
+			got := crc32.Update(0, castagnoli, meta)
+			got = crc32.Update(got, castagnoli, qb)
+			got = crc32.Update(got, castagnoli, enc)
+			if got != want {
+				return nil, 0, fmt.Errorf("chunk %d checksum mismatch: file says %08x, data hashes to %08x", i, want, got)
+			}
 		}
 		q := new(quant.Quantizer)
 		if err := q.UnmarshalBinary(qb); err != nil {
 			return nil, 0, fmt.Errorf("chunk %d quantizer: %w", i, err)
 		}
-		enc := make([]byte, elen)
-		if _, err := io.ReadFull(br, enc); err != nil {
-			return nil, 0, fmt.Errorf("chunk %d payload: %w", i, err)
-		}
 		chunks = append(chunks, &chunk{enc: enc, count: count, q: q})
 		payload += int64(elen)
+	}
+	if version >= 2 {
+		foot := make([]byte, 4)
+		if _, err := io.ReadFull(br, foot); err != nil {
+			return nil, 0, fmt.Errorf("file footer: %w", err)
+		}
+		if want := binary.LittleEndian.Uint32(foot); want != fileCRC {
+			return nil, 0, fmt.Errorf("file checksum mismatch: footer says %08x, contents hash to %08x", want, fileCRC)
+		}
+		if _, err := br.ReadByte(); err != io.EOF {
+			return nil, 0, fmt.Errorf("trailing bytes after footer")
+		}
 	}
 	return chunks, payload, nil
 }

@@ -113,7 +113,7 @@ func (s *Store) ScanColumn(model, interm, column string, op Op, bound float32) (
 		if !ok {
 			if b == 0 {
 				s.mu.Unlock()
-				return nil, 0, fmt.Errorf("colstore: column %s not stored", key)
+				return nil, 0, fmt.Errorf("colstore: column %s: %w", key, ErrNotStored)
 			}
 			break
 		}
@@ -157,7 +157,7 @@ func (s *Store) GetColumnRange(model, interm, column string, from, to int) ([]fl
 		id, ok := s.columns[key]
 		if !ok {
 			s.mu.Unlock()
-			return nil, fmt.Errorf("colstore: column %s not stored (range [%d,%d))", key, from, to)
+			return nil, fmt.Errorf("colstore: column %s (range [%d,%d)): %w", key, from, to, ErrNotStored)
 		}
 		ids = append(ids, id)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -13,9 +14,21 @@ import (
 // The manifest persists the store's logical state — the column→chunk map
 // and per-partition bookkeeping — so a store directory can be reopened and
 // served without re-logging. Partition payloads stay in their own files;
-// the manifest is small and rewritten atomically on every Flush.
+// the manifest is small and rewritten atomically and durably (unique temp
+// file, fsync file + directory, rename) on every Flush. A monotonically
+// increasing generation number stamps each write, so recovery and tests
+// can tell which logical state survived a crash.
 
-const manifestName = "MANIFEST.json.gz"
+const (
+	manifestName    = "MANIFEST.json.gz"
+	manifestVersion = 2
+)
+
+// errCorruptManifest marks a manifest that exists but cannot be decoded.
+// Open quarantines it and starts from an empty logical state instead of
+// aborting; the partition files it referenced are quarantined by the
+// recovery sweep and the data is rebuilt by re-logging or re-running.
+var errCorruptManifest = errors.New("colstore: corrupt manifest")
 
 type manifestColumn struct {
 	Key   ColumnKey `json:"key"`
@@ -34,10 +47,16 @@ type manifestPartition struct {
 	Chunks int   `json:"chunks"`
 	Bytes  int64 `json:"bytes"`
 	Sealed bool  `json:"sealed"`
+	// Gen is the partition's file generation (compaction bumps it).
+	Gen int `json:"gen,omitempty"`
+	// Lost records a quarantined partition so reopening keeps answering
+	// ErrUnavailable (and the rerun fallback) for its chunks.
+	Lost bool `json:"lost,omitempty"`
 }
 
 type manifest struct {
 	Version    int                 `json:"version"`
+	Generation int64               `json:"generation,omitempty"`
 	NextPart   int64               `json:"next_partition"`
 	Columns    []manifestColumn    `json:"columns"`
 	Partitions []manifestPartition `json:"partitions"`
@@ -45,9 +64,13 @@ type manifest struct {
 	Stats      Stats               `json:"stats"`
 }
 
-// writeManifestLocked persists the logical state. Caller holds s.mu.
+// writeManifestLocked persists the logical state, atomically (unique temp
+// + rename, so concurrent stores or a crash can never interleave or tear
+// the published file) and durably (fsync file and directory). Caller
+// holds s.mu.
 func (s *Store) writeManifestLocked() error {
-	m := manifest{Version: 1, NextPart: s.nextPart, Stats: s.stats}
+	s.generation++
+	m := manifest{Version: manifestVersion, Generation: s.generation, NextPart: s.nextPart, Stats: s.stats}
 	for k, id := range s.columns {
 		m.Columns = append(m.Columns, manifestColumn{Key: k, Chunk: id})
 	}
@@ -60,6 +83,8 @@ func (s *Store) writeManifestLocked() error {
 			Chunks: len(p.chunks),
 			Bytes:  p.bytes,
 			Sealed: p.sealed,
+			Gen:    p.gen,
+			Lost:   p.lost,
 		})
 	}
 	blob, err := json.Marshal(&m)
@@ -75,11 +100,34 @@ func (s *Store) writeManifestLocked() error {
 		return fmt.Errorf("colstore: compress manifest: %w", err)
 	}
 	path := filepath.Join(s.dir, manifestName)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	f, err := s.fs.CreateTemp(s.dir, manifestName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("colstore: create manifest temp: %w", err)
+	}
+	tmp := f.Name()
+	_, err = f.Write(buf.Bytes())
+	if err == nil {
+		err = f.Sync()
+		if err == nil {
+			s.stats.FsyncCount++
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		s.fs.Remove(tmp) // best effort; a crashed process leaves the orphan
 		return fmt.Errorf("colstore: write manifest: %w", err)
 	}
-	return os.Rename(tmp, path)
+	if err := s.fs.Rename(tmp, path); err != nil {
+		s.fs.Remove(tmp)
+		return fmt.Errorf("colstore: publish manifest: %w", err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("colstore: sync manifest dir: %w", err)
+	}
+	s.stats.FsyncCount++
+	return nil
 }
 
 // loadManifest restores logical state from a previous session, if present.
@@ -87,6 +135,9 @@ func (s *Store) writeManifestLocked() error {
 // first read. Dedup hash tables and LSH signatures are not persisted: new
 // chunks simply will not dedup against pre-restart data, a deliberately
 // conservative trade-off (correctness is unaffected).
+//
+// A manifest that exists but cannot be decoded returns errCorruptManifest
+// (wrapped); real IO errors are returned as-is.
 func (s *Store) loadManifest() error {
 	raw, err := os.ReadFile(filepath.Join(s.dir, manifestName))
 	if os.IsNotExist(err) {
@@ -97,19 +148,20 @@ func (s *Store) loadManifest() error {
 	}
 	zr, err := gzip.NewReader(bytes.NewReader(raw))
 	if err != nil {
-		return fmt.Errorf("colstore: gunzip manifest: %w", err)
+		return fmt.Errorf("%w: gunzip: %v", errCorruptManifest, err)
 	}
 	blob, err := io.ReadAll(zr)
 	if err != nil {
-		return fmt.Errorf("colstore: gunzip manifest: %w", err)
+		return fmt.Errorf("%w: gunzip: %v", errCorruptManifest, err)
 	}
 	var m manifest
 	if err := json.Unmarshal(blob, &m); err != nil {
-		return fmt.Errorf("colstore: parse manifest: %w", err)
+		return fmt.Errorf("%w: parse: %v", errCorruptManifest, err)
 	}
-	if m.Version != 1 {
-		return fmt.Errorf("colstore: unsupported manifest version %d", m.Version)
+	if m.Version != 1 && m.Version != manifestVersion {
+		return fmt.Errorf("%w: unsupported version %d", errCorruptManifest, m.Version)
 	}
+	s.generation = m.Generation
 	s.nextPart = m.NextPart
 	s.stats = m.Stats
 	for _, mc := range m.Columns {
@@ -120,11 +172,15 @@ func (s *Store) loadManifest() error {
 	}
 	for _, mp := range m.Partitions {
 		s.parts[mp.ID] = &partition{
-			id:     mp.ID,
-			bytes:  mp.Bytes,
-			sealed: true, // restored partitions never grow
-			onDisk: true,
-			chunks: nil, // paged in on demand
+			id:         mp.ID,
+			bytes:      mp.Bytes,
+			sealed:     true, // restored partitions never grow
+			onDisk:     !mp.Lost,
+			gen:        mp.Gen,
+			lost:       mp.Lost,
+			chunks:     nil, // paged in on demand
+			diskChunks: -1,  // unknown until the recovery sweep verifies
+			wantChunks: mp.Chunks,
 		}
 	}
 	return nil

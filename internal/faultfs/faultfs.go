@@ -1,0 +1,332 @@
+// Package faultfs wraps the handful of os calls the store's write paths
+// use behind an injectable interface, so crash-safety tests can tear a
+// write after N bytes, fail an fsync, report ENOSPC, or "crash" the
+// process at an arbitrary point (every subsequent call fails, leaving
+// whatever debris a real kill would — partial temp files, un-renamed
+// manifests, un-synced directories).
+//
+// Production code uses OS(), a thin pass-through. Tests build an
+// Injector around it, arm one Fault, run the operation under test, and
+// then reopen the store with a clean FS to assert the recovery
+// invariants.
+//
+// Reads deliberately stay on plain os calls: torn and lost writes are
+// what produce corrupt files, and the read path's checksums detect them
+// regardless of how the bytes went bad.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the default error returned by a fired fault.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every call after a Crash fault fires: the
+// simulated process is dead, so even error-path cleanup (removing temp
+// files) fails, exactly as a real kill would leave it.
+var ErrCrashed = errors.New("faultfs: process crashed (simulated)")
+
+// File is the writable-file surface the store needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the write-side filesystem surface the store needs.
+type FS interface {
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making a preceding rename durable.
+	SyncDir(dir string) error
+}
+
+type osFS struct{}
+
+// OS returns the pass-through FS used in production.
+func OS() FS { return osFS{} }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Op names one interceptable filesystem call.
+type Op int
+
+const (
+	OpCreate Op = iota
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpSyncDir
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpClose:
+		return "close"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	}
+	return "syncdir"
+}
+
+// Fault describes one injected failure.
+type Fault struct {
+	// Op is the call the fault intercepts.
+	Op Op
+	// PathContains restricts the fault to calls whose path contains the
+	// substring (empty matches every path).
+	PathContains string
+	// Countdown skips that many matching calls before firing (0 fires on
+	// the first match).
+	Countdown int
+	// AfterBytes applies to OpWrite: the matching file accepts this many
+	// bytes in total, then the write that crosses the limit is torn — the
+	// prefix reaches the file, the rest is lost.
+	AfterBytes int64
+	// Err is returned by the fired call (ErrInjected when nil). Use
+	// syscall.ENOSPC for disk-full scenarios.
+	Err error
+	// Crash abandons the process at the fault point: the fired call and
+	// every later call return ErrCrashed, so no cleanup runs.
+	Crash bool
+}
+
+func (f Fault) errOr() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// Injector is an FS that fails exactly one armed Fault, then (optionally)
+// plays dead. Safe for concurrent use.
+type Injector struct {
+	inner FS
+
+	mu        sync.Mutex
+	fault     *Fault
+	remaining int
+	seenBytes int64 // bytes accepted by matching writes (AfterBytes faults)
+	fired     bool
+	crashed   bool
+}
+
+// NewInjector wraps inner (OS() when nil).
+func NewInjector(inner FS) *Injector {
+	if inner == nil {
+		inner = OS()
+	}
+	return &Injector{inner: inner}
+}
+
+// Arm installs the fault and resets the trigger state.
+func (in *Injector) Arm(f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.fault = &f
+	in.remaining = f.Countdown
+	in.seenBytes = 0
+	in.fired = false
+	in.crashed = false
+}
+
+// Disarm clears any armed fault and revives a crashed injector.
+func (in *Injector) Disarm() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.fault = nil
+	in.fired = false
+	in.crashed = false
+}
+
+// Fired reports whether the armed fault has triggered.
+func (in *Injector) Fired() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Crashed reports whether the injector is in the post-crash state.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// check gates one non-write call. It returns a non-nil error when the
+// call must fail instead of reaching the inner FS.
+func (in *Injector) check(op Op, path string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	f := in.fault
+	if f == nil || in.fired || f.Op != op || !strings.Contains(path, f.PathContains) {
+		return nil
+	}
+	if in.remaining > 0 {
+		in.remaining--
+		return nil
+	}
+	in.fired = true
+	if f.Crash {
+		in.crashed = true
+		return ErrCrashed
+	}
+	return f.errOr()
+}
+
+// checkWrite gates one Write of n bytes against path, returning how many
+// bytes may pass through and the error to report (nil = full write).
+func (in *Injector) checkWrite(path string, n int) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return 0, ErrCrashed
+	}
+	f := in.fault
+	if f == nil || in.fired || f.Op != OpWrite || !strings.Contains(path, f.PathContains) {
+		return n, nil
+	}
+	if f.AfterBytes > 0 {
+		if in.seenBytes+int64(n) <= f.AfterBytes {
+			in.seenBytes += int64(n)
+			return n, nil
+		}
+		allowed := int(f.AfterBytes - in.seenBytes)
+		in.seenBytes = f.AfterBytes
+		in.fired = true
+		if f.Crash {
+			in.crashed = true
+			return allowed, ErrCrashed
+		}
+		return allowed, f.errOr()
+	}
+	if in.remaining > 0 {
+		in.remaining--
+		return n, nil
+	}
+	in.fired = true
+	if f.Crash {
+		in.crashed = true
+		return 0, ErrCrashed
+	}
+	return 0, f.errOr()
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err := in.check(OpCreate, dir+"/"+pattern); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{in: in, f: f}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.check(OpRename, newpath); err != nil {
+		return err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err := in.check(OpRemove, name); err != nil {
+		return err
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if err := in.check(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return in.inner.SyncDir(dir)
+}
+
+// injectedFile threads Write/Sync/Close through the injector. The torn
+// prefix of a failed write still reaches the inner file — that is the
+// point: the bytes a real crash would leave behind.
+type injectedFile struct {
+	in *Injector
+	f  File
+}
+
+func (jf *injectedFile) Name() string { return jf.f.Name() }
+
+func (jf *injectedFile) Write(p []byte) (int, error) {
+	allowed, ferr := jf.in.checkWrite(jf.f.Name(), len(p))
+	if allowed > 0 {
+		n, werr := jf.f.Write(p[:allowed])
+		if werr != nil {
+			return n, werr
+		}
+		if ferr != nil {
+			return n, ferr
+		}
+		return n, nil
+	}
+	if ferr != nil {
+		return 0, ferr
+	}
+	return jf.f.Write(p)
+}
+
+func (jf *injectedFile) Sync() error {
+	if err := jf.in.check(OpSync, jf.f.Name()); err != nil {
+		return err
+	}
+	return jf.f.Sync()
+}
+
+func (jf *injectedFile) Close() error {
+	// A crashed process never runs Close; still close the inner file so
+	// tests don't leak descriptors, but report the crash to the caller.
+	if err := jf.in.check(OpClose, jf.f.Name()); err != nil {
+		jf.f.Close()
+		return err
+	}
+	if jf.in.Crashed() {
+		jf.f.Close()
+		return ErrCrashed
+	}
+	return jf.f.Close()
+}

@@ -1,0 +1,167 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS()
+	f, err := fs.CreateTemp(dir, "x.tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := filepath.Join(dir, "final")
+	if err := fs.Rename(f.Name(), final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(final)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := fs.Remove(final); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Arm(Fault{Op: OpWrite, AfterBytes: 5})
+	f, err := in.CreateTemp(dir, "torn*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(f.Name())
+	if string(got) != "01234" {
+		t.Fatalf("file holds %q, want torn prefix", got)
+	}
+	if !in.Fired() {
+		t.Fatal("fault did not report fired")
+	}
+}
+
+func TestTornWriteAcrossCalls(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Arm(Fault{Op: OpWrite, AfterBytes: 6})
+	f, err := in.CreateTemp(dir, "torn*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("abcd")); n != 4 || err != nil {
+		t.Fatalf("first write under the limit: n=%d err=%v", n, err)
+	}
+	if n, err := f.Write([]byte("efgh")); n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(f.Name())
+	if string(got) != "abcdef" {
+		t.Fatalf("file holds %q, want 6-byte prefix", got)
+	}
+}
+
+func TestENOSPCAndFsyncFaults(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+
+	in.Arm(Fault{Op: OpWrite, Err: syscall.ENOSPC})
+	f, err := in.CreateTemp(dir, "full*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	f.Close()
+
+	in.Arm(Fault{Op: OpSync})
+	g, err := in.CreateTemp(dir, "sync*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected sync failure, got %v", err)
+	}
+	g.Close()
+}
+
+func TestCrashAbandonsEverything(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Arm(Fault{Op: OpRename, PathContains: "final", Crash: true})
+
+	f, err := in.CreateTemp(dir, "work*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	tmp := f.Name()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename(tmp, filepath.Join(dir, "final")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash at rename, got %v", err)
+	}
+	// The dead process cannot clean up: removal of the temp file fails
+	// too, leaving the orphan a recovery sweep must handle.
+	if err := in.Remove(tmp); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want post-crash remove failure, got %v", err)
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("orphan temp should survive the crash: %v", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector should report crashed")
+	}
+	in.Disarm()
+	if err := in.Remove(tmp); err != nil {
+		t.Fatalf("disarmed injector should work again: %v", err)
+	}
+}
+
+func TestCountdownSkipsMatches(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Arm(Fault{Op: OpCreate, Countdown: 2})
+	for i := 0; i < 2; i++ {
+		f, err := in.CreateTemp(dir, "ok*")
+		if err != nil {
+			t.Fatalf("call %d should pass: %v", i, err)
+		}
+		f.Close()
+	}
+	if _, err := in.CreateTemp(dir, "boom*"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third create should fail, got %v", err)
+	}
+}

@@ -6,12 +6,23 @@
 package metadata
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+
+	"mistique/internal/faultfs"
 )
+
+// ErrCorrupt marks a catalog file that exists but fails to parse or whose
+// checksum does not match its payload. Callers (the engine) quarantine
+// the file and start from an empty catalog instead of refusing to open.
+var ErrCorrupt = errors.New("metadata: corrupt catalog file")
 
 // ModelKind distinguishes the two model classes the paper supports.
 type ModelKind string
@@ -72,10 +83,19 @@ type Interm struct {
 type DB struct {
 	mu     sync.RWMutex
 	models map[string]*Model
+	fs     faultfs.FS
 }
 
 // NewDB creates an empty catalog.
-func NewDB() *DB { return &DB{models: make(map[string]*Model)} }
+func NewDB() *DB { return &DB{models: make(map[string]*Model), fs: faultfs.OS()} }
+
+// SetFS overrides the filesystem Save writes through (fault-injection
+// tests substitute a faultfs.Injector). Call before sharing the DB.
+func (db *DB) SetFS(fs faultfs.FS) {
+	if fs != nil {
+		db.fs = fs
+	}
+}
 
 // RegisterModel adds a model; replacing an existing name is an error.
 func (db *DB) RegisterModel(m *Model) error {
@@ -210,44 +230,120 @@ func (db *DB) SetMaterialized(model, name string, bytes int64, scheme string) er
 	return nil
 }
 
-type snapshot struct {
-	Models []*Model `json:"models"`
+// SetUnmaterialized reverts an intermediate to the not-stored state. The
+// engine's recovery path uses it when re-materialization after a
+// quarantine fails, so the cost model stops choosing READ for chunks that
+// are no longer there.
+func (db *DB) SetUnmaterialized(model, name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m, ok := db.models[model]
+	if !ok {
+		return fmt.Errorf("metadata: unknown model %q", model)
+	}
+	it, ok := m.byName[name]
+	if !ok {
+		return fmt.Errorf("metadata: unknown intermediate %s.%s", model, name)
+	}
+	it.Materialized = false
+	it.StoredBytes = 0
+	return nil
 }
 
-// Save writes the catalog to a JSON file. Marshaling happens under the
-// read lock: concurrent RecordQuery/SetMaterialized calls mutate Interm
-// fields in place, and serializing unlocked would race with them.
+// envelope is the on-disk frame of the catalog: the models payload plus a
+// CRC32-C over its exact bytes, validated on load so a torn or bit-rotted
+// file is detected instead of silently mis-parsed into a wrong catalog.
+// Format 0 (absent) is the pre-checksum layout, accepted for migration.
+type envelope struct {
+	Format int             `json:"format,omitempty"`
+	CRC32C uint32          `json:"crc32c,omitempty"`
+	Models json.RawMessage `json:"models"`
+}
+
+const envelopeFormat = 1
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Save writes the catalog to a JSON file, atomically (unique temp file,
+// rename) and durably (fsync file and parent directory), with a CRC32-C
+// checksum over the models payload in the envelope. Marshaling happens
+// under the read lock: concurrent RecordQuery/SetMaterialized calls
+// mutate Interm fields in place, and serializing unlocked would race
+// with them.
 func (db *DB) Save(path string) error {
 	db.mu.RLock()
-	snap := snapshot{Models: make([]*Model, 0, len(db.models))}
+	models := make([]*Model, 0, len(db.models))
 	for _, m := range db.models {
-		snap.Models = append(snap.Models, m)
+		models = append(models, m)
 	}
-	sort.Slice(snap.Models, func(i, j int) bool { return snap.Models[i].Name < snap.Models[j].Name })
-	blob, err := json.MarshalIndent(&snap, "", "  ")
+	sort.Slice(models, func(i, j int) bool { return models[i].Name < models[j].Name })
+	payload, err := json.Marshal(models)
 	db.mu.RUnlock()
 	if err != nil {
 		return fmt.Errorf("metadata: marshal: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	env := envelope{Format: envelopeFormat, CRC32C: crc32.Checksum(payload, castagnoli), Models: payload}
+	blob, err := json.Marshal(&env)
+	if err != nil {
+		return fmt.Errorf("metadata: marshal envelope: %w", err)
+	}
+	dir := filepath.Dir(path)
+	f, err := db.fs.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("metadata: create temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	_, err = f.Write(blob)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		db.fs.Remove(tmp) // best effort; a crashed process leaves the orphan
 		return fmt.Errorf("metadata: write %s: %w", tmp, err)
 	}
-	return os.Rename(tmp, path)
+	if err := db.fs.Rename(tmp, path); err != nil {
+		db.fs.Remove(tmp)
+		return fmt.Errorf("metadata: publish %s: %w", path, err)
+	}
+	if err := db.fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("metadata: sync dir %s: %w", dir, err)
+	}
+	return nil
 }
 
-// Load reads a catalog previously written by Save.
+// Load reads a catalog previously written by Save, validating the
+// envelope checksum. Decode and checksum failures wrap ErrCorrupt; IO
+// errors are returned as-is.
 func Load(path string) (*DB, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("metadata: read %s: %w", path, err)
 	}
-	var snap snapshot
-	if err := json.Unmarshal(blob, &snap); err != nil {
-		return nil, fmt.Errorf("metadata: parse %s: %w", path, err)
+	var env envelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return nil, fmt.Errorf("%w: parse %s: %v", ErrCorrupt, path, err)
+	}
+	if env.Format >= envelopeFormat {
+		// json.RawMessage preserves the value bytes as written, modulo
+		// surrounding whitespace; compact to the canonical form Save
+		// checksummed.
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, env.Models); err != nil {
+			return nil, fmt.Errorf("%w: payload %s: %v", ErrCorrupt, path, err)
+		}
+		if got := crc32.Checksum(compact.Bytes(), castagnoli); got != env.CRC32C {
+			return nil, fmt.Errorf("%w: %s checksum mismatch (envelope %08x, payload %08x)", ErrCorrupt, path, env.CRC32C, got)
+		}
+	}
+	var models []*Model
+	if err := json.Unmarshal(env.Models, &models); err != nil {
+		return nil, fmt.Errorf("%w: parse models %s: %v", ErrCorrupt, path, err)
 	}
 	db := NewDB()
-	for _, m := range snap.Models {
+	for _, m := range models {
 		if err := db.RegisterModel(m); err != nil {
 			return nil, err
 		}

@@ -1,9 +1,15 @@
 package metadata
 
 import (
+	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
 	"reflect"
+	"syscall"
 	"testing"
+
+	"mistique/internal/faultfs"
 )
 
 func testModel() *Model {
@@ -141,5 +147,151 @@ func TestDeleteModel(t *testing.T) {
 	}
 	if db.Model("zillow_p1") != nil {
 		t.Fatal("model survived delete")
+	}
+}
+
+func TestSetUnmaterialized(t *testing.T) {
+	db := NewDB()
+	db.RegisterModel(testModel())
+	db.AddIntermediate("zillow_p1", &Interm{Name: "interm1"})
+	db.SetMaterialized("zillow_p1", "interm1", 500, "FULL")
+	if err := db.SetUnmaterialized("zillow_p1", "interm1"); err != nil {
+		t.Fatal(err)
+	}
+	it := db.Intermediate("zillow_p1", "interm1")
+	if it.Materialized || it.StoredBytes != 0 {
+		t.Fatalf("unmaterialized state %+v", it)
+	}
+	if err := db.SetUnmaterialized("zillow_p1", "ghost"); err == nil {
+		t.Fatal("unknown intermediate accepted")
+	}
+	if err := db.SetUnmaterialized("ghost", "x"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	db := NewDB()
+	db.RegisterModel(testModel())
+	path := filepath.Join(t.TempDir(), "meta.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the models payload (past the envelope prefix) so
+	// the JSON still parses but the checksum no longer matches.
+	idx := bytes.Index(blob, []byte("zillow_p1"))
+	if idx < 0 {
+		t.Fatal("payload not found")
+	}
+	blob[idx] = 'Z'
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted catalog load: %v, want ErrCorrupt", err)
+	}
+	// Outright garbage is also ErrCorrupt (vs an IO error).
+	if err := os.WriteFile(path, []byte("{{{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage catalog load: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadLegacyFormat(t *testing.T) {
+	// Pre-checksum catalogs ({"models": [...]} with no format/crc fields)
+	// must load without verification for migration.
+	legacy := []byte(`{"models": [{"name": "old_model", "kind": "TRAD", "total_examples": 5}]}`)
+	path := filepath.Join(t.TempDir(), "meta.json")
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Model("old_model") == nil {
+		t.Fatal("legacy model not loaded")
+	}
+}
+
+func TestSaveFaultLeavesOldCatalogIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta.json")
+	db := NewDB()
+	db.RegisterModel(testModel())
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// An ENOSPC mid-write must fail the save, remove the temp, and leave
+	// the previous catalog loadable.
+	inj := faultfs.NewInjector(nil)
+	db.SetFS(inj)
+	db.RegisterModel(&Model{Name: "second", Kind: DNN})
+	inj.Arm(faultfs.Fault{Op: faultfs.OpWrite, PathContains: "meta.json", Err: syscall.ENOSPC})
+	if err := db.Save(path); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("save error %v, want ENOSPC", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("temp not cleaned up: %v", entries)
+	}
+	old, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Model("zillow_p1") == nil || old.Model("second") != nil {
+		t.Fatal("old catalog damaged by failed save")
+	}
+
+	// A crash mid-write leaves an orphan temp (cleanup dies with the
+	// process) but still never touches the published file.
+	inj.Arm(faultfs.Fault{Op: faultfs.OpWrite, PathContains: "meta.json", AfterBytes: 16, Crash: true})
+	if err := db.Save(path); err == nil {
+		t.Fatal("save survived a crash")
+	}
+	if old, err = Load(path); err != nil || old.Model("zillow_p1") == nil {
+		t.Fatalf("old catalog damaged by crashed save: %v", err)
+	}
+
+	// After "reboot" (clean FS) the save goes through.
+	inj.Disarm()
+	db.SetFS(faultfs.OS())
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Model("second") == nil {
+		t.Fatal("new catalog missing model")
+	}
+}
+
+func TestSaveCrashAtRenameKeepsOldCatalog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta.json")
+	db := NewDB()
+	db.RegisterModel(testModel())
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.NewInjector(nil)
+	db.SetFS(inj)
+	db.RegisterModel(&Model{Name: "second", Kind: DNN})
+	inj.Arm(faultfs.Fault{Op: faultfs.OpRename, PathContains: "meta.json", Crash: true})
+	if err := db.Save(path); err == nil {
+		t.Fatal("save survived a crash at rename")
+	}
+	old, err := Load(path)
+	if err != nil || old.Model("zillow_p1") == nil || old.Model("second") != nil {
+		t.Fatalf("old catalog damaged: %v", err)
 	}
 }

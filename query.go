@@ -1,6 +1,7 @@
 package mistique
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -31,6 +32,19 @@ type Result struct {
 	// MaterializedNow is true if this query triggered adaptive
 	// materialization of the intermediate.
 	MaterializedNow bool
+	// Recovered is true when the chosen READ hit missing or quarantined
+	// chunks and the engine transparently fell back to re-running the
+	// model ("the model is the backup"), re-materializing on the way.
+	Recovered bool
+}
+
+// recoverableReadErr reports whether a read failure can be healed by
+// re-running the model: the chunks are unavailable (quarantined or lost
+// to a crash) or the store lost the column mappings entirely (e.g. a
+// corrupt manifest forced an empty restart while the catalog still says
+// materialized).
+func recoverableReadErr(err error) bool {
+	return errors.Is(err, colstore.ErrUnavailable) || errors.Is(err, colstore.ErrNotStored)
 }
 
 // GetIntermediate fetches columns of an intermediate for the first nEx
@@ -85,6 +99,13 @@ func (s *System) GetIntermediate(model, interm string, cols []string, nEx int) (
 	switch res.Strategy {
 	case cost.Read:
 		res.Data, err = s.readMatrix(model, interm, &it, cols, nEx)
+		if err != nil && recoverableReadErr(err) {
+			res.Data, err = s.recoverRead(m, &it, cols, nEx, err)
+			if err == nil {
+				res.Strategy = cost.Rerun
+				res.Recovered = true
+			}
+		}
 	default:
 		res.Data, err = s.rerunMatrix(m, &it, cols, nEx)
 	}
@@ -374,6 +395,51 @@ func (s *System) materializeDNN(model string, it *metadata.Interm) error {
 	return s.meta.SetMaterialized(model, it.Name, stored, string(dm.opts.Scheme))
 }
 
+// recoverRead is the self-healing read path: the cost model chose READ
+// but the stored chunks turned out to be unavailable (quarantined by a
+// checksum failure, lost to a crash, or gone with a corrupt manifest).
+// The query is answered by re-running the model, and the intermediate is
+// re-materialized through the normal store path so subsequent queries
+// read again. If re-materialization fails, the catalog entry is flipped
+// to unmaterialized so the cost model stops choosing READ for data that
+// is not there.
+func (s *System) recoverRead(m *metadata.Model, it *metadata.Interm, cols []string, nEx int, readErr error) (*tensor.Dense, error) {
+	data, err := s.rerunMatrix(m, it, cols, nEx)
+	if err != nil {
+		return nil, fmt.Errorf("mistique: read %s.%s failed (%v) and rerun recovery failed: %w", m.Name, it.Name, readErr, err)
+	}
+	s.store.NoteRecoveredRead()
+	// Drop the dead mappings first so the fresh puts are stored instead of
+	// tripping over quarantined chunk ids.
+	s.store.DeleteColumns(m.Name, it.Name)
+	if merr := s.materialize(m, it); merr != nil {
+		s.meta.SetUnmaterialized(m.Name, it.Name)
+	}
+	return data, nil
+}
+
+// healIntermediate re-materializes an intermediate whose stored chunks
+// were lost, for query paths that have no rerun representation of their
+// own (zone-map scans, row-range reads). On failure the catalog entry is
+// flipped to unmaterialized and the error returned.
+func (s *System) healIntermediate(model, interm string) error {
+	m := s.meta.Model(model)
+	if m == nil {
+		return fmt.Errorf("mistique: unknown model %q", model)
+	}
+	it, ok := s.meta.IntermSnapshot(model, interm)
+	if !ok {
+		return fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+	}
+	s.store.DeleteColumns(model, interm)
+	if err := s.materialize(m, &it); err != nil {
+		s.meta.SetUnmaterialized(model, interm)
+		return fmt.Errorf("mistique: heal %s.%s: %w", model, interm, err)
+	}
+	s.store.NoteRecoveredRead()
+	return nil
+}
+
 // FilterRows evaluates `column op bound` over a materialized intermediate
 // using the store's zone maps to skip non-matching chunks — the "find
 // predictions for examples with neuron-50 activation > 0.5" query class of
@@ -390,6 +456,13 @@ func (s *System) FilterRows(model, interm, column string, op colstore.Op, bound 
 		return nil, err
 	}
 	matches, _, err := s.store.ScanColumn(model, interm, column, op, bound)
+	if err != nil && recoverableReadErr(err) {
+		// Lost chunks: re-materialize from a model re-run, then retry once.
+		if herr := s.healIntermediate(model, interm); herr != nil {
+			return nil, herr
+		}
+		matches, _, err = s.store.ScanColumn(model, interm, column, op, bound)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -423,17 +496,28 @@ func (s *System) GetRows(model, interm string, cols []string, from, to int) (*te
 	if len(cols) == 0 {
 		cols = it.Columns
 	}
-	out := tensor.NewDense(to-from, len(cols))
-	err := parallel.ForEach(len(cols), s.workers(), func(j int) error {
-		vals, err := s.store.GetColumnRange(model, interm, cols[j], from, to)
+	fetch := func() (*tensor.Dense, error) {
+		out := tensor.NewDense(to-from, len(cols))
+		err := parallel.ForEach(len(cols), s.workers(), func(j int) error {
+			vals, err := s.store.GetColumnRange(model, interm, cols[j], from, to)
+			if err != nil {
+				return err
+			}
+			out.SetCol(j, vals)
+			return nil
+		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		out.SetCol(j, vals)
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		return out, nil
 	}
-	return out, nil
+	out, err := fetch()
+	if err != nil && recoverableReadErr(err) {
+		// Lost chunks: re-materialize from a model re-run, then retry once.
+		if herr := s.healIntermediate(model, interm); herr != nil {
+			return nil, herr
+		}
+		out, err = fetch()
+	}
+	return out, err
 }

@@ -1,0 +1,270 @@
+package mistique
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mistique/internal/colstore"
+	"mistique/internal/cost"
+)
+
+// Engine-level recovery tests: the store loses data (corrupted or deleted
+// partition files), and queries must transparently fall back to re-running
+// the model — "the model is the backup" — then re-materialize so later
+// queries read again.
+
+// corruptDataFiles bit-flips every partition file under the system's store
+// directory, returning how many it damaged.
+func corruptDataFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), "partition_") {
+			continue
+		}
+		path := filepath.Join(dir, "data", e.Name())
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob[len(blob)/2] ^= 0xFF
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	return n
+}
+
+// TestQueryRecoversFromCorruptPartitions is the acceptance scenario of the
+// crash matrix: every partition file is corrupted on disk, and a query
+// whose cost model chose READ must still return the correct values via the
+// rerun fallback, count a RecoveredRead, and re-materialize so the next
+// query reads from healthy chunks again.
+func TestQueryRecoversFromCorruptPartitions(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logDemo(t, s)
+	// Ground truth from the healthy store (TRAD "model.pred" reads by cost).
+	want, err := s.GetIntermediate("demo", "model", []string{"pred"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Strategy != cost.Read {
+		t.Fatalf("setup: expected READ, got %v", want.Strategy)
+	}
+
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store().DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	if n := corruptDataFiles(t, dir); n == 0 {
+		t.Fatal("no partition files to corrupt")
+	}
+
+	res, err := s.GetIntermediate("demo", "model", []string{"pred"}, 0)
+	if err != nil {
+		t.Fatalf("query against corrupt store: %v", err)
+	}
+	if !res.Recovered || res.Strategy != cost.Rerun {
+		t.Fatalf("recovered=%v strategy=%v, want recovered rerun", res.Recovered, res.Strategy)
+	}
+	for i := range want.Data.Data {
+		if res.Data.Data[i] != want.Data.Data[i] {
+			t.Fatalf("recovered values differ at %d", i)
+		}
+	}
+	st := s.Store().Stats()
+	if st.RecoveredReads == 0 {
+		t.Fatalf("RecoveredReads = 0 after a recovered query (stats %+v)", st)
+	}
+	if st.CorruptPartitions == 0 {
+		t.Fatalf("CorruptPartitions = 0 after reading corrupt files (stats %+v)", st)
+	}
+
+	// The fallback re-materialized the intermediate: the next query reads —
+	// from fresh, healthy chunks — and agrees.
+	again, err := s.GetIntermediate("demo", "model", []string{"pred"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Strategy != cost.Read || again.Recovered {
+		t.Fatalf("post-heal query: strategy=%v recovered=%v, want clean READ", again.Strategy, again.Recovered)
+	}
+	for i := range want.Data.Data {
+		if again.Data.Data[i] != want.Data.Data[i] {
+			t.Fatalf("post-heal read differs at %d", i)
+		}
+	}
+}
+
+// TestFilterRowsHealsAfterLoss: zone-map scans have no rerun equivalent of
+// their own, so a scan over lost chunks re-materializes the intermediate
+// and retries once.
+func TestFilterRowsHealsAfterLoss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logDemo(t, s)
+	want, err := s.FilterRows("demo", "joined", "yearbuilt", colstore.Ge, 2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store().DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	corruptDataFiles(t, dir)
+
+	got, err := s.FilterRows("demo", "joined", "yearbuilt", colstore.Ge, 2015)
+	if err != nil {
+		t.Fatalf("scan against corrupt store: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("healed scan found %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("healed scan row %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if s.Store().Stats().RecoveredReads == 0 {
+		t.Fatal("heal did not count a recovered read")
+	}
+}
+
+// TestGetRowsHealsAfterLoss: same contract for primary-index range reads.
+func TestGetRowsHealsAfterLoss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logDemo(t, s)
+	want, err := s.GetRows("demo", "joined", []string{"yearbuilt", "logerror"}, 100, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store().DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	corruptDataFiles(t, dir)
+
+	got, err := s.GetRows("demo", "joined", []string{"yearbuilt", "logerror"}, 100, 160)
+	if err != nil {
+		t.Fatalf("range read against corrupt store: %v", err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("healed range read differs at %d", i)
+		}
+	}
+}
+
+// TestRecoveryWithoutResidentModelFails cleanly: a reopened store (no
+// pipelines re-logged) cannot rerun, so a query over lost chunks must
+// return an error — not wrong data, not a panic.
+func TestRecoveryWithoutResidentModelFails(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logDemo(t, s)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	corruptDataFiles(t, dir)
+
+	// Fresh process: catalog restored, chunks corrupt, no executor.
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := s2.RecoveryReport(); rep == nil || rep.Clean() {
+		t.Fatalf("recovery report %+v, want corruption recorded", s2.RecoveryReport())
+	}
+	if _, err := s2.GetIntermediate("demo", "model", []string{"pred"}, 0); err == nil {
+		t.Fatal("query over lost chunks with no rerun path succeeded")
+	}
+}
+
+// TestCorruptMetadataFailSoft: a scribbled-over catalog must not brick the
+// system. Open quarantines it (metadata.json.corrupt) and starts fresh;
+// re-logging restores service.
+func TestCorruptMetadataFailSoft(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logDemo(t, s)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	metaPath := filepath.Join(dir, "metadata.json")
+	if err := os.WriteFile(metaPath, []byte("}{ not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("open with corrupt catalog: %v", err)
+	}
+	if s2.Metadata().Model("demo") != nil {
+		t.Fatal("corrupt catalog produced a model")
+	}
+	if _, err := os.Stat(metaPath + ".corrupt"); err != nil {
+		t.Fatalf("corrupt catalog not quarantined: %v", err)
+	}
+	// Service restores by re-logging; chunks in the store dedup the re-puts.
+	logDemo(t, s2)
+	if _, err := s2.GetIntermediate("demo", "joined", []string{"logerror"}, 0); err != nil {
+		t.Fatalf("query after catalog rebuild: %v", err)
+	}
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Config{}); err != nil {
+		t.Fatalf("reopen after rebuild: %v", err)
+	}
+}
+
+// TestRecoveryReportCleanOnHealthyReopen: the accessor reports a clean
+// sweep for an undamaged directory.
+func TestRecoveryReportCleanOnHealthyReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logDemo(t, s)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := s2.RecoveryReport(); rep == nil || !rep.Clean() {
+		t.Fatalf("healthy reopen not clean: %+v", rep)
+	}
+}
