@@ -28,10 +28,11 @@ type Session struct {
 	entries map[string]*sessionEntry
 	order   []string // LRU, least recent first
 
-	// Hits and Misses count cache outcomes for diagnostics. They are
-	// updated under the session lock; read them via Stats when other
-	// goroutines may still be calling Get.
-	Hits, Misses int64
+	// hits and misses count cache outcomes, updated under mu; read them
+	// via Stats. (They were once exported fields, which raced with
+	// concurrent Get calls — any cross-goroutine read must go through the
+	// lock.)
+	hits, misses int64
 }
 
 type sessionEntry struct {
@@ -48,10 +49,33 @@ func NewSession(sys *System, capBytes int64) *Session {
 	return &Session{sys: sys, capBytes: capBytes, entries: make(map[string]*sessionEntry)}
 }
 
+// cacheKey builds the cache index key from the query parameters as given.
+// Callers must normalize cols/nEx first (normalizeQuery) so the distinct
+// spellings of the same query — nil cols vs. the full column list, nEx <= 0
+// vs. the exact row count — share one entry instead of caching three
+// identical copies of the data.
 func cacheKey(model, interm string, cols []string, nEx int) string {
 	sorted := append([]string(nil), cols...)
 	sort.Strings(sorted)
 	return fmt.Sprintf("%s\x00%s\x00%s\x00%d", model, interm, strings.Join(sorted, ","), nEx)
+}
+
+// normalizeQuery resolves cols and nEx against the catalog exactly like
+// System.GetIntermediate will, so equivalent queries produce equal cache
+// keys. Unknown intermediates pass through untouched — the miss path
+// reports the real error.
+func (se *Session) normalizeQuery(model, interm string, cols []string, nEx int) ([]string, int) {
+	it, ok := se.sys.meta.IntermSnapshot(model, interm)
+	if !ok {
+		return cols, nEx
+	}
+	if nEx <= 0 || nEx > it.Rows {
+		nEx = it.Rows
+	}
+	if len(cols) == 0 {
+		cols = it.Columns
+	}
+	return cols, nEx
 }
 
 // Get answers like System.GetIntermediate but serves repeated queries from
@@ -60,16 +84,19 @@ func cacheKey(model, interm string, cols []string, nEx int) string {
 // results are shared between callers: treat the returned Result and its
 // Data as read-only.
 func (se *Session) Get(model, interm string, cols []string, nEx int) (*Result, error) {
+	cols, nEx = se.normalizeQuery(model, interm, cols, nEx)
 	key := cacheKey(model, interm, cols, nEx)
 	se.mu.Lock()
 	if e, ok := se.entries[key]; ok {
-		se.Hits++
+		se.hits++
 		se.touchLocked(key)
 		se.mu.Unlock()
+		se.sys.metrics.sessionHits.Inc()
 		return e.res, nil
 	}
-	se.Misses++
+	se.misses++
 	se.mu.Unlock()
+	se.sys.metrics.sessionMisses.Inc()
 	// Fetch outside the lock; a concurrent miss on the same key runs its
 	// own query and whichever inserts first wins (results are identical).
 	res, err := se.sys.GetIntermediate(model, interm, cols, nEx)
@@ -87,7 +114,7 @@ func (se *Session) Get(model, interm string, cols []string, nEx int) (*Result, e
 func (se *Session) Stats() (hits, misses int64) {
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	return se.Hits, se.Misses
+	return se.hits, se.misses
 }
 
 func (se *Session) insertLocked(key string, res *Result) {
@@ -107,6 +134,7 @@ func (se *Session) insertLocked(key string, res *Result) {
 		if e, ok := se.entries[victim]; ok {
 			se.used -= e.bytes
 			delete(se.entries, victim)
+			se.sys.metrics.sessionEvictions.Inc()
 		}
 	}
 }

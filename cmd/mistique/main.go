@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,7 +44,9 @@ func main() {
 	case "query":
 		err = runQuery(*dir, args)
 	case "stats":
-		err = runStats(*dir)
+		err = runStats(*dir, args)
+	case "serve":
+		err = runServe(*dir, args)
 	case "catalog":
 		err = runCatalog(*dir)
 	case "scan":
@@ -69,7 +72,8 @@ commands:
   log      -pipelines N [-props N] [-rows N] [-dedup]   log Zillow pipelines
   query    -model M -interm I [-col C] [-n N]           fetch an intermediate
   scan     -model M -interm I -col C -op OP -bound V    zone-map predicate scan
-  stats                                                 store statistics
+  stats    [-format text|json|prom]                     metrics snapshot
+  serve    -metrics-addr HOST:PORT [-pipelines N]       HTTP /metrics + /statsz
   fsck                                                  verify store integrity
   compact                                               reclaim garbage chunks
   catalog                                               list logged models`)
@@ -269,7 +273,11 @@ func runCompact(dir string) error {
 	return nil
 }
 
-func runStats(dir string) error {
+func runStats(dir string, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	format := fs.String("format", "text", "output format: text, json, prom")
+	fs.Parse(args)
+
 	sys, err := open(dir, true, 0)
 	if err != nil {
 		return err
@@ -278,11 +286,72 @@ func runStats(dir string) error {
 	if err != nil {
 		return err
 	}
-	st := sys.Store().Stats()
-	fmt.Printf("disk bytes:     %d\n", disk)
-	fmt.Printf("chunks stored:  %d (session)\n", st.ChunksStored)
-	fmt.Printf("chunks deduped: %d (session)\n", st.ChunksDeduped)
-	return nil
+	snap := sys.Metrics()
+	snap.Gauges["mistique_disk_bytes"] = disk
+	snap.Help["mistique_disk_bytes"] = "on-disk footprint of stored intermediates"
+
+	switch *format {
+	case "json":
+		return snap.WriteJSON(os.Stdout)
+	case "prom":
+		return snap.WritePrometheus(os.Stdout)
+	case "text":
+		st := sys.Store().Stats()
+		fmt.Printf("disk bytes:     %d\n", disk)
+		fmt.Printf("chunks stored:  %d (session)\n", st.ChunksStored)
+		fmt.Printf("chunks deduped: %d (session)\n", st.ChunksDeduped)
+		fmt.Printf("partitions:     %d\n", st.Partitions)
+		fmt.Printf("corrupt parts:  %d (session)\n", st.CorruptPartitions)
+		return nil
+	default:
+		return fmt.Errorf("unknown -format %q (want text, json or prom)", *format)
+	}
+}
+
+// runServe exposes the metrics snapshot over HTTP: Prometheus text format
+// at /metrics, the JSON snapshot at /statsz. Optionally logs Zillow
+// pipelines first so a fresh directory has live series to scrape.
+func runServe(dir string, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("metrics-addr", "", "listen address (e.g. 127.0.0.1:9090; required)")
+	nPipes := fs.Int("pipelines", 0, "Zillow pipelines to log before serving")
+	seed := fs.Int64("seed", 1, "data seed")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("serve needs -metrics-addr")
+	}
+
+	sys, err := open(dir, true, 0)
+	if err != nil {
+		return err
+	}
+	if *nPipes > 0 {
+		env := zillow.Env(400, 2048, *seed)
+		pipes, err := zillow.Build(env)
+		if err != nil {
+			return err
+		}
+		if *nPipes > len(pipes) {
+			*nPipes = len(pipes)
+		}
+		for _, p := range pipes[:*nPipes] {
+			if _, err := sys.LogPipeline(p, env); err != nil {
+				return err
+			}
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		sys.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		sys.Metrics().WriteJSON(w)
+	})
+	fmt.Printf("serving metrics on http://%s/metrics (JSON at /statsz)\n", *addr)
+	return http.ListenAndServe(*addr, mux)
 }
 
 func runCatalog(dir string) error {

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errCh := make(chan error, 1)
+	var buf bytes.Buffer
+	go func() {
+		_, err := io.Copy(&buf, r)
+		errCh <- err
+	}()
+	fnErr := fn()
+	w.Close()
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if fnErr != nil {
+		t.Fatal(fnErr)
+	}
+	return buf.String()
+}
+
+// TestStatsFormats drives the CLI end-to-end: log a small workload, run a
+// query so the query-path metrics move, then check that `stats -format
+// json` parses and `stats -format prom` emits Prometheus exposition with
+// ingest/flush counters and latency series.
+func TestStatsFormats(t *testing.T) {
+	dir := t.TempDir()
+	// Sizes must match runQuery's re-log env (400 props x 2048 rows).
+	captureStdout(t, func() error {
+		return runLog(dir, []string{"-pipelines", "1"})
+	})
+	captureStdout(t, func() error {
+		return runQuery(dir, []string{"-model", "p1_v0", "-interm", "model", "-col", "pred", "-n", "5", "-pipelines", "1"})
+	})
+
+	jsonOut := captureStdout(t, func() error {
+		return runStats(dir, []string{"-format", "json"})
+	})
+	var snap struct {
+		Counters   map[string]int64           `json:"counters"`
+		Gauges     map[string]int64           `json:"gauges"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &snap); err != nil {
+		t.Fatalf("stats -format json does not parse: %v\n%s", err, jsonOut)
+	}
+	// The stats process reopens the store, so only persisted/store-derived
+	// series are non-zero — but the full metric families must be present.
+	if _, ok := snap.Counters["mistique_queries_total"]; !ok {
+		t.Errorf("JSON snapshot missing mistique_queries_total: %v", snap.Counters)
+	}
+	if snap.Gauges["mistique_disk_bytes"] <= 0 {
+		t.Errorf("disk bytes gauge = %d, want > 0", snap.Gauges["mistique_disk_bytes"])
+	}
+	if snap.Gauges["mistique_store_partitions"] <= 0 {
+		t.Errorf("partitions gauge = %d, want > 0", snap.Gauges["mistique_store_partitions"])
+	}
+	if _, ok := snap.Histograms["mistique_query_read_seconds"]; !ok {
+		t.Error("JSON snapshot missing mistique_query_read_seconds histogram")
+	}
+
+	promOut := captureStdout(t, func() error {
+		return runStats(dir, []string{"-format", "prom"})
+	})
+	for _, want := range []string{
+		"# TYPE mistique_queries_total counter",
+		"# TYPE mistique_store_partitions gauge",
+		"# TYPE mistique_query_read_seconds histogram",
+		`mistique_query_read_seconds_bucket{le="+Inf"}`,
+		"# TYPE mistique_disk_bytes gauge",
+	} {
+		if !strings.Contains(promOut, want) {
+			t.Errorf("stats -format prom missing %q", want)
+		}
+	}
+
+	textOut := captureStdout(t, func() error {
+		return runStats(dir, []string{})
+	})
+	if !strings.Contains(textOut, "disk bytes:") {
+		t.Errorf("default text stats malformed:\n%s", textOut)
+	}
+
+	if err := runStats(dir, []string{"-format", "yaml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

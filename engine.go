@@ -92,6 +92,11 @@ type Config struct {
 	// compression on flush/compaction; chunk reads on query. 0 selects
 	// GOMAXPROCS; 1 recovers the serial baseline for A/B benchmarking.
 	Workers int
+	// SlowQueryThreshold, when positive, enables the slow-query log:
+	// queries whose fetch wall time meets or exceeds the threshold append
+	// a JSON line (model, intermediate, strategy, cost estimates, measured
+	// seconds) to <dir>/slow_queries.jsonl. Zero disables logging.
+	SlowQueryThreshold time.Duration
 }
 
 // System is a MISTIQUE instance rooted at a directory.
@@ -104,6 +109,14 @@ type System struct {
 	dir   string
 	store *colstore.Store
 	meta  *metadata.DB
+
+	// metrics is the system-wide observability registry (never nil); the
+	// store and catalog register their instruments in the same registry at
+	// Open, so System.Metrics() sees every layer.
+	metrics *systemMetrics
+	// slowMu guards the lazily opened slow-query log file.
+	slowMu  sync.Mutex
+	slowLog *os.File
 
 	pipelines map[string]*pipelineModel
 	networks  map[string]*dnnModel
@@ -152,6 +165,8 @@ func Open(dir string, cfg Config) (*System, error) {
 	if cfg.Cost == (cost.Params{}) {
 		cfg.Cost = cost.DefaultParams()
 	}
+	metrics := newSystemMetrics()
+	cfg.Store.Obs = metrics.reg
 	st, err := colstore.Open(filepath.Join(dir, "data"), cfg.Store)
 	if err != nil {
 		return nil, fmt.Errorf("mistique: %w", err)
@@ -172,11 +187,13 @@ func Open(dir string, cfg Config) (*System, error) {
 			return nil, fmt.Errorf("mistique: reopen catalog: %w", err)
 		}
 	}
+	meta.SetObs(metrics.reg)
 	return &System{
 		cfg:       cfg,
 		dir:       dir,
 		store:     st,
 		meta:      meta,
+		metrics:   metrics,
 		pipelines: make(map[string]*pipelineModel),
 		networks:  make(map[string]*dnnModel),
 		logging:   make(map[string]struct{}),
@@ -282,11 +299,13 @@ func (s *System) storeMatrix(model, interm string, m *tensor.Dense, cols []strin
 		col := m.Col(j)
 		var q *quant.Quantizer
 		if mkQuant != nil {
+			t0 := time.Now()
 			var err error
 			q, err = mkQuant(col)
 			if err != nil {
 				return err
 			}
+			s.metrics.ingestQuantizeSeconds.ObserveSince(t0)
 		}
 		for b := 0; b*blockRows < len(col); b++ {
 			lo := b * blockRows

@@ -137,6 +137,7 @@ stages:
 	sess := mistique.NewSession(sys, 0)
 	sess.Get("demo", "sales", nil, 0)
 	sess.Get("demo", "sales", nil, 0)
-	fmt.Println("hits:", sess.Hits, "misses:", sess.Misses)
+	hits, misses := sess.Stats()
+	fmt.Println("hits:", hits, "misses:", misses)
 	// Output: hits: 1 misses: 1
 }

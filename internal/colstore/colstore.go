@@ -47,9 +47,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"mistique/internal/faultfs"
 	"mistique/internal/minhash"
+	"mistique/internal/obs"
 	"mistique/internal/parallel"
 	"mistique/internal/quant"
 )
@@ -120,6 +122,12 @@ type Config struct {
 	// reconciliation still run; corrupt files are then caught (and
 	// quarantined) lazily on first read instead.
 	SkipRecoveryScan bool
+	// Obs receives the store's operational metrics: per-phase put timings
+	// (encode/hash/append), chunk-read and partition page-in latencies,
+	// per-partition flush/compaction write timings, and quarantine counts.
+	// Nil disables instrumentation (the instruments are nil-safe no-ops);
+	// the engine passes its metrics registry here.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -236,6 +244,34 @@ type Stats struct {
 	FsyncCount int64
 }
 
+// storeObs holds the store's instruments. All fields are nil (no-op) when
+// Config.Obs is nil, so the hot paths are instrumented unconditionally.
+type storeObs struct {
+	putEncodeSeconds  *obs.Histogram
+	putHashSeconds    *obs.Histogram
+	putAppendSeconds  *obs.Histogram
+	chunkReadSeconds  *obs.Histogram
+	pageInSeconds     *obs.Histogram
+	flushWriteSeconds *obs.Histogram
+	flushes           *obs.Counter
+	compactions       *obs.Counter
+	quarantines       *obs.Counter
+}
+
+func newStoreObs(reg *obs.Registry) storeObs {
+	return storeObs{
+		putEncodeSeconds:  reg.Histogram("mistique_store_put_encode_seconds", "PutColumn value-codec encode time per chunk"),
+		putHashSeconds:    reg.Histogram("mistique_store_put_hash_seconds", "PutColumn content-hash and MinHash signing time per chunk"),
+		putAppendSeconds:  reg.Histogram("mistique_store_put_append_seconds", "PutColumn index/partition append time per chunk (under the index lock)"),
+		chunkReadSeconds:  reg.Histogram("mistique_store_chunk_read_seconds", "chunk fetch+decode time per read"),
+		pageInSeconds:     reg.Histogram("mistique_store_pagein_seconds", "cold partition page-in time (open+gunzip+verify)"),
+		flushWriteSeconds: reg.Histogram("mistique_flush_partition_write_seconds", "per-partition compress+write+fsync time during flush/compaction"),
+		flushes:           reg.Counter("mistique_store_flushes_total", "Flush calls"),
+		compactions:       reg.Counter("mistique_store_compactions_total", "Compact calls"),
+		quarantines:       reg.Counter("mistique_store_quarantines_total", "partitions quarantined after a failed read or verification"),
+	}
+}
+
 // Store is the DataStore. It is safe for concurrent use.
 type Store struct {
 	// flushMu serializes Flush/Compact/DropCache; see package comment for
@@ -283,6 +319,7 @@ type Store struct {
 	zones map[ChunkID]zone
 
 	stats Stats
+	om    storeObs
 }
 
 // Open creates or reopens a store rooted at dir. If the directory holds a
@@ -318,6 +355,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 		columns:    make(map[ColumnKey]ChunkID),
 		zones:      make(map[ChunkID]zone),
 		lostChunks: make(map[ChunkID]struct{}),
+		om:         newStoreObs(cfg.Obs),
 	}
 	manifestCorrupt := false
 	if err := s.loadManifest(); err != nil {
@@ -350,7 +388,11 @@ func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (Pu
 	// Encoding, content hashing and MinHash signing are the CPU-heavy part
 	// of a put; all three happen before the index lock so concurrent puts
 	// overlap them.
+	t0 := time.Now()
 	enc := q.Encode(nil, vals)
+	zn := zoneOf(q.Apply(vals))
+	s.om.putEncodeSeconds.ObserveSince(t0)
+	t0 = time.Now()
 	var h [32]byte
 	if !s.cfg.DisableExactDedup {
 		h = contentHash(enc, q)
@@ -359,8 +401,10 @@ func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (Pu
 	if s.cfg.Mode == ModeSimilarity && !s.cfg.DisableApproxDedup {
 		sig = s.hasher.SignFloats(vals, s.cfg.MinHashBucket)
 	}
-	zn := zoneOf(q.Apply(vals))
+	s.om.putHashSeconds.ObserveSince(t0)
 
+	appendDone := s.om.putAppendSeconds.Time()
+	defer appendDone()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -568,6 +612,7 @@ func (s *Store) GetChunk(id ChunkID) ([]float32, error) {
 // from disk if evicted — and decodes it outside the index lock, so
 // concurrent readers of different chunks decode in parallel.
 func (s *Store) readChunk(id ChunkID) ([]float32, error) {
+	t0 := time.Now()
 	c, err := s.chunkRef(id)
 	if err != nil {
 		return nil, err
@@ -576,6 +621,7 @@ func (s *Store) readChunk(id ChunkID) ([]float32, error) {
 	if err != nil {
 		return nil, fmt.Errorf("colstore: decode chunk %d/%d: %w", id.Partition, id.Index, err)
 	}
+	s.om.chunkReadSeconds.ObserveSince(t0)
 	return out, nil
 }
 
@@ -627,7 +673,9 @@ func (s *Store) chunkRef(id ChunkID) (*chunk, error) {
 	path := s.partPathGen(id.Partition, p.gen)
 	s.mu.Unlock()
 
+	tLoad := time.Now()
 	chunks, payload, fileBytes, err := readPartitionFile(path)
+	s.om.pageInSeconds.ObserveSince(tLoad)
 	if err != nil {
 		// The file failed its checksum (or vanished): quarantine it so no
 		// later read trusts it, and tell the caller the chunk is
@@ -705,6 +753,7 @@ type flushTask struct {
 func (s *Store) Flush() error {
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
+	s.om.flushes.Inc()
 	return s.flushDirty()
 }
 
@@ -740,7 +789,9 @@ func (s *Store) flushDirty() error {
 // the partition's state under mu. Used by the parallel Flush/Compact
 // workers; the caller must have set p.flushing under mu.
 func (s *Store) writeSnapshot(t flushTask) error {
+	t0 := time.Now()
 	size, fsyncs, err := writePartitionFileAt(s.fs, t.path, t.chunks)
+	s.om.flushWriteSeconds.ObserveSince(t0)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.FsyncCount += fsyncs

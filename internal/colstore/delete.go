@@ -127,6 +127,7 @@ func (s *Store) partitionChunksLocked(pid int64, p *partition) ([]*chunk, error)
 func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
+	s.om.compactions.Inc()
 	s.mu.Lock()
 	refs := s.refCountLocked()
 	var rewrites []flushTask

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"mistique/internal/faultfs"
 	"mistique/internal/quant"
@@ -113,7 +114,9 @@ func writePartitionFileAt(fs faultfs.FS, path string, chunks []*chunk) (size, fs
 // caller holds mu (eviction and DropCache stragglers use it; the parallel
 // Flush path uses writeSnapshot instead).
 func (s *Store) writePartitionLocked(p *partition) error {
+	t0 := time.Now()
 	size, fsyncs, err := writePartitionFileAt(s.fs, s.partPathGen(p.id, p.gen), p.chunks)
+	s.om.flushWriteSeconds.ObserveSince(t0)
 	s.stats.FsyncCount += fsyncs
 	if err != nil {
 		return fmt.Errorf("colstore: write partition %d: %w", p.id, err)

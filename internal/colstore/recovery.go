@@ -99,6 +99,7 @@ func (s *Store) quarantineLocked(p *partition, cause error) {
 	}
 	p.dirty = false
 	s.stats.CorruptPartitions++
+	s.om.quarantines.Inc()
 	s.moveToCorrupt(partFileName(p.id, p.gen))
 	for h, id := range s.hashes {
 		if id.Partition == p.id {
@@ -180,9 +181,11 @@ func (s *Store) recoverOnOpen(manifestCorrupt bool) error {
 				p.onDisk = false
 				rep.MissingPartitions = append(rep.MissingPartitions, pid)
 				s.stats.CorruptPartitions++
+				s.om.quarantines.Inc()
 			case v.corrupt:
 				p.lost = true
 				s.stats.CorruptPartitions++
+				s.om.quarantines.Inc()
 				s.moveToCorrupt(partFileName(pid, p.gen))
 				rep.CorruptPartitions = append(rep.CorruptPartitions, pid)
 			default:

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"mistique/internal/faultfs"
+	"mistique/internal/obs"
 )
 
 // ErrCorrupt marks a catalog file that exists but fails to parse or whose
@@ -84,6 +85,9 @@ type DB struct {
 	mu     sync.RWMutex
 	models map[string]*Model
 	fs     faultfs.FS
+	// Catalog instruments (nil-safe no-ops until SetObs is called).
+	obsQueries     *obs.Counter
+	obsSaveSeconds *obs.Histogram
 }
 
 // NewDB creates an empty catalog.
@@ -95,6 +99,14 @@ func (db *DB) SetFS(fs faultfs.FS) {
 	if fs != nil {
 		db.fs = fs
 	}
+}
+
+// SetObs registers the catalog's instruments (query counter, Save
+// latency) with the given registry. Call before sharing the DB; a nil
+// registry leaves instrumentation disabled.
+func (db *DB) SetObs(reg *obs.Registry) {
+	db.obsQueries = reg.Counter("mistique_catalog_queries_total", "RecordQuery calls (n_query bumps) across all intermediates")
+	db.obsSaveSeconds = reg.Histogram("mistique_catalog_save_seconds", "catalog Save (marshal+write+fsync+rename) time")
 }
 
 // RegisterModel adds a model; replacing an existing name is an error.
@@ -209,6 +221,7 @@ func (db *DB) RecordQuery(model, name string) (int64, error) {
 		m.byName[name] = it
 	}
 	it.QueryCount++
+	db.obsQueries.Inc()
 	return it.QueryCount, nil
 }
 
@@ -271,6 +284,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // mutate Interm fields in place, and serializing unlocked would race
 // with them.
 func (db *DB) Save(path string) error {
+	defer db.obsSaveSeconds.Time()()
 	db.mu.RLock()
 	models := make([]*Model, 0, len(db.models))
 	for _, m := range db.models {

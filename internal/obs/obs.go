@@ -1,0 +1,232 @@
+// Package obs is the engine's observability substrate: a dependency-free
+// metrics toolkit with atomic counters and gauges, log-scale latency
+// histograms with quantile estimation, and a registry that exposes
+// everything three ways — a structured Snapshot for programmatic use,
+// Prometheus text-format exposition for scraping, and JSON (a Snapshot
+// marshals directly) for the CLI.
+//
+// Production columnar stores treat query-level telemetry as the substrate
+// for tuning and regression detection; this package is MISTIQUE's version
+// of that layer. It is threaded through every hot path — ingest, flush,
+// compaction, query and recovery — so the per-phase timings the paper's
+// cost model (Sec. 5.1) reasons about are visible in the running system.
+//
+// Every instrument is nil-safe: methods on a nil *Counter, *Gauge or
+// *Histogram are no-ops, and a nil *Registry hands out nil instruments.
+// Instrumented code therefore carries no conditionals when metrics are
+// disabled, and the disabled cost is one predictable nil check per event.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 for a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram bucket layout: buckets grow by a factor of 2 from histMin
+// (1µs) upward, which covers 1µs..~5.5e5s in 40 buckets at a worst-case
+// quantile resolution of 2x — plenty for latencies and for the unitless
+// ratios (cost-model relative error) the engine also tracks. Values at or
+// below histMin land in bucket 0; values past the last bound land in the
+// implicit +Inf overflow bucket.
+const (
+	histMin     = 1e-6
+	histBuckets = 40
+)
+
+// Histogram is a lock-free log-scale histogram. Observations are float64
+// values (seconds for latencies, plain ratios for error tracking).
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Int64 // last slot is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// Observe records one value. NaN and negative values are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) || v < 0 {
+		return
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0 — the span-timing
+// helper for hot paths (no closure allocation).
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Time starts a span and returns the function that ends it. Use
+// defer h.Time()() to time a whole function, or capture the stop function
+// to end the span mid-body.
+func (h *Histogram) Time() (stop func()) {
+	if h == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { h.ObserveSince(t0) }
+}
+
+// Count returns the number of observations (0 for a nil Histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// bucketIndex maps a value to its bucket: 0 holds (−∞, histMin],
+// i in 1..histBuckets-1 holds (histMin·2^(i−1), histMin·2^i], and
+// histBuckets is the +Inf overflow.
+func bucketIndex(v float64) int {
+	if v <= histMin {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return histBuckets
+	}
+	idx := int(math.Ceil(math.Log2(v / histMin)))
+	if idx < 0 {
+		return 0
+	}
+	if idx > histBuckets {
+		return histBuckets
+	}
+	return idx
+}
+
+// bucketBound returns the inclusive upper bound of bucket i (+Inf for the
+// overflow bucket).
+func bucketBound(i int) float64 {
+	if i >= histBuckets {
+		return math.Inf(1)
+	}
+	return histMin * math.Pow(2, float64(i))
+}
+
+// snapshotHistogram freezes a histogram into its exposition form.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var counts [histBuckets + 1]int64
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{
+		Count: total,
+		Sum:   math.Float64frombits(h.sum.Load()),
+	}
+	if total > 0 {
+		s.Mean = s.Sum / float64(total)
+		s.P50 = quantile(counts[:], total, 0.50)
+		s.P95 = quantile(counts[:], total, 0.95)
+		s.P99 = quantile(counts[:], total, 0.99)
+	}
+	// Cumulative bucket counts for Prometheus exposition.
+	s.Buckets = make([]Bucket, 0, histBuckets+1)
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		s.Buckets = append(s.Buckets, Bucket{LE: bucketBound(i), Count: cum})
+	}
+	return s
+}
+
+// quantile estimates the q-quantile from per-bucket counts, interpolating
+// geometrically inside the covering bucket (linearly for bucket 0, whose
+// lower edge is 0; the overflow bucket answers its lower bound).
+func quantile(counts []int64, total int64, q float64) float64 {
+	target := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			frac := (target - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			switch {
+			case i == 0:
+				return histMin * frac
+			case i >= histBuckets:
+				return bucketBound(histBuckets - 1)
+			default:
+				lo := bucketBound(i - 1)
+				return lo * math.Pow(2, frac)
+			}
+		}
+		cum = next
+	}
+	return bucketBound(histBuckets - 1)
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(1.0)
+	h.ObserveSince(time.Now())
+	h.Time()()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	// A nil registry still snapshots to an empty (usable) snapshot.
+	if s := r.Snapshot(); len(s.Counters) != 0 || s.Counters == nil {
+		t.Fatalf("nil registry snapshot %+v", s)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("mq_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d", c.Value())
+	}
+	if r.Counter("mq_events_total", "events") != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+	g := r.Gauge("mq_level", "level")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge %d", g.Value())
+	}
+}
+
+func TestBucketIndexBounds(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{1e-9, 0},
+		{histMin, 0},
+		{histMin * 1.5, 1},
+		{histMin * 2, 1},
+		{histMin * 2.01, 2},
+		{math.Inf(1), histBuckets},
+		{1e12, histBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket's bound must fall in its own bucket (inclusive upper).
+	for i := 0; i < histBuckets; i++ {
+		if got := bucketIndex(bucketBound(i)); got != i {
+			t.Errorf("bound of bucket %d lands in bucket %d", i, got)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 100 observations at ~1ms, 10 at ~100ms: p50 must sit near 1ms and
+	// p99 near 100ms (log-bucket resolution is 2x).
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.1)
+	}
+	s := h.snapshot()
+	if s.Count != 110 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if want := 100*0.001 + 10*0.1; math.Abs(s.Sum-want) > 1e-9 {
+		t.Fatalf("sum %g want %g", s.Sum, want)
+	}
+	if s.P50 < 0.0005 || s.P50 > 0.002 {
+		t.Fatalf("p50 %g out of [0.5ms, 2ms]", s.P50)
+	}
+	if s.P99 < 0.05 || s.P99 > 0.2 {
+		t.Fatalf("p99 %g out of [50ms, 200ms]", s.P99)
+	}
+	if s.Mean <= 0 || s.Mean >= s.P99 {
+		t.Fatalf("mean %g implausible", s.Mean)
+	}
+	// Buckets are cumulative and end at +Inf with the full count.
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.LE, 1) || last.Count != 110 {
+		t.Fatalf("final bucket %+v", last)
+	}
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Count < s.Buckets[i-1].Count {
+			t.Fatalf("bucket counts not cumulative at %d", i)
+		}
+	}
+}
+
+func TestHistogramDropsBadValues(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(math.NaN())
+	h.Observe(-1)
+	if h.Count() != 0 {
+		t.Fatalf("bad values observed: count %d", h.Count())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := &Histogram{}
+	c := &Counter{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Fatalf("count %d counter %d", h.Count(), c.Value())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-6 {
+		t.Fatalf("sum %g", h.Sum())
+	}
+}
+
+func TestSnapshotExposition(t *testing.T) {
+	r := New()
+	r.Counter("mq_queries_total", "queries served").Add(3)
+	r.Gauge("mq_partitions", "resident partitions").Set(2)
+	h := r.Histogram("mq_read_seconds", "read latency")
+	h.Observe(0.004)
+	h.Observe(0.008)
+
+	snap := r.Snapshot()
+
+	var prom bytes.Buffer
+	if err := snap.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		"# TYPE mq_queries_total counter",
+		"mq_queries_total 3",
+		"# TYPE mq_partitions gauge",
+		"mq_partitions 2",
+		"# TYPE mq_read_seconds histogram",
+		`mq_read_seconds_bucket{le="+Inf"} 2`,
+		"mq_read_seconds_count 2",
+		"# HELP mq_queries_total queries served",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, text)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := snap.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count int64   `json:"count"`
+			P50   float64 `json:"p50"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["mq_queries_total"] != 3 {
+		t.Fatalf("json counters %+v", back.Counters)
+	}
+	if hs := back.Histograms["mq_read_seconds"]; hs.Count != 2 || hs.P50 <= 0 {
+		t.Fatalf("json histogram %+v", hs)
+	}
+}

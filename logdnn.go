@@ -106,6 +106,7 @@ func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNN
 				continue
 			}
 			var err error
+			t0 := time.Now()
 			switch opts.Scheme {
 			case Scheme8Bit:
 				quantizers[li], err = quant.FitKBit(act.Data, 8)
@@ -115,6 +116,7 @@ func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNN
 			if err != nil {
 				return nil, fmt.Errorf("mistique: calibrate layer %d: %w", li, err)
 			}
+			s.metrics.ingestQuantizeSeconds.ObserveSince(t0)
 		}
 	}
 
@@ -149,7 +151,9 @@ func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNN
 		for li := 0; li <= maxLayer; li++ {
 			t0 := time.Now()
 			cur = net.Layers[li].Forward(cur)
-			layerSecs[li] += time.Since(t0).Seconds()
+			fwd := time.Since(t0).Seconds()
+			layerSecs[li] += fwd
+			s.metrics.ingestForwardSeconds.Observe(fwd)
 			if !logAll && !logSet[li] {
 				continue
 			}
@@ -223,6 +227,8 @@ func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNN
 	done = dm // install in s.networks via the deferred endLogging
 
 	report.Seconds = time.Since(start).Seconds()
+	s.metrics.modelsLogged.Inc()
+	s.metrics.ingestSeconds.Observe(report.Seconds)
 	after := s.store.Stats()
 	report.ColumnsStored = after.ChunksStored - before.ChunksStored
 	report.ColumnsDedup = after.ChunksDeduped - before.ChunksDeduped

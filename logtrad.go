@@ -132,6 +132,8 @@ func (s *System) LogPipeline(p *pipeline.Pipeline, env map[string]*frame.Frame) 
 		return nil, err
 	}
 	done = pm // install in s.pipelines via the deferred endLogging
+	s.metrics.modelsLogged.Inc()
+	s.metrics.ingestSeconds.Observe(report.Seconds)
 
 	after := s.store.Stats()
 	report.ColumnsStored = after.ChunksStored - before.ChunksStored

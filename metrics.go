@@ -1,0 +1,203 @@
+package mistique
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mistique/internal/cost"
+	"mistique/internal/obs"
+)
+
+// The observability layer (see DESIGN.md "Observability"). One obs.Registry
+// per System carries every engine-level instrument; the column store and
+// the catalog register their own instruments in the same registry, so a
+// single snapshot covers ingest, flush/compaction, query and recovery.
+//
+// The cost model (Sec. 5.1, Eq. 5) is the system's central quantitative
+// claim, so the query path additionally tracks estimate-vs-actual error
+// per strategy: every non-recovered query observes
+// |estimate − actual| / actual into a per-strategy histogram, giving
+// Calibrate a live-traffic error signal to learn from.
+
+// systemMetrics holds the engine's instruments. Everything lives in reg;
+// the typed fields are cached handles so hot paths skip the registry map.
+type systemMetrics struct {
+	reg *obs.Registry
+
+	// Ingest.
+	modelsLogged          *obs.Counter
+	ingestSeconds         *obs.Histogram
+	ingestQuantizeSeconds *obs.Histogram
+	ingestForwardSeconds  *obs.Histogram
+
+	// Query.
+	queries             *obs.Counter
+	queryReadSeconds    *obs.Histogram
+	queryRerunSeconds   *obs.Histogram
+	queryFilterSeconds  *obs.Histogram
+	queryGetRowsSeconds *obs.Histogram
+	costReadRelErr      *obs.Histogram
+	costRerunRelErr     *obs.Histogram
+	materializations    *obs.Counter
+	slowQueries         *obs.Counter
+
+	// Recovery.
+	rerunFallbacks *obs.Counter
+	heals          *obs.Counter
+	healSeconds    *obs.Histogram
+
+	// Session caches over this system.
+	sessionHits      *obs.Counter
+	sessionMisses    *obs.Counter
+	sessionEvictions *obs.Counter
+}
+
+func newSystemMetrics() *systemMetrics {
+	reg := obs.New()
+	return &systemMetrics{
+		reg: reg,
+
+		modelsLogged:          reg.Counter("mistique_models_logged_total", "successful LogPipeline/LogDNN calls"),
+		ingestSeconds:         reg.Histogram("mistique_ingest_seconds", "wall time of one LogPipeline/LogDNN call"),
+		ingestQuantizeSeconds: reg.Histogram("mistique_ingest_quantize_seconds", "per-column quantizer fit time (KBIT/THRESHOLD calibration included)"),
+		ingestForwardSeconds:  reg.Histogram("mistique_ingest_forward_seconds", "DNN per-layer forward time for one logging batch"),
+
+		queries:             reg.Counter("mistique_queries_total", "GetIntermediate and Fetch calls answered"),
+		queryReadSeconds:    reg.Histogram("mistique_query_read_seconds", "fetch wall time of queries answered by READ"),
+		queryRerunSeconds:   reg.Histogram("mistique_query_rerun_seconds", "fetch wall time of queries answered by RERUN"),
+		queryFilterSeconds:  reg.Histogram("mistique_query_filter_rows_seconds", "FilterRows (zone-map predicate scan) wall time"),
+		queryGetRowsSeconds: reg.Histogram("mistique_query_get_rows_seconds", "GetRows (row-range read) wall time"),
+		costReadRelErr:      reg.Histogram("mistique_cost_read_rel_error", "cost-model relative error |est-actual|/actual for READ queries"),
+		costRerunRelErr:     reg.Histogram("mistique_cost_rerun_rel_error", "cost-model relative error |est-actual|/actual for RERUN queries"),
+		materializations:    reg.Counter("mistique_adaptive_materializations_total", "intermediates materialized by a query crossing the gamma threshold"),
+		slowQueries:         reg.Counter("mistique_slow_queries_total", "queries recorded in the slow-query log"),
+
+		rerunFallbacks: reg.Counter("mistique_query_rerun_fallbacks_total", "READ queries transparently recovered by re-running the model"),
+		heals:          reg.Counter("mistique_heals_total", "heal-and-retry re-materializations on scan/row-range paths"),
+		healSeconds:    reg.Histogram("mistique_heal_seconds", "re-materialization time of one healed intermediate"),
+
+		sessionHits:      reg.Counter("mistique_session_hits_total", "session result-cache hits across all Sessions"),
+		sessionMisses:    reg.Counter("mistique_session_misses_total", "session result-cache misses across all Sessions"),
+		sessionEvictions: reg.Counter("mistique_session_evictions_total", "session result-cache evictions across all Sessions"),
+	}
+}
+
+// observeQuery records the per-strategy fetch latency and, for queries the
+// cost model actually drove (not recovered fallbacks), the
+// estimate-vs-actual relative error.
+func (m *systemMetrics) observeQuery(res *Result) {
+	actual := res.FetchSeconds
+	var latency, relErr *obs.Histogram
+	var est float64
+	if res.Strategy == cost.Read {
+		latency, relErr, est = m.queryReadSeconds, m.costReadRelErr, res.EstReadSecs
+	} else {
+		latency, relErr, est = m.queryRerunSeconds, m.costRerunRelErr, res.EstRerunSecs
+	}
+	latency.Observe(actual)
+	if res.Recovered {
+		// The READ estimate drove the decision, but the fetch degenerated
+		// into a rerun; the error is not the model's to learn from.
+		return
+	}
+	if est > 0 && actual > 0 {
+		relErr.Observe(absFloat(est-actual) / actual)
+	}
+}
+
+func absFloat(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Metrics returns a structured snapshot of every engine, store and catalog
+// metric, folding in the column store's Stats counters under canonical
+// mistique_store_* names — the one-call view that subsumes the previously
+// scattered Stats fields. The snapshot marshals directly to JSON and
+// writes itself in Prometheus text format via WritePrometheus.
+func (s *System) Metrics() *obs.Snapshot {
+	snap := s.metrics.reg.Snapshot()
+	st := s.store.Stats()
+	fold := func(name, help string, v int64) {
+		snap.Counters[name] = v
+		snap.Help[name] = help
+	}
+	fold("mistique_store_chunks_put_total", "PutColumn calls", st.ChunksPut)
+	fold("mistique_store_chunks_deduped_total", "puts answered by an existing identical chunk", st.ChunksDeduped)
+	fold("mistique_store_chunks_stored_total", "chunks physically stored", st.ChunksStored)
+	fold("mistique_store_evictions_total", "partitions evicted from the buffer pool", st.Evictions)
+	fold("mistique_store_disk_reads_total", "partition files read from disk", st.DiskReads)
+	fold("mistique_store_disk_writes_total", "partition files written to disk", st.DiskWrites)
+	fold("mistique_store_disk_read_bytes_total", "compressed bytes read from disk", st.DiskReadBytes)
+	fold("mistique_store_disk_write_bytes_total", "compressed bytes written to disk", st.DiskWriteBytes)
+	fold("mistique_store_recovered_reads_total", "queries answered by rerun after hitting unavailable chunks", st.RecoveredReads)
+	fold("mistique_store_corrupt_partitions_total", "partitions quarantined after checksum failure or loss", st.CorruptPartitions)
+	fold("mistique_store_fsyncs_total", "fsyncs issued for durability", st.FsyncCount)
+	g := func(name, help string, v int64) {
+		snap.Gauges[name] = v
+		snap.Help[name] = help
+	}
+	g("mistique_store_partitions", "partitions known to the store", st.Partitions)
+	g("mistique_store_logical_bytes", "encoded bytes before dedup (STORE_ALL footprint)", st.LogicalBytes)
+	g("mistique_store_stored_bytes", "encoded bytes actually kept (pre-compression)", st.StoredBytes)
+	return snap
+}
+
+// WritePrometheus writes the full metrics snapshot in Prometheus text
+// exposition format.
+func (s *System) WritePrometheus(w io.Writer) error {
+	return s.Metrics().WritePrometheus(w)
+}
+
+// slowQueryRecord is one line of the slow-query log: everything needed to
+// replay the cost-model decision offline (model, intermediate, strategy,
+// both estimates, the measured wall time).
+type slowQueryRecord struct {
+	Time         string  `json:"time"`
+	Op           string  `json:"op"`
+	Model        string  `json:"model"`
+	Intermediate string  `json:"intermediate"`
+	Strategy     string  `json:"strategy"`
+	Cols         int     `json:"cols"`
+	NEx          int     `json:"n_ex"`
+	EstReadSecs  float64 `json:"est_read_secs"`
+	EstRerunSecs float64 `json:"est_rerun_secs"`
+	Seconds      float64 `json:"seconds"`
+	Recovered    bool    `json:"recovered,omitempty"`
+	Materialized bool    `json:"materialized_now,omitempty"`
+}
+
+// slowQueryLogName is the JSON-lines slow-query log, rooted next to the
+// store directory.
+const slowQueryLogName = "slow_queries.jsonl"
+
+// noteSlowQuery appends a record to the slow-query log when the query's
+// wall time crossed Config.SlowQueryThreshold. Best effort: a failed
+// append drops the record (the counter still moves), never the query.
+func (s *System) noteSlowQuery(rec slowQueryRecord) {
+	if s.cfg.SlowQueryThreshold <= 0 || rec.Seconds < s.cfg.SlowQueryThreshold.Seconds() {
+		return
+	}
+	s.metrics.slowQueries.Inc()
+	rec.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	if s.slowLog == nil {
+		f, err := os.OpenFile(filepath.Join(s.dir, slowQueryLogName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return
+		}
+		s.slowLog = f
+	}
+	fmt.Fprintf(s.slowLog, "%s\n", line)
+}

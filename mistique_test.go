@@ -578,8 +578,8 @@ func TestSessionCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sess.Hits != 1 || sess.Misses != 1 {
-		t.Fatalf("hits=%d misses=%d", sess.Hits, sess.Misses)
+	if hits, misses := sess.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
 	}
 	if r1 != r2 {
 		t.Fatal("cache did not return the same result object")

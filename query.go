@@ -24,8 +24,11 @@ type Result struct {
 	// Strategy says whether the engine read the stored intermediate or
 	// re-ran the model, per the cost model.
 	Strategy cost.Strategy
-	// EstReadSecs / EstRerunSecs are the cost-model estimates that drove
-	// the decision (zero when only one strategy was available).
+	// EstReadSecs / EstRerunSecs are the cost-model estimates for the two
+	// strategies. Both are always populated — even when only one strategy
+	// was available (an unmaterialized intermediate forces RERUN) or the
+	// caller forced one via Fetch — so callers can always inspect the
+	// trade-off the cost model saw.
 	EstReadSecs, EstRerunSecs float64
 	// FetchSeconds is the measured wall time of the fetch.
 	FetchSeconds float64
@@ -113,6 +116,8 @@ func (s *System) GetIntermediate(model, interm string, cols []string, nEx int) (
 		return nil, err
 	}
 	res.FetchSeconds = time.Since(start).Seconds()
+	s.metrics.queries.Inc()
+	s.metrics.observeQuery(res)
 
 	// Adaptive materialization (Alg. 4): storage is worth it once the
 	// cumulative saved query time per byte crosses gamma. Two queries
@@ -133,8 +138,22 @@ func (s *System) GetIntermediate(model, interm string, cols []string, nEx int) (
 				return nil, fmt.Errorf("mistique: adaptive materialization of %s.%s: %w", model, interm, err)
 			}
 			res.MaterializedNow = true
+			s.metrics.materializations.Inc()
 		}
 	}
+	s.noteSlowQuery(slowQueryRecord{
+		Op:           "get_intermediate",
+		Model:        model,
+		Intermediate: interm,
+		Strategy:     res.Strategy.String(),
+		Cols:         len(cols),
+		NEx:          nEx,
+		EstReadSecs:  res.EstReadSecs,
+		EstRerunSecs: res.EstRerunSecs,
+		Seconds:      res.FetchSeconds,
+		Recovered:    res.Recovered,
+		Materialized: res.MaterializedNow,
+	})
 	return res, nil
 }
 
@@ -164,6 +183,14 @@ func (s *System) Fetch(model, interm string, cols []string, nEx int, strategy co
 		return nil, fmt.Errorf("mistique: %s.%s is not materialized; cannot force READ", model, interm)
 	}
 	res := &Result{Model: model, Intermediate: interm, Cols: cols, Strategy: strategy}
+	// Populate both estimates even though the caller forced the strategy,
+	// so Result carries the trade-off the cost model would have seen (and
+	// the evaluation harness can compare forced measurements against it).
+	costP := s.CostParams()
+	res.EstReadSecs = cost.ReadSeconds(s.bytesPerRow(m, &it), nEx, costP)
+	if est, eerr := cost.RerunSeconds(m, it.StageIndex, nEx, costP); eerr == nil {
+		res.EstRerunSecs = est
+	}
 	start := time.Now()
 	var err error
 	if strategy == cost.Read {
@@ -175,6 +202,19 @@ func (s *System) Fetch(model, interm string, cols []string, nEx int, strategy co
 		return nil, err
 	}
 	res.FetchSeconds = time.Since(start).Seconds()
+	s.metrics.queries.Inc()
+	s.metrics.observeQuery(res)
+	s.noteSlowQuery(slowQueryRecord{
+		Op:           "fetch",
+		Model:        model,
+		Intermediate: interm,
+		Strategy:     res.Strategy.String(),
+		Cols:         len(cols),
+		NEx:          nEx,
+		EstReadSecs:  res.EstReadSecs,
+		EstRerunSecs: res.EstRerunSecs,
+		Seconds:      res.FetchSeconds,
+	})
 	return res, nil
 }
 
@@ -409,6 +449,7 @@ func (s *System) recoverRead(m *metadata.Model, it *metadata.Interm, cols []stri
 		return nil, fmt.Errorf("mistique: read %s.%s failed (%v) and rerun recovery failed: %w", m.Name, it.Name, readErr, err)
 	}
 	s.store.NoteRecoveredRead()
+	s.metrics.rerunFallbacks.Inc()
 	// Drop the dead mappings first so the fresh puts are stored instead of
 	// tripping over quarantined chunk ids.
 	s.store.DeleteColumns(m.Name, it.Name)
@@ -431,11 +472,14 @@ func (s *System) healIntermediate(model, interm string) error {
 	if !ok {
 		return fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
 	}
+	stop := s.metrics.healSeconds.Time()
 	s.store.DeleteColumns(model, interm)
 	if err := s.materialize(m, &it); err != nil {
 		s.meta.SetUnmaterialized(model, interm)
 		return fmt.Errorf("mistique: heal %s.%s: %w", model, interm, err)
 	}
+	stop()
+	s.metrics.heals.Inc()
 	s.store.NoteRecoveredRead()
 	return nil
 }
@@ -455,6 +499,7 @@ func (s *System) FilterRows(model, interm, column string, op colstore.Op, bound 
 	if _, err := s.meta.RecordQuery(model, interm); err != nil {
 		return nil, err
 	}
+	defer s.metrics.queryFilterSeconds.Time()()
 	matches, _, err := s.store.ScanColumn(model, interm, column, op, bound)
 	if err != nil && recoverableReadErr(err) {
 		// Lost chunks: re-materialize from a model re-run, then retry once.
@@ -496,6 +541,7 @@ func (s *System) GetRows(model, interm string, cols []string, from, to int) (*te
 	if len(cols) == 0 {
 		cols = it.Columns
 	}
+	defer s.metrics.queryGetRowsSeconds.Time()()
 	fetch := func() (*tensor.Dense, error) {
 		out := tensor.NewDense(to-from, len(cols))
 		err := parallel.ForEach(len(cols), s.workers(), func(j int) error {

@@ -1,0 +1,145 @@
+// Command benchjson parses `go test -bench` text output from stdin into a
+// stable JSON document, so CI can publish benchmark results as a machine-
+// readable artifact (BENCH_pr.json) and the numbers can be diffed across
+// commits:
+//
+//	go test -run '^$' -bench . -benchtime=500ms -benchmem . | benchjson > BENCH_pr.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and the
+	// -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported measurement.
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are present with -benchmem (omitted otherwise).
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the full document: environment header plus results.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	rep := &Report{Benchmarks: []Benchmark{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine parses one result line, e.g.
+//
+//	BenchmarkFig5a_TRADQueryTimes-8  3  450123456 ns/op  123456 B/op  789 allocs/op
+//
+// Lines that start with "Benchmark" but carry no measurement (sub-benchmark
+// headers) report ok=false.
+func parseLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[2] != "ns/op" && !hasUnit(fields, "ns/op") {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{Procs: 1}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			b.Procs = p
+			name = name[:i]
+		}
+	}
+	b.Name = name
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	b.Iterations = iters
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Benchmark{}, false, fmt.Errorf("bad ns/op in %q: %w", line, err)
+			}
+			b.NsPerOp = f
+		case "B/op":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Benchmark{}, false, fmt.Errorf("bad B/op in %q: %w", line, err)
+			}
+			b.BytesPerOp = &n
+		case "allocs/op":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Benchmark{}, false, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+			b.AllocsPerOp = &n
+		}
+	}
+	return b, true, nil
+}
+
+func hasUnit(fields []string, unit string) bool {
+	for _, f := range fields {
+		if f == unit {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: mistique
+cpu: AMD EPYC 7763 64-Core Processor
+BenchmarkFig5a_TRADQueryTimes-8   	       3	 450123456 ns/op	  123456 B/op	     789 allocs/op
+BenchmarkFig6a_ZillowStorage-8    	       2	 650000000 ns/op
+BenchmarkNoMeasurement
+PASS
+ok  	mistique	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "mistique" {
+		t.Fatalf("header %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "Fig5a_TRADQueryTimes" || b.Procs != 8 || b.Iterations != 3 || b.NsPerOp != 450123456 {
+		t.Fatalf("first benchmark %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 123456 || b.AllocsPerOp == nil || *b.AllocsPerOp != 789 {
+		t.Fatalf("benchmem fields %+v", b)
+	}
+	if got := rep.Benchmarks[1]; got.BytesPerOp != nil || got.NsPerOp != 650000000 {
+		t.Fatalf("second benchmark %+v", got)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader("PASS\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("benchmarks %+v", rep.Benchmarks)
+	}
+}
