@@ -1,6 +1,7 @@
 package mistique
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -188,6 +189,6 @@ func (s *System) Prefetch(model, interm string) error {
 	if !it.Materialized {
 		return fmt.Errorf("mistique: %s.%s not materialized; nothing to prefetch", model, interm)
 	}
-	_, err := s.readMatrix(model, interm, &it, it.Columns, it.Rows)
+	_, err := s.readMatrix(context.Background(), model, interm, &it, it.Columns, it.Rows)
 	return err
 }

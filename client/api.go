@@ -1,0 +1,233 @@
+// Package client is the typed Go client for the MISTIQUE query service
+// (internal/server): a JSON-over-HTTP surface for the diagnostic query
+// classes of Sec. 5 — intermediate fetches under the read-vs-rerun cost
+// model, cost estimates, zone-map predicate scans and row-range reads —
+// plus catalog listing, stats and compaction.
+//
+// This file defines the wire types. The server imports them too, so the
+// two sides can never drift: what the server encodes is exactly what the
+// client decodes. The package depends only on the standard library.
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// F32 is a float32 that survives JSON: encoding/json rejects non-finite
+// values outright, but intermediates upstream of a fillna stage carry
+// NaNs by design. NaN encodes as null and ±Inf as the strings "+Inf" /
+// "-Inf"; both decode back to the originals.
+type F32 float32
+
+// MarshalJSON implements json.Marshaler.
+func (f F32) MarshalJSON() ([]byte, error) {
+	v := float64(float32(f))
+	switch {
+	case math.IsNaN(v):
+		return []byte("null"), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *F32) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case "null":
+		*f = F32(math.NaN())
+		return nil
+	case `"+Inf"`, `"Inf"`:
+		*f = F32(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = F32(math.Inf(-1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return fmt.Errorf("F32: want a number, null or \"±Inf\": %w", err)
+	}
+	*f = F32(v)
+	return nil
+}
+
+// Floats converts a decoded wire slice back to raw float32s.
+func Floats(vs []F32) []float32 {
+	out := make([]float32, len(vs))
+	for i, v := range vs {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// ErrorBody is the payload of every non-2xx response.
+type ErrorBody struct {
+	// Status echoes the HTTP status code.
+	Status int `json:"status"`
+	// Message is a human-readable description of the failure.
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the JSON error envelope: every error response, from a
+// 400 on a malformed body to a 429 under backpressure to a 500 from a
+// recovered panic, has exactly this shape.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// StageInfo describes one pipeline stage or network layer.
+type StageInfo struct {
+	Name        string  `json:"name"`
+	Index       int     `json:"index"`
+	ExecSeconds float64 `json:"exec_seconds"`
+}
+
+// IntermInfo is the catalog entry for one intermediate.
+type IntermInfo struct {
+	Name         string   `json:"name"`
+	StageIndex   int      `json:"stage_index"`
+	Columns      []string `json:"columns"`
+	Rows         int      `json:"rows"`
+	Materialized bool     `json:"materialized"`
+	QuantScheme  string   `json:"quant_scheme"`
+	StoredBytes  int64    `json:"stored_bytes"`
+	QueryCount   int64    `json:"query_count"`
+}
+
+// ModelInfo is the catalog entry for one logged model.
+type ModelInfo struct {
+	Name          string       `json:"name"`
+	Kind          string       `json:"kind"`
+	TotalExamples int          `json:"total_examples"`
+	ModelLoadSecs float64      `json:"model_load_secs"`
+	Stages        []StageInfo  `json:"stages,omitempty"`
+	Intermediates []IntermInfo `json:"intermediates,omitempty"`
+}
+
+// ModelsResponse lists the logged models (GET /api/v1/models).
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// QueryRequest asks for an intermediate (POST /api/v1/query). An empty
+// Cols fetches every column; NEx <= 0 fetches all rows. Strategy "" lets
+// the cost model choose; "READ" or "RERUN" forces one side (the server
+// calls Fetch, counters still update).
+type QueryRequest struct {
+	Model        string   `json:"model"`
+	Intermediate string   `json:"intermediate"`
+	Cols         []string `json:"cols,omitempty"`
+	NEx          int      `json:"n_ex,omitempty"`
+	Strategy     string   `json:"strategy,omitempty"`
+}
+
+// QueryResponse carries the answer matrix plus everything mistique.Result
+// exposes about how it was produced.
+type QueryResponse struct {
+	Model           string   `json:"model"`
+	Intermediate    string   `json:"intermediate"`
+	Cols            []string `json:"cols"`
+	Rows            int      `json:"rows"`
+	Data            [][]F32  `json:"data"`
+	Strategy        string   `json:"strategy"`
+	EstReadSecs     float64     `json:"est_read_secs"`
+	EstRerunSecs    float64     `json:"est_rerun_secs"`
+	FetchSeconds    float64     `json:"fetch_seconds"`
+	Recovered       bool        `json:"recovered,omitempty"`
+	MaterializedNow bool        `json:"materialized_now,omitempty"`
+}
+
+// ColumnResponse is one column of an intermediate
+// (GET /api/v1/models/{model}/intermediates/{interm}/columns/{col}).
+type ColumnResponse struct {
+	Model        string `json:"model"`
+	Intermediate string `json:"intermediate"`
+	Column       string `json:"column"`
+	Values       []F32  `json:"values"`
+}
+
+// EstimateResponse is the cost model's read-vs-rerun prediction for a
+// query, without executing it (GET /api/v1/estimate). Chosen is the
+// strategy the engine would pick: the paper's tie-break reads when
+// t_rerun >= t_read, and an unmaterialized intermediate forces RERUN.
+type EstimateResponse struct {
+	Model        string  `json:"model"`
+	Intermediate string  `json:"intermediate"`
+	NEx          int     `json:"n_ex"`
+	EstReadSecs  float64 `json:"est_read_secs"`
+	EstRerunSecs float64 `json:"est_rerun_secs"`
+	Chosen       string  `json:"chosen"`
+}
+
+// FilterRequest is a zone-map predicate scan (POST /api/v1/filter):
+// matching row offsets of `column op bound`. Op is one of "gt", "ge",
+// "lt", "le".
+type FilterRequest struct {
+	Model        string  `json:"model"`
+	Intermediate string  `json:"intermediate"`
+	Column       string  `json:"column"`
+	Op           string  `json:"op"`
+	Bound        float64 `json:"bound"`
+}
+
+// FilterResponse lists the matching global row offsets in order.
+type FilterResponse struct {
+	Rows  []int `json:"rows"`
+	Count int   `json:"count"`
+}
+
+// RowsRequest reads rows [From, To) of the given columns from a
+// materialized intermediate (POST /api/v1/rows). Empty Cols means all.
+type RowsRequest struct {
+	Model        string   `json:"model"`
+	Intermediate string   `json:"intermediate"`
+	Cols         []string `json:"cols,omitempty"`
+	From         int      `json:"from"`
+	To           int      `json:"to"`
+}
+
+// RowsResponse is the row-range answer matrix. To reflects clamping to
+// the intermediate's row count.
+type RowsResponse struct {
+	Model        string   `json:"model"`
+	Intermediate string   `json:"intermediate"`
+	Cols         []string `json:"cols"`
+	From         int      `json:"from"`
+	To           int      `json:"to"`
+	Data         [][]F32  `json:"data"`
+}
+
+// HistogramInfo mirrors the JSON surface of an obs histogram snapshot.
+type HistogramInfo struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// StatsResponse is the full metrics snapshot (GET /api/v1/stats and
+// /statsz): every counter, gauge and histogram in the system's registry,
+// including the HTTP service's own series.
+type StatsResponse struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]int64         `json:"gauges"`
+	Histograms map[string]HistogramInfo `json:"histograms"`
+}
+
+// CompactResponse reports a compaction (POST /api/v1/compact).
+type CompactResponse struct {
+	ReclaimedBytes int64 `json:"reclaimed_bytes"`
+}
+
+// HealthResponse is the liveness probe (GET /healthz).
+type HealthResponse struct {
+	Status string `json:"status"`
+	Models int    `json:"models"`
+}

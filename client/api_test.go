@@ -1,0 +1,76 @@
+package client
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestF32RoundTrip covers the JSON forms of the wire float: finite
+// values, NaN (null) and both infinities (strings).
+func TestF32RoundTrip(t *testing.T) {
+	cases := []struct {
+		in   float64
+		wire string
+	}{
+		{0, "0"},
+		{1.5, "1.5"},
+		{-3.25, "-3.25"},
+		{math.NaN(), "null"},
+		{math.Inf(1), `"+Inf"`},
+		{math.Inf(-1), `"-Inf"`},
+	}
+	for _, tc := range cases {
+		b, err := json.Marshal(F32(tc.in))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", tc.in, err)
+		}
+		if string(b) != tc.wire {
+			t.Errorf("F32(%v) encoded as %s, want %s", tc.in, b, tc.wire)
+		}
+		var back F32
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		got := float64(back)
+		if math.IsNaN(tc.in) {
+			if !math.IsNaN(got) {
+				t.Errorf("NaN round-tripped to %v", got)
+			}
+		} else if got != tc.in {
+			t.Errorf("%v round-tripped to %v", tc.in, got)
+		}
+	}
+
+	// A whole row with mixed values survives, and garbage is rejected.
+	row := []F32{1, F32(math.NaN()), F32(math.Inf(1))}
+	b, err := json.Marshal(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `[1,null,"+Inf"]` {
+		t.Fatalf("row encoded as %s", b)
+	}
+	var backRow []F32
+	if err := json.Unmarshal(b, &backRow); err != nil {
+		t.Fatal(err)
+	}
+	if len(backRow) != 3 || backRow[0] != 1 || !math.IsNaN(float64(backRow[1])) || !math.IsInf(float64(backRow[2]), 1) {
+		t.Fatalf("row round-tripped to %v", backRow)
+	}
+	var bad F32
+	if err := json.Unmarshal([]byte(`"wat"`), &bad); err == nil {
+		t.Fatal("garbage string decoded into F32")
+	}
+}
+
+func TestNewValidatesBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "127.0.0.1:7420", "/just/a/path"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted a base URL without scheme+host", bad)
+		}
+	}
+	if _, err := New("http://127.0.0.1:7420/"); err != nil {
+		t.Errorf("New rejected a good base URL: %v", err)
+	}
+}

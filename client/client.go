@@ -1,0 +1,370 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// APIError is a non-2xx response decoded from the server's error
+// envelope. It is returned for failures the client does not (or can no
+// longer) retry.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's description of the failure.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("mistique server: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
+}
+
+// IsNotFound reports whether err is a 404 from the server (unknown model,
+// intermediate or column).
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusNotFound
+}
+
+// IsOverCapacity reports whether err is a 429 — the server's admission
+// semaphore was full and every retry was exhausted.
+func IsOverCapacity(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests
+}
+
+// Client is a typed HTTP client for the MISTIQUE query service. A Client
+// is safe for concurrent use.
+//
+// Transient failures are retried: connection errors and 5xx responses up
+// to MaxRetries times with doubling backoff, and 429 over-capacity
+// rejections by honoring the server's Retry-After hint until the request
+// deadline expires — backpressure is transparent to callers, who either
+// get an answer or a deadline error. 4xx responses other than 429 are
+// never retried.
+type Client struct {
+	base       string
+	hc         *http.Client
+	maxRetries int
+	backoff    time.Duration
+	timeout    time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithMaxRetries bounds retries of connection errors and 5xx responses
+// (default 3; 0 disables retries).
+func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithBackoff sets the initial retry backoff, doubled per attempt
+// (default 50ms).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithTimeout sets the per-request deadline applied to every attempt's
+// context (default 30s; 0 leaves only the caller's context bound).
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
+
+// New returns a Client for the service at baseURL (e.g.
+// "http://127.0.0.1:7420").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs scheme and host", baseURL)
+	}
+	c := &Client{
+		base:       strings.TrimRight(u.String(), "/"),
+		hc:         &http.Client{},
+		maxRetries: 3,
+		backoff:    50 * time.Millisecond,
+		timeout:    30 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// do issues one logical request with the retry policy. in == nil sends no
+// body; out == nil discards the response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	// The per-request deadline bounds the whole logical call — every
+	// attempt, backoff and 429 wait — so a saturated or flapping server
+	// turns into a deadline error, never an unbounded stall.
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+
+	retriesLeft := c.maxRetries
+	wait := c.backoff
+	for {
+		err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		var delay time.Duration
+		switch {
+		case retryAfter(err) > 0:
+			// Over capacity: not a failure budget matter — wait out the
+			// server's hint and try again until the deadline says stop.
+			delay = retryAfter(err)
+		case retriable(err) && retriesLeft > 0:
+			retriesLeft--
+			delay = wait
+			wait *= 2
+		default:
+			return err
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("client: %s %s: %w (last error: %v)", method, path, ctx.Err(), err)
+		case <-t.C:
+		}
+	}
+}
+
+// attempt issues one HTTP round trip.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return &connError{err: err}
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// connError wraps a transport-level failure so the retry policy can
+// distinguish it from a decoded server error.
+type connError struct{ err error }
+
+func (e *connError) Error() string { return "client: connection error: " + e.err.Error() }
+func (e *connError) Unwrap() error { return e.err }
+
+// overCapacityError is a 429 carrying the server's Retry-After hint.
+type overCapacityError struct {
+	APIError
+	after time.Duration
+}
+
+func decodeError(resp *http.Response) error {
+	ae := &APIError{Status: resp.StatusCode}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&env); err == nil && env.Error.Message != "" {
+		ae.Message = env.Error.Message
+	} else {
+		ae.Message = "(no error envelope)"
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after := time.Second
+		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v >= 0 {
+			after = time.Duration(v) * time.Second
+			if after == 0 {
+				after = 100 * time.Millisecond
+			}
+		}
+		return &overCapacityError{APIError: *ae, after: after}
+	}
+	return ae
+}
+
+func (e *overCapacityError) Error() string { return e.APIError.Error() }
+
+// As exposes the embedded APIError to errors.As so IsOverCapacity works
+// on deadline-wrapped failures too.
+func (e *overCapacityError) As(target any) bool {
+	if p, ok := target.(**APIError); ok {
+		*p = &e.APIError
+		return true
+	}
+	return false
+}
+
+// retriable reports whether one attempt's failure is transient.
+func retriable(err error) bool {
+	var ce *connError
+	if errors.As(err, &ce) {
+		return true
+	}
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status >= 500
+}
+
+// retryAfter returns the wait hint of a 429, or 0.
+func retryAfter(err error) time.Duration {
+	var oe *overCapacityError
+	if errors.As(err, &oe) {
+		return oe.after
+	}
+	return 0
+}
+
+// Models lists every logged model with its full catalog entry.
+func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
+	var out ModelsResponse
+	if err := c.do(ctx, http.MethodGet, "/api/v1/models", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Models, nil
+}
+
+// Model fetches one model's catalog entry, intermediates included.
+func (c *Client) Model(ctx context.Context, name string) (*ModelInfo, error) {
+	var out ModelInfo
+	if err := c.do(ctx, http.MethodGet, "/api/v1/models/"+url.PathEscape(name), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Intermediate fetches one intermediate's catalog entry.
+func (c *Client) Intermediate(ctx context.Context, model, interm string) (*IntermInfo, error) {
+	var out IntermInfo
+	path := "/api/v1/models/" + url.PathEscape(model) + "/intermediates/" + url.PathEscape(interm)
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GetIntermediate fetches cols x nEx of an intermediate, letting the
+// server's cost model choose read vs. rerun. nil cols fetches every
+// column; nEx <= 0 every row.
+func (c *Client) GetIntermediate(ctx context.Context, model, interm string, cols []string, nEx int) (*QueryResponse, error) {
+	return c.query(ctx, QueryRequest{Model: model, Intermediate: interm, Cols: cols, NEx: nEx})
+}
+
+// Fetch is GetIntermediate with a forced strategy ("READ" or "RERUN").
+func (c *Client) Fetch(ctx context.Context, model, interm string, cols []string, nEx int, strategy string) (*QueryResponse, error) {
+	return c.query(ctx, QueryRequest{Model: model, Intermediate: interm, Cols: cols, NEx: nEx, Strategy: strategy})
+}
+
+func (c *Client) query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GetColumn fetches the first nEx values of one column.
+func (c *Client) GetColumn(ctx context.Context, model, interm, column string, nEx int) ([]float32, error) {
+	var out ColumnResponse
+	path := "/api/v1/models/" + url.PathEscape(model) + "/intermediates/" + url.PathEscape(interm) +
+		"/columns/" + url.PathEscape(column) + "?n=" + strconv.Itoa(nEx)
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return Floats(out.Values), nil
+}
+
+// Estimate returns the cost model's read/rerun predictions and the
+// strategy the engine would choose, without executing anything.
+func (c *Client) Estimate(ctx context.Context, model, interm string, nEx int) (*EstimateResponse, error) {
+	var out EstimateResponse
+	path := "/api/v1/estimate?model=" + url.QueryEscape(model) + "&interm=" + url.QueryEscape(interm) + "&n=" + strconv.Itoa(nEx)
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FilterRows returns row offsets where `column op bound` holds; op is one
+// of "gt", "ge", "lt", "le".
+func (c *Client) FilterRows(ctx context.Context, model, interm, column, op string, bound float64) ([]int, error) {
+	var out FilterResponse
+	req := FilterRequest{Model: model, Intermediate: interm, Column: column, Op: op, Bound: bound}
+	if err := c.do(ctx, http.MethodPost, "/api/v1/filter", req, &out); err != nil {
+		return nil, err
+	}
+	return out.Rows, nil
+}
+
+// GetRows reads rows [from, to) of the given columns.
+func (c *Client) GetRows(ctx context.Context, model, interm string, cols []string, from, to int) (*RowsResponse, error) {
+	var out RowsResponse
+	req := RowsRequest{Model: model, Intermediate: interm, Cols: cols, From: from, To: to}
+	if err := c.do(ctx, http.MethodPost, "/api/v1/rows", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats returns the server's full metrics snapshot.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/api/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Compact asks the store to reclaim garbage chunks, returning the
+// reclaimed encoded bytes.
+func (c *Client) Compact(ctx context.Context) (int64, error) {
+	var out CompactResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/compact", nil, &out); err != nil {
+		return 0, err
+	}
+	return out.ReclaimedBytes, nil
+}
+
+// Health probes liveness.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -13,17 +13,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
+	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"mistique"
 	"mistique/internal/colstore"
 	"mistique/internal/cost"
 	"mistique/internal/metadata"
+	"mistique/internal/server"
 	"mistique/internal/zillow"
 )
 
@@ -73,7 +78,8 @@ commands:
   query    -model M -interm I [-col C] [-n N]           fetch an intermediate
   scan     -model M -interm I -col C -op OP -bound V    zone-map predicate scan
   stats    [-format text|json|prom]                     metrics snapshot
-  serve    -metrics-addr HOST:PORT [-pipelines N]       HTTP /metrics + /statsz
+  serve    -addr HOST:PORT [-pipelines N]               HTTP query service
+           [-max-in-flight N] [-request-timeout D] [-drain-timeout D]
   fsck                                                  verify store integrity
   compact                                               reclaim garbage chunks
   catalog                                               list logged models`)
@@ -308,17 +314,28 @@ func runStats(dir string, args []string) error {
 	}
 }
 
-// runServe exposes the metrics snapshot over HTTP: Prometheus text format
-// at /metrics, the JSON snapshot at /statsz. Optionally logs Zillow
-// pipelines first so a fresh directory has live series to scrape.
+// runServe runs the query service (internal/server) over the store: the
+// full JSON API under /api/v1 plus /metrics, /statsz and /healthz, with
+// admission control, per-request deadlines and graceful shutdown —
+// SIGINT/SIGTERM stops accepting, drains in-flight requests, then flushes
+// the store and catalog so nothing logged is lost. Optionally logs Zillow
+// pipelines first so a fresh directory has models to query (and RERUN
+// available — transformer state is in-memory).
 func runServe(dir string, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	addr := fs.String("metrics-addr", "", "listen address (e.g. 127.0.0.1:9090; required)")
+	addr := fs.String("addr", "", "listen address (e.g. 127.0.0.1:7420; required)")
+	metricsAddr := fs.String("metrics-addr", "", "deprecated alias for -addr")
 	nPipes := fs.Int("pipelines", 0, "Zillow pipelines to log before serving")
 	seed := fs.Int64("seed", 1, "data seed")
+	maxInFlight := fs.Int("max-in-flight", 64, "admission bound on concurrently executing queries (excess gets 429)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request context deadline")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown bound on finishing in-flight requests")
 	fs.Parse(args)
 	if *addr == "" {
-		return fmt.Errorf("serve needs -metrics-addr")
+		*addr = *metricsAddr
+	}
+	if *addr == "" {
+		return fmt.Errorf("serve needs -addr")
 	}
 
 	sys, err := open(dir, true, 0)
@@ -341,17 +358,45 @@ func runServe(dir string, args []string) error {
 		}
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		sys.WritePrometheus(w)
+	srv := server.New(sys, server.Config{
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
 	})
-	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		sys.Metrics().WriteJSON(w)
-	})
-	fmt.Printf("serving metrics on http://%s/metrics (JSON at /statsz)\n", *addr)
-	return http.ListenAndServe(*addr, mux)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Printf("serving queries on http://%s/api/v1 (metrics at /metrics, JSON stats at /statsz)\n", ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		// Listener died on its own; still drain what's in flight and
+		// flush so the store closes clean.
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if serr := srv.Shutdown(sctx); err == nil {
+			err = serr
+		}
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills hard
+	fmt.Println("signal received; draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	fmt.Println("drained and flushed; bye")
+	return nil
 }
 
 func runCatalog(dir string) error {

@@ -30,6 +30,7 @@
 package mistique
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -219,6 +220,24 @@ func (s *System) Flush() error {
 	return s.meta.Save(filepath.Join(s.dir, "metadata.json"))
 }
 
+// Close drains the System to disk: it flushes all dirty partitions,
+// persists the catalog, and releases the slow-query log handle. It is a
+// drain point, not a teardown — the System stays usable afterwards — so a
+// server can Close on SIGTERM (guaranteeing no logged intermediates are
+// lost) while in-process callers keep reading.
+func (s *System) Close() error {
+	err := s.Flush()
+	s.slowMu.Lock()
+	if s.slowLog != nil {
+		if cerr := s.slowLog.Close(); err == nil {
+			err = cerr
+		}
+		s.slowLog = nil
+	}
+	s.slowMu.Unlock()
+	return err
+}
+
 // DiskBytes reports the on-disk footprint of stored intermediates.
 func (s *System) DiskBytes() (int64, error) { return s.store.DiskBytes() }
 
@@ -333,7 +352,7 @@ func (s *System) DropModel(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.meta.DeleteModel(name) {
-		return fmt.Errorf("mistique: unknown model %q", name)
+		return fmt.Errorf("mistique: %w %q", ErrUnknownModel, name)
 	}
 	delete(s.pipelines, name)
 	delete(s.networks, name)
@@ -379,7 +398,7 @@ func (s *System) Calibrate() (float64, error) {
 		return 0, err
 	}
 	start := nowSeconds()
-	m, err := s.readMatrix(probeModel, probe.Name, probe, probe.Columns, probe.Rows)
+	m, err := s.readMatrix(context.Background(), probeModel, probe.Name, probe, probe.Columns, probe.Rows)
 	if err != nil {
 		return 0, err
 	}

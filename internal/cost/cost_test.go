@@ -109,3 +109,113 @@ func TestGamma(t *testing.T) {
 		t.Fatal("gamma must grow with queries")
 	}
 }
+
+// TestCostEdgeCases pins the model's behavior at the degenerate corners a
+// serving layer can reach with legal requests: zero examples, zero
+// widths, zero rates and exact ties.
+func TestCostEdgeCases(t *testing.T) {
+	t.Run("rerun", func(t *testing.T) {
+		cases := []struct {
+			name string
+			upTo int
+			nEx  int
+			p    Params
+			want float64
+		}{
+			// nEx=0 leaves only the fixed model-load cost: no input
+			// bytes, no scaled stage time.
+			{"zero examples is load cost only", 2, 0, Params{InputBytesPerSec: 1e9, InputBytesPerExample: 1000}, 1.2},
+			// A zero input rate drops the input term entirely rather
+			// than dividing by zero.
+			{"zero input rate skips input term", 1, 1000, Params{InputBytesPerSec: 0, InputBytesPerExample: 1000}, 1.2 + 6.0},
+			// Zero bytes per example reads no input even at full rate.
+			{"zero input width skips input term", 1, 1000, Params{InputBytesPerSec: 1e9, InputBytesPerExample: 0}, 1.2 + 6.0},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				got, err := RerunSeconds(model(), tc.upTo, tc.nEx, tc.p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(got-tc.want) > 1e-9 {
+					t.Fatalf("got %g want %g", got, tc.want)
+				}
+				if math.IsNaN(got) || math.IsInf(got, 0) {
+					t.Fatalf("degenerate estimate %g", got)
+				}
+			})
+		}
+	})
+
+	t.Run("read", func(t *testing.T) {
+		cases := []struct {
+			name        string
+			bytesPerRow int64
+			nEx         int
+			p           Params
+			want        float64
+		}{
+			{"zero examples is free", 1000, 0, Params{ReadBytesPerSec: 100e6}, 0},
+			{"zero width is free", 0, 50000, Params{ReadBytesPerSec: 100e6}, 0},
+			{"zero rate yields zero not Inf", 1000, 50000, Params{}, 0},
+			{"zero everything", 0, 0, Params{}, 0},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				got := ReadSeconds(tc.bytesPerRow, tc.nEx, tc.p)
+				if got != tc.want {
+					t.Fatalf("got %g want %g", got, tc.want)
+				}
+			})
+		}
+	})
+
+	t.Run("choose ties", func(t *testing.T) {
+		// The tie-break is load-bearing: callers (the serving layer's
+		// estimate endpoint, the engine's fetch path) assume equal
+		// estimates pin to READ, per the paper's t_rerun >= t_read rule.
+		cases := []struct {
+			name         string
+			tRerun, tRead float64
+			want         Strategy
+		}{
+			{"exact tie pins to read", 5, 5, Read},
+			{"zero-zero tie pins to read", 0, 0, Read},
+			{"epsilon above reads", math.Nextafter(5, 6), 5, Read},
+			{"epsilon below reruns", math.Nextafter(5, 0), 5, Rerun},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				if got := Choose(tc.tRerun, tc.tRead); got != tc.want {
+					t.Fatalf("Choose(%v, %v) = %v, want %v", tc.tRerun, tc.tRead, got, tc.want)
+				}
+			})
+		}
+	})
+
+	t.Run("gamma", func(t *testing.T) {
+		cases := []struct {
+			name           string
+			tRerun, tRead  float64
+			nQuery, stored int64
+			want           float64
+		}{
+			{"zero bytes clamps to zero", 10, 1, 5, 0, 0},
+			{"negative bytes clamps to zero", 10, 1, 5, -64, 0},
+			{"equal estimates save nothing", 5, 5, 100, 1 << 20, 0},
+			{"read slower than rerun saves nothing", 1, 5, 100, 1 << 20, 0},
+			{"zero queries accumulate nothing", 10, 1, 0, 1 << 20, 0},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				got := Gamma(tc.tRerun, tc.tRead, tc.nQuery, tc.stored)
+				if got != tc.want {
+					t.Fatalf("Gamma(%v,%v,%v,%v) = %g, want %g", tc.tRerun, tc.tRead, tc.nQuery, tc.stored, got, tc.want)
+				}
+				if math.IsNaN(got) || math.IsInf(got, 0) {
+					t.Fatalf("degenerate gamma %g", got)
+				}
+			})
+		}
+	})
+}

@@ -155,6 +155,12 @@ func (s *System) WritePrometheus(w io.Writer) error {
 	return s.Metrics().WritePrometheus(w)
 }
 
+// Obs returns the System's observability registry so co-located components
+// (the HTTP query service in internal/server) can register their
+// instruments in the same namespace and surface through the same
+// /metrics and /statsz expositions. Never nil.
+func (s *System) Obs() *obs.Registry { return s.metrics.reg }
+
 // slowQueryRecord is one line of the slow-query log: everything needed to
 // replay the cost-model decision offline (model, intermediate, strategy,
 // both estimates, the measured wall time).

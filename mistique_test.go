@@ -1,6 +1,7 @@
 package mistique
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -129,7 +130,7 @@ func TestReadMatchesRerun(t *testing.T) {
 	// Force a re-run through the internal path and compare.
 	m := s.Metadata().Model("demo")
 	it := s.Metadata().Intermediate("demo", "model")
-	rerun, err := s.rerunMatrix(m, it, []string{"pred"}, it.Rows)
+	rerun, err := s.rerunMatrix(context.Background(), m, it, []string{"pred"}, it.Rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestLogDNNPool2Shrinks(t *testing.T) {
 	}
 	m := s.Metadata().Model("cnn@e0")
 	it := s.Metadata().Intermediate("cnn@e0", "conv1_1")
-	rerun, err := s.rerunMatrix(m, it, []string{"u0", "u100"}, 32)
+	rerun, err := s.rerunMatrix(context.Background(), m, it, []string{"u0", "u100"}, 32)
 	if err != nil {
 		t.Fatal(err)
 	}

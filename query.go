@@ -1,6 +1,7 @@
 package mistique
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -11,6 +12,22 @@ import (
 	"mistique/internal/parallel"
 	"mistique/internal/quant"
 	"mistique/internal/tensor"
+)
+
+// Typed query errors. Every query entry point wraps these with %w so
+// callers serving the engine over a protocol boundary (internal/server
+// maps them to HTTP 404/409) can classify failures with errors.Is instead
+// of string matching.
+var (
+	// ErrUnknownModel marks a query against a model absent from the catalog.
+	ErrUnknownModel = errors.New("unknown model")
+	// ErrUnknownIntermediate marks a query against an intermediate the
+	// model did not produce.
+	ErrUnknownIntermediate = errors.New("unknown intermediate")
+	// ErrNotMaterialized marks an operation that needs stored chunks
+	// (forced READ, zone-map scans, row-range reads) against an
+	// intermediate that has none.
+	ErrNotMaterialized = errors.New("not materialized")
 )
 
 // Result is the answer to an intermediate query.
@@ -64,13 +81,27 @@ func recoverableReadErr(err error) bool {
 // execution mutex, so queries against different models proceed in
 // parallel.
 func (s *System) GetIntermediate(model, interm string, cols []string, nEx int) (*Result, error) {
+	return s.GetIntermediateCtx(context.Background(), model, interm, cols, nEx)
+}
+
+// GetIntermediateCtx is GetIntermediate under a context: the deadline or
+// cancellation is honored before any work starts, before queueing on a
+// model's execution mutex, and between chunk-read tasks. Adaptive
+// materialization triggered by the query is deliberately *not* bound to
+// ctx — once the threshold is crossed, persistence proceeds even if the
+// requesting client has gone away, so a slow client cannot leave the
+// store half-materialized.
+func (s *System) GetIntermediateCtx(ctx context.Context, model, interm string, cols []string, nEx int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m := s.meta.Model(model)
 	if m == nil {
-		return nil, fmt.Errorf("mistique: unknown model %q", model)
+		return nil, fmt.Errorf("mistique: %w %q", ErrUnknownModel, model)
 	}
 	it, ok := s.meta.IntermSnapshot(model, interm)
 	if !ok {
-		return nil, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+		return nil, fmt.Errorf("mistique: %w %s.%s", ErrUnknownIntermediate, model, interm)
 	}
 	nQuery, err := s.meta.RecordQuery(model, interm)
 	if err != nil {
@@ -101,16 +132,16 @@ func (s *System) GetIntermediate(model, interm string, cols []string, nEx int) (
 	start := time.Now()
 	switch res.Strategy {
 	case cost.Read:
-		res.Data, err = s.readMatrix(model, interm, &it, cols, nEx)
+		res.Data, err = s.readMatrix(ctx, model, interm, &it, cols, nEx)
 		if err != nil && recoverableReadErr(err) {
-			res.Data, err = s.recoverRead(m, &it, cols, nEx, err)
+			res.Data, err = s.recoverRead(ctx, m, &it, cols, nEx, err)
 			if err == nil {
 				res.Strategy = cost.Rerun
 				res.Recovered = true
 			}
 		}
 	default:
-		res.Data, err = s.rerunMatrix(m, &it, cols, nEx)
+		res.Data, err = s.rerunMatrix(ctx, m, &it, cols, nEx)
 	}
 	if err != nil {
 		return nil, err
@@ -162,13 +193,22 @@ func (s *System) GetIntermediate(model, interm string, cols []string, nEx int) (
 // sides of every read-vs-re-run trade-off). Forcing Read on an
 // unmaterialized intermediate is an error. Query counters still update.
 func (s *System) Fetch(model, interm string, cols []string, nEx int, strategy cost.Strategy) (*Result, error) {
+	return s.FetchCtx(context.Background(), model, interm, cols, nEx, strategy)
+}
+
+// FetchCtx is Fetch under a context; see GetIntermediateCtx for the
+// cancellation points.
+func (s *System) FetchCtx(ctx context.Context, model, interm string, cols []string, nEx int, strategy cost.Strategy) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m := s.meta.Model(model)
 	if m == nil {
-		return nil, fmt.Errorf("mistique: unknown model %q", model)
+		return nil, fmt.Errorf("mistique: %w %q", ErrUnknownModel, model)
 	}
 	it, ok := s.meta.IntermSnapshot(model, interm)
 	if !ok {
-		return nil, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+		return nil, fmt.Errorf("mistique: %w %s.%s", ErrUnknownIntermediate, model, interm)
 	}
 	if _, err := s.meta.RecordQuery(model, interm); err != nil {
 		return nil, err
@@ -180,7 +220,7 @@ func (s *System) Fetch(model, interm string, cols []string, nEx int, strategy co
 		cols = it.Columns
 	}
 	if strategy == cost.Read && !it.Materialized {
-		return nil, fmt.Errorf("mistique: %s.%s is not materialized; cannot force READ", model, interm)
+		return nil, fmt.Errorf("mistique: %s.%s is %w; cannot force READ", model, interm, ErrNotMaterialized)
 	}
 	res := &Result{Model: model, Intermediate: interm, Cols: cols, Strategy: strategy}
 	// Populate both estimates even though the caller forced the strategy,
@@ -194,9 +234,9 @@ func (s *System) Fetch(model, interm string, cols []string, nEx int, strategy co
 	start := time.Now()
 	var err error
 	if strategy == cost.Read {
-		res.Data, err = s.readMatrix(model, interm, &it, cols, nEx)
+		res.Data, err = s.readMatrix(ctx, model, interm, &it, cols, nEx)
 	} else {
-		res.Data, err = s.rerunMatrix(m, &it, cols, nEx)
+		res.Data, err = s.rerunMatrix(ctx, m, &it, cols, nEx)
 	}
 	if err != nil {
 		return nil, err
@@ -224,11 +264,11 @@ func (s *System) Fetch(model, interm string, cols []string, nEx int, strategy co
 func (s *System) Estimate(model, interm string, nEx int) (readSecs, rerunSecs float64, err error) {
 	m := s.meta.Model(model)
 	if m == nil {
-		return 0, 0, fmt.Errorf("mistique: unknown model %q", model)
+		return 0, 0, fmt.Errorf("mistique: %w %q", ErrUnknownModel, model)
 	}
 	it, ok := s.meta.IntermSnapshot(model, interm)
 	if !ok {
-		return 0, 0, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+		return 0, 0, fmt.Errorf("mistique: %w %s.%s", ErrUnknownIntermediate, model, interm)
 	}
 	if nEx <= 0 || nEx > it.Rows {
 		nEx = it.Rows
@@ -241,7 +281,12 @@ func (s *System) Estimate(model, interm string, nEx int) (readSecs, rerunSecs fl
 
 // GetColumn fetches a single column for the first nEx rows.
 func (s *System) GetColumn(model, interm, column string, nEx int) ([]float32, error) {
-	res, err := s.GetIntermediate(model, interm, []string{column}, nEx)
+	return s.GetColumnCtx(context.Background(), model, interm, column, nEx)
+}
+
+// GetColumnCtx is GetColumn under a context.
+func (s *System) GetColumnCtx(ctx context.Context, model, interm, column string, nEx int) ([]float32, error) {
+	res, err := s.GetIntermediateCtx(ctx, model, interm, []string{column}, nEx)
 	if err != nil {
 		return nil, err
 	}
@@ -262,8 +307,10 @@ func (s *System) bytesPerRow(m *metadata.Model, it *metadata.Interm) int64 {
 // intermediate's (column, block) chunks out across the worker pool, each
 // task reading, decompressing and decoding one chunk and scattering it
 // into a disjoint region of the output matrix — so reassembly preserves
-// per-(column, block) ordering regardless of completion order.
-func (s *System) readMatrix(model, interm string, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
+// per-(column, block) ordering regardless of completion order. Each task
+// checks ctx before touching the store, so a canceled query stops reading
+// at chunk granularity.
+func (s *System) readMatrix(ctx context.Context, model, interm string, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
 	out := tensor.NewDense(nEx, len(cols))
 	blockRows := s.cfg.RowBlockRows
 	nBlocks := (nEx + blockRows - 1) / blockRows
@@ -275,6 +322,9 @@ func (s *System) readMatrix(model, interm string, it *metadata.Interm, cols []st
 		}
 	}
 	err := parallel.ForEach(len(tasks), s.workers(), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		t := tasks[i]
 		lo := t.b * blockRows
 		want := nEx - lo
@@ -301,20 +351,25 @@ func (s *System) readMatrix(model, interm string, it *metadata.Interm, cols []st
 }
 
 // rerunMatrix recomputes the intermediate by executing the stored model.
-func (s *System) rerunMatrix(m *metadata.Model, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
+// ctx is checked before queueing on the model's execution mutex — a
+// canceled query should not lengthen the line for a serialized re-run.
+func (s *System) rerunMatrix(ctx context.Context, m *metadata.Model, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
 	switch m.Kind {
 	case metadata.TRAD:
-		return s.rerunTRAD(m.Name, it, cols, nEx)
+		return s.rerunTRAD(ctx, m.Name, it, cols, nEx)
 	case metadata.DNN:
-		return s.rerunDNN(m.Name, it, cols, nEx)
+		return s.rerunDNN(ctx, m.Name, it, cols, nEx)
 	}
 	return nil, fmt.Errorf("mistique: model %s has unknown kind %q", m.Name, m.Kind)
 }
 
-func (s *System) rerunTRAD(model string, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
+func (s *System) rerunTRAD(ctx context.Context, model string, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
 	pm, ok := s.pipelineModelFor(model)
 	if !ok {
 		return nil, fmt.Errorf("mistique: pipeline %q not resident; re-log it to enable re-runs", model)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	pm.exec.Lock()
 	res, err := pm.p.RunTo(it.StageIndex)
@@ -330,10 +385,13 @@ func (s *System) rerunTRAD(model string, it *metadata.Interm, cols []string, nEx
 	return selectCols(full, names, cols, nEx)
 }
 
-func (s *System) rerunDNN(model string, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
+func (s *System) rerunDNN(ctx context.Context, model string, it *metadata.Interm, cols []string, nEx int) (*tensor.Dense, error) {
 	dm, ok := s.dnnModelFor(model)
 	if !ok {
 		return nil, fmt.Errorf("mistique: network %q not resident; re-log it to enable re-runs", model)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	in := dm.input
 	if nEx < in.N {
@@ -410,7 +468,7 @@ func (s *System) materializeDNN(model string, it *metadata.Interm) error {
 	if !ok {
 		return fmt.Errorf("network %q not resident", model)
 	}
-	full, err := s.rerunDNN(model, it, it.Columns, it.Rows)
+	full, err := s.rerunDNN(context.Background(), model, it, it.Columns, it.Rows)
 	if err != nil {
 		return err
 	}
@@ -443,8 +501,8 @@ func (s *System) materializeDNN(model string, it *metadata.Interm) error {
 // read again. If re-materialization fails, the catalog entry is flipped
 // to unmaterialized so the cost model stops choosing READ for data that
 // is not there.
-func (s *System) recoverRead(m *metadata.Model, it *metadata.Interm, cols []string, nEx int, readErr error) (*tensor.Dense, error) {
-	data, err := s.rerunMatrix(m, it, cols, nEx)
+func (s *System) recoverRead(ctx context.Context, m *metadata.Model, it *metadata.Interm, cols []string, nEx int, readErr error) (*tensor.Dense, error) {
+	data, err := s.rerunMatrix(ctx, m, it, cols, nEx)
 	if err != nil {
 		return nil, fmt.Errorf("mistique: read %s.%s failed (%v) and rerun recovery failed: %w", m.Name, it.Name, readErr, err)
 	}
@@ -466,11 +524,11 @@ func (s *System) recoverRead(m *metadata.Model, it *metadata.Interm, cols []stri
 func (s *System) healIntermediate(model, interm string) error {
 	m := s.meta.Model(model)
 	if m == nil {
-		return fmt.Errorf("mistique: unknown model %q", model)
+		return fmt.Errorf("mistique: %w %q", ErrUnknownModel, model)
 	}
 	it, ok := s.meta.IntermSnapshot(model, interm)
 	if !ok {
-		return fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+		return fmt.Errorf("mistique: %w %s.%s", ErrUnknownIntermediate, model, interm)
 	}
 	stop := s.metrics.healSeconds.Time()
 	s.store.DeleteColumns(model, interm)
@@ -489,12 +547,22 @@ func (s *System) healIntermediate(model, interm string) error {
 // predictions for examples with neuron-50 activation > 0.5" query class of
 // Sec. 8.3. Returns matching global row offsets in order.
 func (s *System) FilterRows(model, interm, column string, op colstore.Op, bound float32) ([]int, error) {
+	return s.FilterRowsCtx(context.Background(), model, interm, column, op, bound)
+}
+
+// FilterRowsCtx is FilterRows under a context. The scan itself is a
+// single store call, so cancellation is honored at entry and between the
+// scan and its heal-and-retry.
+func (s *System) FilterRowsCtx(ctx context.Context, model, interm, column string, op colstore.Op, bound float32) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	it, ok := s.meta.IntermSnapshot(model, interm)
 	if !ok {
-		return nil, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+		return nil, fmt.Errorf("mistique: %w %s.%s", ErrUnknownIntermediate, model, interm)
 	}
 	if !it.Materialized {
-		return nil, fmt.Errorf("mistique: %s.%s not materialized; zone-map scans need stored chunks", model, interm)
+		return nil, fmt.Errorf("mistique: %s.%s %w; zone-map scans need stored chunks", model, interm, ErrNotMaterialized)
 	}
 	if _, err := s.meta.RecordQuery(model, interm); err != nil {
 		return nil, err
@@ -502,6 +570,9 @@ func (s *System) FilterRows(model, interm, column string, op colstore.Op, bound 
 	defer s.metrics.queryFilterSeconds.Time()()
 	matches, _, err := s.store.ScanColumn(model, interm, column, op, bound)
 	if err != nil && recoverableReadErr(err) {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		// Lost chunks: re-materialize from a model re-run, then retry once.
 		if herr := s.healIntermediate(model, interm); herr != nil {
 			return nil, herr
@@ -522,12 +593,21 @@ func (s *System) FilterRows(model, interm, column string, op colstore.Op, bound 
 // intermediate via the primary (row-aligned block) index, touching only
 // the covering RowBlocks. Columns are fetched concurrently.
 func (s *System) GetRows(model, interm string, cols []string, from, to int) (*tensor.Dense, error) {
+	return s.GetRowsCtx(context.Background(), model, interm, cols, from, to)
+}
+
+// GetRowsCtx is GetRows under a context; per-column fetch tasks check ctx
+// before touching the store.
+func (s *System) GetRowsCtx(ctx context.Context, model, interm string, cols []string, from, to int) (*tensor.Dense, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	it, ok := s.meta.IntermSnapshot(model, interm)
 	if !ok {
-		return nil, fmt.Errorf("mistique: unknown intermediate %s.%s", model, interm)
+		return nil, fmt.Errorf("mistique: %w %s.%s", ErrUnknownIntermediate, model, interm)
 	}
 	if !it.Materialized {
-		return nil, fmt.Errorf("mistique: %s.%s not materialized", model, interm)
+		return nil, fmt.Errorf("mistique: %s.%s %w", model, interm, ErrNotMaterialized)
 	}
 	if to > it.Rows {
 		to = it.Rows
@@ -545,6 +625,9 @@ func (s *System) GetRows(model, interm string, cols []string, from, to int) (*te
 	fetch := func() (*tensor.Dense, error) {
 		out := tensor.NewDense(to-from, len(cols))
 		err := parallel.ForEach(len(cols), s.workers(), func(j int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			vals, err := s.store.GetColumnRange(model, interm, cols[j], from, to)
 			if err != nil {
 				return err
@@ -559,6 +642,9 @@ func (s *System) GetRows(model, interm string, cols []string, from, to int) (*te
 	}
 	out, err := fetch()
 	if err != nil && recoverableReadErr(err) {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		// Lost chunks: re-materialize from a model re-run, then retry once.
 		if herr := s.healIntermediate(model, interm); herr != nil {
 			return nil, herr
