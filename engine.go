@@ -306,6 +306,26 @@ type LogReport struct {
 	Skipped int
 }
 
+// colBufPool recycles the per-column float32 scratch of the ingest and
+// read fan-out paths (at most one buffer per in-flight worker task; a
+// pooled buffer is held only for the duration of one task).
+var colBufPool sync.Pool
+
+func grabColBuf() []float32 {
+	if p, ok := colBufPool.Get().(*[]float32); ok {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func releaseColBuf(b []float32) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	colBufPool.Put(&b)
+}
+
 // storeMatrix splits a matrix into RowBlock-sized column chunks and stores
 // them under (model, interm). mkQuant supplies the value codec for each
 // column (nil, or returning nil, means raw float32). Columns are fitted,
@@ -315,7 +335,8 @@ func (s *System) storeMatrix(model, interm string, m *tensor.Dense, cols []strin
 	blockRows := s.cfg.RowBlockRows
 	var stored int64
 	err := parallel.ForEach(len(cols), s.workers(), func(j int) error {
-		col := m.Col(j)
+		col := m.ColInto(grabColBuf(), j)
+		defer releaseColBuf(col)
 		var q *quant.Quantizer
 		if mkQuant != nil {
 			t0 := time.Now()

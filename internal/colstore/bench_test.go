@@ -1,0 +1,79 @@
+package colstore
+
+import (
+	"compress/gzip"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mistique/internal/faultfs"
+	"mistique/internal/quant"
+)
+
+// benchChunks builds a partition-sized snapshot: 64 LP chunks of 1024
+// noisy values each (~128 KiB encoded), the shape a DNN log flush writes.
+func benchChunks(b *testing.B) []*chunk {
+	rng := rand.New(rand.NewSource(11))
+	q := quant.NewLP()
+	chunks := make([]*chunk, 64)
+	for i := range chunks {
+		vals := make([]float32, 1024)
+		for j := range vals {
+			vals[j] = float32(rng.NormFloat64())
+		}
+		chunks[i] = &chunk{enc: q.Encode(nil, vals), count: len(vals), q: q}
+	}
+	return chunks
+}
+
+func benchmarkPartitionWrite(b *testing.B, level int) {
+	chunks := benchChunks(b)
+	dir := b.TempDir()
+	path := filepath.Join(dir, partFileName(0, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := writePartitionFileAt(faultfs.OS(), path, chunks, level); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st, err := os.Stat(path); err == nil {
+		b.ReportMetric(float64(st.Size()), "filebytes")
+	}
+}
+
+func BenchmarkPartitionWrite(b *testing.B) {
+	benchmarkPartitionWrite(b, defaultCompressionLevel)
+}
+
+// BenchmarkPartitionWriteLevels is the measurement behind the
+// defaultCompressionLevel choice (see DESIGN.md "Performance").
+func BenchmarkPartitionWriteLevels(b *testing.B) {
+	for _, level := range []int{gzip.BestSpeed, gzip.DefaultCompression} {
+		b.Run(fmt.Sprintf("level=%d", level), func(b *testing.B) {
+			benchmarkPartitionWrite(b, level)
+		})
+	}
+}
+
+func BenchmarkPartitionRead(b *testing.B) {
+	chunks := benchChunks(b)
+	dir := b.TempDir()
+	path := filepath.Join(dir, partFileName(0, 0))
+	_, raw, _, err := writePartitionFileAt(faultfs.OS(), path, chunks, defaultCompressionLevel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, _, err := readPartitionFile(path, raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(chunks) {
+			b.Fatalf("read %d chunks, want %d", len(got), len(chunks))
+		}
+	}
+}

@@ -43,6 +43,7 @@
 package colstore
 
 import (
+	"compress/gzip"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -113,6 +114,14 @@ type Config struct {
 	// Workers bounds the goroutines used by Flush and Compact to compress
 	// and write partitions (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// CompressionLevel is the gzip level for partition files, in
+	// [gzip.HuffmanOnly, gzip.BestCompression] = [-2, 9]. 0 selects the
+	// measured default (gzip.BestSpeed: BenchmarkPartitionWriteLevels
+	// showed it compresses LP-encoded partition images ~2.2x faster than
+	// gzip.DefaultCompression for under 1% of file size — see DESIGN.md
+	// "Performance"). Note that 0 therefore cannot select
+	// gzip.NoCompression.
+	CompressionLevel int
 	// FS overrides the filesystem used for durable writes (nil = real OS).
 	// Fault-injection tests substitute a faultfs.Injector to tear writes,
 	// fail fsyncs and simulate crashes at arbitrary points.
@@ -149,8 +158,15 @@ func (c Config) withDefaults() Config {
 	if c.MinHashBucket <= 0 {
 		c.MinHashBucket = 0.01
 	}
+	if c.CompressionLevel == 0 {
+		c.CompressionLevel = defaultCompressionLevel
+	}
 	return c
 }
+
+// defaultCompressionLevel is the measured flush-throughput winner for
+// partition-sized images (see Config.CompressionLevel).
+const defaultCompressionLevel = gzip.BestSpeed
 
 // ChunkID names a stored chunk: partition plus position within it.
 type ChunkID struct {
@@ -191,6 +207,10 @@ type partition struct {
 	// new generation and the manifest flips old→new atomically, so a crash
 	// mid-compact can never leave the manifest pointing at remapped data.
 	gen int
+	// raw is the uncompressed size of the last written partition image,
+	// persisted in the manifest so a page-in can size its decode arena
+	// exactly (0 = unknown; the reader falls back to growing).
+	raw int64
 	// lost marks a partition whose file is missing or quarantined; every
 	// chunk read returns ErrUnavailable and the engine recovers by re-run.
 	lost bool
@@ -334,6 +354,10 @@ type Store struct {
 // ErrUnavailable and the engine recovers them by re-running the model.
 func Open(dir string, cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
+	if cfg.CompressionLevel < gzip.HuffmanOnly || cfg.CompressionLevel > gzip.BestCompression {
+		return nil, fmt.Errorf("colstore: compression level %d out of range [%d, %d]",
+			cfg.CompressionLevel, gzip.HuffmanOnly, gzip.BestCompression)
+	}
 	if err := mkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("colstore: open %s: %w", dir, err)
 	}
@@ -390,7 +414,22 @@ func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (Pu
 	// overlap them.
 	t0 := time.Now()
 	enc := q.Encode(nil, vals)
-	zn := zoneOf(q.Apply(vals))
+	// Zone maps describe the values a reader observes, i.e. the
+	// reconstruction. Full reconstructs to the input itself; for lossy
+	// codecs decode enc (already in hand — no re-encode) into a pooled
+	// scratch buffer.
+	var zn zone
+	if q.Kind == quant.Full {
+		zn = zoneOf(vals)
+	} else {
+		scratch := grabF32(len(vals))
+		dec, derr := q.Decode(scratch[:0], enc, len(vals))
+		if derr != nil {
+			panic(derr) // cannot happen: we just produced enc
+		}
+		zn = zoneOf(dec)
+		releaseF32(dec)
+	}
 	s.om.putEncodeSeconds.ObserveSince(t0)
 	t0 = time.Now()
 	var h [32]byte
@@ -459,8 +498,6 @@ func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (Pu
 	}
 	id := ChunkID{Partition: p.id, Index: len(p.chunks) - 1}
 	s.columns[key] = id
-	// Zone maps describe the values a reader observes, i.e. the
-	// reconstruction, so predicate skipping stays sound under quantization.
 	s.zones[id] = zn
 	if !s.cfg.DisableExactDedup {
 		s.hashes[h] = id
@@ -576,15 +613,41 @@ func (s *Store) newPartition() *partition {
 	return p
 }
 
+// f32Pool recycles float32 scratch slices (zone reconstruction, callers of
+// the *Into read APIs). Same ownership rule as the byte pools: hold only
+// for the duration of one call.
+var f32Pool sync.Pool
+
+func grabF32(n int) []float32 {
+	if p, ok := f32Pool.Get().(*[]float32); ok && cap(*p) >= n {
+		return (*p)[:0]
+	}
+	return make([]float32, 0, n)
+}
+
+func releaseF32(b []float32) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	f32Pool.Put(&b)
+}
+
 // GetColumn reads back the reconstructed values of a stored column chunk.
 func (s *Store) GetColumn(key ColumnKey) ([]float32, error) {
+	return s.GetColumnInto(nil, key)
+}
+
+// GetColumnInto is GetColumn appending into dst — the allocation-free form
+// for callers that reuse a decode buffer across chunks.
+func (s *Store) GetColumnInto(dst []float32, key ColumnKey) ([]float32, error) {
 	s.mu.Lock()
 	id, ok := s.columns[key]
 	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("colstore: column %s: %w", key, ErrNotStored)
 	}
-	return s.readChunk(id)
+	return s.readChunkInto(dst, id)
 }
 
 // Has reports whether the column chunk is stored.
@@ -605,19 +668,26 @@ func (s *Store) Lookup(key ColumnKey) (ChunkID, bool) {
 
 // GetChunk reads a chunk by physical id.
 func (s *Store) GetChunk(id ChunkID) ([]float32, error) {
-	return s.readChunk(id)
+	return s.readChunkInto(nil, id)
 }
 
-// readChunk fetches the (immutable) chunk for id — paging its partition in
-// from disk if evicted — and decodes it outside the index lock, so
-// concurrent readers of different chunks decode in parallel.
-func (s *Store) readChunk(id ChunkID) ([]float32, error) {
+// GetChunkInto is GetChunk appending into dst (see GetColumnInto).
+func (s *Store) GetChunkInto(dst []float32, id ChunkID) ([]float32, error) {
+	return s.readChunkInto(dst, id)
+}
+
+// readChunkInto fetches the (immutable) chunk for id — paging its
+// partition in from disk if evicted — and decodes it into dst outside the
+// index lock, so concurrent readers of different chunks decode in
+// parallel. Decode presizes dst from the chunk's value count, so a fresh
+// or pooled dst costs at most one allocation.
+func (s *Store) readChunkInto(dst []float32, id ChunkID) ([]float32, error) {
 	t0 := time.Now()
 	c, err := s.chunkRef(id)
 	if err != nil {
 		return nil, err
 	}
-	out, err := c.q.Decode(make([]float32, 0, c.count), c.enc, c.count)
+	out, err := c.q.Decode(dst, c.enc, c.count)
 	if err != nil {
 		return nil, fmt.Errorf("colstore: decode chunk %d/%d: %w", id.Partition, id.Index, err)
 	}
@@ -671,10 +741,11 @@ func (s *Store) chunkRef(id ChunkID) (*chunk, error) {
 		return c, err
 	}
 	path := s.partPathGen(id.Partition, p.gen)
+	rawHint := p.raw
 	s.mu.Unlock()
 
 	tLoad := time.Now()
-	chunks, payload, fileBytes, err := readPartitionFile(path)
+	chunks, payload, fileBytes, err := readPartitionFile(path, rawHint)
 	s.om.pageInSeconds.ObserveSince(tLoad)
 	if err != nil {
 		// The file failed its checksum (or vanished): quarantine it so no
@@ -770,9 +841,18 @@ func (s *Store) flushDirty() error {
 	workers := s.cfg.Workers
 	s.mu.Unlock()
 
-	werr := parallel.ForEach(len(tasks), workers, func(i int) error {
-		return s.writeSnapshot(tasks[i])
-	})
+	// Pipeline the flush: partition images are serialized in order on this
+	// goroutine (cheap memory writes) while workers gzip-compress and write
+	// them, so compressing partition N overlaps serializing partition N+1.
+	werr := parallel.Pipeline(len(tasks), workers,
+		func(i int) ([]byte, error) {
+			return serializePartition(grabBuf(), tasks[i].chunks), nil
+		},
+		func(i int, img []byte) error {
+			err := s.writeSnapshotImage(tasks[i], img)
+			releaseBuf(img)
+			return err
+		})
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -785,12 +865,22 @@ func (s *Store) flushDirty() error {
 	return s.writeManifestLocked()
 }
 
-// writeSnapshot compresses and writes one partition snapshot, then updates
-// the partition's state under mu. Used by the parallel Flush/Compact
-// workers; the caller must have set p.flushing under mu.
+// writeSnapshot serializes, compresses and writes one partition snapshot,
+// then updates the partition's state under mu. Used by the parallel
+// Compact workers (Flush pipelines the serialize step separately); the
+// caller must have set p.flushing under mu.
 func (s *Store) writeSnapshot(t flushTask) error {
+	img := serializePartition(grabBuf(), t.chunks)
+	err := s.writeSnapshotImage(t, img)
+	releaseBuf(img)
+	return err
+}
+
+// writeSnapshotImage compresses and writes one pre-serialized partition
+// image, then updates the partition's state under mu.
+func (s *Store) writeSnapshotImage(t flushTask, img []byte) error {
 	t0 := time.Now()
-	size, fsyncs, err := writePartitionFileAt(s.fs, t.path, t.chunks)
+	size, fsyncs, err := writeImageFileAt(s.fs, t.path, img, s.cfg.CompressionLevel)
 	s.om.flushWriteSeconds.ObserveSince(t0)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -800,6 +890,7 @@ func (s *Store) writeSnapshot(t flushTask) error {
 	}
 	t.p.onDisk = true
 	t.p.diskChunks = len(t.chunks)
+	t.p.raw = int64(len(img))
 	// Only mark clean if no chunks were appended since the snapshot;
 	// otherwise the file is a prefix and the next flush rewrites it.
 	if len(t.p.chunks) == len(t.chunks) {

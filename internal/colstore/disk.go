@@ -2,6 +2,7 @@ package colstore
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"encoding/binary"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"mistique/internal/faultfs"
@@ -40,6 +42,74 @@ const (
 // amd64/arm64), shared by partition files and the metadata envelope.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// Scratch pools for the flush and page-in hot paths. Ownership rule: a
+// pooled object may be held only for the duration of one call; nothing
+// returned to a caller may alias pooled memory. Partition images violate
+// that deliberately in ONE place — parsePartition subslices its input
+// arena into chunk payloads — so read-side arenas are never pooled (they
+// become the partition's resident memory and die with it).
+var (
+	// imgBufPool recycles the uncompressed partition images the flush
+	// pipeline serializes (capacity converges on PartitionTargetBytes) and
+	// the compressed-file read buffers.
+	imgBufPool sync.Pool
+	// bwPool recycles the bufio.Writer between the gzip writer and the
+	// partition file.
+	bwPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, 64<<10) }}
+	// gzwPools recycles gzip writers, one pool per compression level
+	// (indexed level-gzip.HuffmanOnly); a gzip.Writer embeds its whole
+	// deflate state (~1.3 MB), by far the largest per-flush allocation.
+	gzwPools [gzip.BestCompression - gzip.HuffmanOnly + 1]sync.Pool
+	// gzrPool recycles gzip readers (huffman tables + window).
+	gzrPool sync.Pool
+)
+
+func grabBuf() []byte {
+	if p, ok := imgBufPool.Get().(*[]byte); ok {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func releaseBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	imgBufPool.Put(&b)
+}
+
+func grabGzipWriter(w io.Writer, level int) (*gzip.Writer, error) {
+	if level < gzip.HuffmanOnly || level > gzip.BestCompression {
+		return nil, fmt.Errorf("colstore: invalid compression level %d", level)
+	}
+	pool := &gzwPools[level-gzip.HuffmanOnly]
+	if zw, ok := pool.Get().(*gzip.Writer); ok {
+		zw.Reset(w)
+		return zw, nil
+	}
+	return gzip.NewWriterLevel(w, level)
+}
+
+func releaseGzipWriter(zw *gzip.Writer, level int) {
+	gzwPools[level-gzip.HuffmanOnly].Put(zw)
+}
+
+func grabGzipReader(r io.Reader) (*gzip.Reader, error) {
+	if zr, ok := gzrPool.Get().(*gzip.Reader); ok {
+		if err := zr.Reset(r); err != nil {
+			gzrPool.Put(zr)
+			return nil, err
+		}
+		return zr, nil
+	}
+	return gzip.NewReader(r)
+}
+
+func releaseGzipReader(zr *gzip.Reader) {
+	gzrPool.Put(zr)
+}
+
 // partFileName is the on-disk name of one partition generation. Gen 0
 // keeps the legacy name so pre-upgrade directories reopen unchanged;
 // compaction bumps the generation and writes a new file, which makes the
@@ -56,30 +126,71 @@ func (s *Store) partPathGen(pid int64, gen int) string {
 	return filepath.Join(s.dir, partFileName(pid, gen))
 }
 
-// writePartitionFileAt gzip-compresses a chunk snapshot and writes it at
-// path, atomically and durably: unique temp file, fsync the file, rename,
-// fsync the parent directory — so a concurrent reader of the same path
-// always sees a complete file and a crash at any point leaves either the
-// old file or the new one, never a prefix. Returns the compressed file
-// size and the number of fsyncs issued. Holds no Store locks: chunks are
-// immutable, so the snapshot can be serialized concurrently with puts
-// appending to the live partition.
-func writePartitionFileAt(fs faultfs.FS, path string, chunks []*chunk) (size, fsyncs int64, err error) {
+// serializePartition appends the uncompressed partition image of chunks to
+// dst in one pass: each chunk's meta+quantizer+payload lands contiguously,
+// so its v2 CRC32-C is a single Checksum over that region, and the
+// whole-file footer is one Checksum over the finished image. Cannot fail —
+// every input is in memory.
+func serializePartition(dst []byte, chunks []*chunk) []byte {
+	need := 14 // header + file footer
+	for _, c := range chunks {
+		need += 16 + c.q.MarshaledSize() + len(c.enc)
+	}
+	if cap(dst)-len(dst) < need {
+		dst = append(make([]byte, 0, len(dst)+need), dst...)
+	}
+	dst = append(dst, partMagic...)
+	dst = binary.LittleEndian.AppendUint16(dst, partVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(chunks)))
+	for _, c := range chunks {
+		start := len(dst)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(c.count))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(c.q.MarshaledSize()))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(c.enc)))
+		dst = c.q.AppendBinary(dst)
+		dst = append(dst, c.enc...)
+		chunkCRC := crc32.Checksum(dst[start:], castagnoli)
+		dst = binary.LittleEndian.AppendUint32(dst, chunkCRC)
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst, castagnoli))
+}
+
+// writePartitionTo serializes chunks and writes the uncompressed image to
+// w, returning the byte count (test seam for the partition-file fuzzer).
+func writePartitionTo(w io.Writer, chunks []*chunk) (int64, error) {
+	img := serializePartition(grabBuf(), chunks)
+	n, err := w.Write(img)
+	releaseBuf(img)
+	return int64(n), err
+}
+
+// writeImageFileAt gzip-compresses a serialized partition image and writes
+// it at path, atomically and durably: unique temp file, fsync the file,
+// rename, fsync the parent directory — so a concurrent reader of the same
+// path always sees a complete file and a crash at any point leaves either
+// the old file or the new one, never a prefix. Returns the compressed file
+// size and the number of fsyncs issued.
+func writeImageFileAt(fs faultfs.FS, path string, img []byte, level int) (size, fsyncs int64, err error) {
 	dir := filepath.Dir(path)
 	f, err := fs.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return 0, 0, fmt.Errorf("colstore: create temp for %s: %w", path, err)
 	}
 	tmp := f.Name()
-	bw := bufio.NewWriter(f)
-	zw := gzip.NewWriter(bw)
-	_, err = writePartitionTo(zw, chunks)
+	bw := bwPool.Get().(*bufio.Writer)
+	bw.Reset(f)
+	zw, err := grabGzipWriter(bw, level)
 	if err == nil {
-		err = zw.Close()
+		_, err = zw.Write(img)
+		if cerr := zw.Close(); err == nil {
+			err = cerr
+		}
+		releaseGzipWriter(zw, level)
 	}
 	if err == nil {
 		err = bw.Flush()
 	}
+	bwPool.Put(bw)
 	if err == nil {
 		// The write barrier: the data must be on the platter before the
 		// rename publishes the name.
@@ -110,12 +221,26 @@ func writePartitionFileAt(fs faultfs.FS, path string, chunks []*chunk) (size, fs
 	return st.Size(), fsyncs, nil
 }
 
+// writePartitionFileAt serializes a chunk snapshot and writes it at path
+// (see writeImageFileAt for the durability protocol). raw is the
+// uncompressed image size, recorded in the manifest so a later page-in can
+// size its decode arena exactly. Holds no Store locks: chunks are
+// immutable, so the snapshot can be serialized concurrently with puts
+// appending to the live partition.
+func writePartitionFileAt(fs faultfs.FS, path string, chunks []*chunk, level int) (size, raw, fsyncs int64, err error) {
+	img := serializePartition(grabBuf(), chunks)
+	size, fsyncs, err = writeImageFileAt(fs, path, img, level)
+	raw = int64(len(img))
+	releaseBuf(img)
+	return size, raw, fsyncs, err
+}
+
 // writePartitionLocked writes a partition's current chunks while the
 // caller holds mu (eviction and DropCache stragglers use it; the parallel
 // Flush path uses writeSnapshot instead).
 func (s *Store) writePartitionLocked(p *partition) error {
 	t0 := time.Now()
-	size, fsyncs, err := writePartitionFileAt(s.fs, s.partPathGen(p.id, p.gen), p.chunks)
+	size, raw, fsyncs, err := writePartitionFileAt(s.fs, s.partPathGen(p.id, p.gen), p.chunks, s.cfg.CompressionLevel)
 	s.om.flushWriteSeconds.ObserveSince(t0)
 	s.stats.FsyncCount += fsyncs
 	if err != nil {
@@ -124,94 +249,95 @@ func (s *Store) writePartitionLocked(p *partition) error {
 	p.dirty = false
 	p.onDisk = true
 	p.diskChunks = len(p.chunks)
+	p.raw = raw
 	s.stats.DiskWrites++
 	s.stats.DiskWriteBytes += size
 	return nil
 }
 
-// crcWriter tees writes into a running CRC32-C.
-type crcWriter struct {
-	w   io.Writer
-	crc uint32
-	n   int64
-}
-
-func (cw *crcWriter) Write(p []byte) (int, error) {
-	n, err := cw.w.Write(p)
-	cw.crc = crc32.Update(cw.crc, castagnoli, p[:n])
-	cw.n += int64(n)
-	return n, err
-}
-
-func writePartitionTo(w io.Writer, chunks []*chunk) (int64, error) {
-	cw := &crcWriter{w: w}
-	hdr := make([]byte, 0, 10)
-	hdr = append(hdr, partMagic...)
-	hdr = binary.LittleEndian.AppendUint16(hdr, partVersion)
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(chunks)))
-	if _, err := cw.Write(hdr); err != nil {
-		return cw.n, err
-	}
-	for _, c := range chunks {
-		qb, err := c.q.MarshalBinary()
-		if err != nil {
-			return cw.n, err
-		}
-		meta := make([]byte, 0, 12)
-		meta = binary.LittleEndian.AppendUint32(meta, uint32(c.count))
-		meta = binary.LittleEndian.AppendUint32(meta, uint32(len(qb)))
-		meta = binary.LittleEndian.AppendUint32(meta, uint32(len(c.enc)))
-		chunkCRC := crc32.Update(0, castagnoli, meta)
-		chunkCRC = crc32.Update(chunkCRC, castagnoli, qb)
-		chunkCRC = crc32.Update(chunkCRC, castagnoli, c.enc)
-		if _, err := cw.Write(meta); err != nil {
-			return cw.n, err
-		}
-		if _, err := cw.Write(qb); err != nil {
-			return cw.n, err
-		}
-		if _, err := cw.Write(c.enc); err != nil {
-			return cw.n, err
-		}
-		var crcBuf [4]byte
-		binary.LittleEndian.PutUint32(crcBuf[:], chunkCRC)
-		if _, err := cw.Write(crcBuf[:]); err != nil {
-			return cw.n, err
-		}
-	}
-	// Whole-file footer: CRC over everything above, written outside the
-	// running hash.
-	var foot [4]byte
-	binary.LittleEndian.PutUint32(foot[:], cw.crc)
-	if _, err := w.Write(foot[:]); err != nil {
-		return cw.n, err
-	}
-	return cw.n + 4, nil
-}
-
 // readPartitionFile opens, gunzips, decodes and checksum-verifies one
-// partition file. Holds no Store locks; safe to run concurrently with
-// writers thanks to the atomic temp-and-rename write protocol.
-func readPartitionFile(path string) (chunks []*chunk, payload, fileBytes int64, err error) {
+// partition file. rawHint, when positive, is the manifest's record of the
+// uncompressed image size: the decode arena is allocated at exactly that
+// size up front (a stale hint just costs a regrow). Holds no Store locks;
+// safe to run concurrently with writers thanks to the atomic
+// temp-and-rename write protocol.
+func readPartitionFile(path string, rawHint int64) (chunks []*chunk, payload, fileBytes int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
+		f.Close()
 		return nil, 0, 0, err
 	}
-	zr, err := gzip.NewReader(bufio.NewReader(f))
+	// Slurp the compressed file through a pooled buffer: partition files
+	// are a few MB at most (PartitionTargetBytes before compression).
+	comp := grabBuf()
+	if cap(comp) < int(st.Size()) {
+		comp = make([]byte, st.Size())
+	} else {
+		comp = comp[:st.Size()]
+	}
+	_, err = io.ReadFull(f, comp)
+	f.Close()
+	if err != nil {
+		releaseBuf(comp)
+		return nil, 0, 0, fmt.Errorf("read %s: %w", path, err)
+	}
+	zr, err := grabGzipReader(bytes.NewReader(comp))
+	if err != nil {
+		releaseBuf(comp)
+		return nil, 0, 0, fmt.Errorf("gunzip: %w", err)
+	}
+	img, err := readAllSized(zr, int(rawHint))
+	if cerr := zr.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("gunzip: %w", cerr)
+	}
+	releaseGzipReader(zr)
+	releaseBuf(comp)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("gunzip: %w", err)
 	}
-	defer zr.Close()
-	chunks, payload, err = readPartitionFrom(zr)
+	chunks, payload, err = parsePartition(img)
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	return chunks, payload, st.Size(), nil
+}
+
+// readAllSized reads r to EOF into a fresh buffer with initial capacity
+// hint (the arena parsePartition subslices — deliberately NOT pooled, see
+// the pool ownership comment). An exact hint means zero regrows.
+func readAllSized(r io.Reader, hint int) ([]byte, error) {
+	if hint <= 0 {
+		hint = 64 << 10
+	}
+	buf := make([]byte, 0, hint)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// readPartitionFrom reads an uncompressed partition image from r (test
+// seam for the partition-file fuzzer; the production path is
+// readPartitionFile).
+func readPartitionFrom(r io.Reader) ([]*chunk, int64, error) {
+	img, err := readAllSized(r, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return parsePartition(img)
 }
 
 // loadPartitionLocked returns the resident partition, reading it from disk
@@ -230,7 +356,7 @@ func (s *Store) loadPartitionLocked(pid int64) (*partition, error) {
 		s.touchLocked(pid)
 		return p, nil
 	}
-	chunks, payload, fileBytes, err := readPartitionFile(s.partPathGen(pid, p.gen))
+	chunks, payload, fileBytes, err := readPartitionFile(s.partPathGen(pid, p.gen), p.raw)
 	if err != nil {
 		s.quarantineLocked(p, err)
 		return nil, fmt.Errorf("colstore: read partition %d: %v: %w", pid, err, ErrUnavailable)
@@ -262,20 +388,27 @@ const (
 	chunkPrealloc = 1 << 12 // initial chunk-slice capacity
 )
 
-func readPartitionFrom(r io.Reader) ([]*chunk, int64, error) {
-	br := bufio.NewReader(r)
-	fileCRC := uint32(0)
-	// readFull pulls exactly len(buf) bytes and folds them into the
-	// whole-file checksum (the footer itself is read outside it).
-	readFull := func(buf []byte) error {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return err
+// parsePartition decodes and checksum-verifies an uncompressed partition
+// image. Chunk payloads are subslices of img (chunks are immutable and a
+// partition's payloads live and die together, so one arena replaces a pair
+// of allocations per chunk); img must therefore not be reused afterwards.
+func parsePartition(img []byte) ([]*chunk, int64, error) {
+	pos := 0
+	// take returns the next n bytes of the image, or an io error shaped
+	// like the streaming reader's (truncation maps to ErrUnexpectedEOF).
+	take := func(n int) ([]byte, error) {
+		if n > len(img)-pos {
+			if pos == len(img) {
+				return nil, io.EOF
+			}
+			return nil, io.ErrUnexpectedEOF
 		}
-		fileCRC = crc32.Update(fileCRC, castagnoli, buf)
-		return nil
+		b := img[pos : pos+n]
+		pos += n
+		return b, nil
 	}
-	hdr := make([]byte, 10)
-	if err := readFull(hdr); err != nil {
+	hdr, err := take(10)
+	if err != nil {
 		return nil, 0, err
 	}
 	if string(hdr[:4]) != partMagic {
@@ -291,11 +424,17 @@ func readPartitionFrom(r io.Reader) ([]*chunk, int64, error) {
 		prealloc = chunkPrealloc // grow on demand; don't trust the header
 	}
 	chunks := make([]*chunk, 0, prealloc)
+	// Chunk and quantizer structs come out of per-partition slabs (two
+	// allocations instead of two per chunk). Pointers are taken only while
+	// len < cap, so append never relocates a referenced element; past the
+	// distrusted-header prealloc they fall back to singles.
+	chunkSlab := make([]chunk, 0, prealloc)
+	quantSlab := make([]quant.Quantizer, 0, prealloc)
 	var payload int64
-	meta := make([]byte, 12)
-	crcBuf := make([]byte, 4)
 	for i := 0; i < n; i++ {
-		if err := readFull(meta); err != nil {
+		metaStart := pos
+		meta, err := take(12)
+		if err != nil {
 			return nil, 0, fmt.Errorf("chunk %d header: %w", i, err)
 		}
 		count := int(binary.LittleEndian.Uint32(meta))
@@ -304,42 +443,56 @@ func readPartitionFrom(r io.Reader) ([]*chunk, int64, error) {
 		if qlen > maxChunkBlob || elen > maxChunkBlob {
 			return nil, 0, fmt.Errorf("chunk %d implausible sizes q=%d e=%d", i, qlen, elen)
 		}
-		qb := make([]byte, qlen)
-		if err := readFull(qb); err != nil {
+		qb, err := take(qlen)
+		if err != nil {
 			return nil, 0, fmt.Errorf("chunk %d quantizer: %w", i, err)
 		}
-		enc := make([]byte, elen)
-		if err := readFull(enc); err != nil {
+		enc, err := take(elen)
+		if err != nil {
 			return nil, 0, fmt.Errorf("chunk %d payload: %w", i, err)
 		}
 		if version >= 2 {
-			if err := readFull(crcBuf); err != nil {
+			crcBuf, err := take(4)
+			if err != nil {
 				return nil, 0, fmt.Errorf("chunk %d checksum: %w", i, err)
 			}
 			want := binary.LittleEndian.Uint32(crcBuf)
-			got := crc32.Update(0, castagnoli, meta)
-			got = crc32.Update(got, castagnoli, qb)
-			got = crc32.Update(got, castagnoli, enc)
-			if got != want {
+			// meta, quantizer and payload are contiguous in the image: one
+			// Checksum covers all three.
+			if got := crc32.Checksum(img[metaStart:metaStart+12+qlen+elen], castagnoli); got != want {
 				return nil, 0, fmt.Errorf("chunk %d checksum mismatch: file says %08x, data hashes to %08x", i, want, got)
 			}
 		}
-		q := new(quant.Quantizer)
+		var q *quant.Quantizer
+		if len(quantSlab) < cap(quantSlab) {
+			quantSlab = append(quantSlab, quant.Quantizer{})
+			q = &quantSlab[len(quantSlab)-1]
+		} else {
+			q = new(quant.Quantizer)
+		}
 		if err := q.UnmarshalBinary(qb); err != nil {
 			return nil, 0, fmt.Errorf("chunk %d quantizer: %w", i, err)
 		}
-		chunks = append(chunks, &chunk{enc: enc, count: count, q: q})
+		var c *chunk
+		if len(chunkSlab) < cap(chunkSlab) {
+			chunkSlab = append(chunkSlab, chunk{enc: enc, count: count, q: q})
+			c = &chunkSlab[len(chunkSlab)-1]
+		} else {
+			c = &chunk{enc: enc, count: count, q: q}
+		}
+		chunks = append(chunks, c)
 		payload += int64(elen)
 	}
 	if version >= 2 {
-		foot := make([]byte, 4)
-		if _, err := io.ReadFull(br, foot); err != nil {
+		fileCRC := crc32.Checksum(img[:pos], castagnoli)
+		foot, err := take(4)
+		if err != nil {
 			return nil, 0, fmt.Errorf("file footer: %w", err)
 		}
 		if want := binary.LittleEndian.Uint32(foot); want != fileCRC {
 			return nil, 0, fmt.Errorf("file checksum mismatch: footer says %08x, contents hash to %08x", want, fileCRC)
 		}
-		if _, err := br.ReadByte(); err != io.EOF {
+		if pos != len(img) {
 			return nil, 0, fmt.Errorf("trailing bytes after footer")
 		}
 	}

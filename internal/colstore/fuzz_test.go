@@ -76,7 +76,7 @@ func FuzzPartitionFile(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		chunks, payload, _, err := readPartitionFile(path)
+		chunks, payload, _, err := readPartitionFile(path, 0)
 		if err != nil {
 			return // rejected cleanly: that's the contract
 		}

@@ -126,7 +126,7 @@ func (s *Store) ScanColumn(model, interm, column string, op Op, bound float32) (
 	s.mu.Unlock()
 
 	for _, ref := range refs {
-		vals, err := s.readChunk(ref.id)
+		vals, err := s.readChunkInto(nil, ref.id)
 		if err != nil {
 			return nil, skipped, err
 		}
@@ -165,7 +165,7 @@ func (s *Store) GetColumnRange(model, interm, column string, from, to int) ([]fl
 	out := make([]float32, 0, to-from)
 	for bi, id := range ids {
 		b := firstBlock + bi
-		vals, err := s.readChunk(id)
+		vals, err := s.readChunkInto(nil, id)
 		if err != nil {
 			return nil, err
 		}

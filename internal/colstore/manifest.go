@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // The manifest persists the store's logical state — the column→chunk map
@@ -23,6 +24,10 @@ const (
 	manifestName    = "MANIFEST.json.gz"
 	manifestVersion = 2
 )
+
+// manifestBufPool recycles the scratch buffer the manifest is compressed
+// into before the atomic file write.
+var manifestBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // errCorruptManifest marks a manifest that exists but cannot be decoded.
 // Open quarantines it and starts from an empty logical state instead of
@@ -47,6 +52,9 @@ type manifestPartition struct {
 	Chunks int   `json:"chunks"`
 	Bytes  int64 `json:"bytes"`
 	Sealed bool  `json:"sealed"`
+	// Raw is the uncompressed partition-image size, used to presize the
+	// decode arena on page-in (omitted by older manifests; 0 = unknown).
+	Raw int64 `json:"raw,omitempty"`
 	// Gen is the partition's file generation (compaction bumps it).
 	Gen int `json:"gen,omitempty"`
 	// Lost records a quarantined partition so reopening keeps answering
@@ -83,6 +91,7 @@ func (s *Store) writeManifestLocked() error {
 			Chunks: len(p.chunks),
 			Bytes:  p.bytes,
 			Sealed: p.sealed,
+			Raw:    p.raw,
 			Gen:    p.gen,
 			Lost:   p.lost,
 		})
@@ -91,13 +100,24 @@ func (s *Store) writeManifestLocked() error {
 	if err != nil {
 		return fmt.Errorf("colstore: marshal manifest: %w", err)
 	}
-	var buf bytes.Buffer
-	zw := gzip.NewWriter(&buf)
-	if _, err := zw.Write(blob); err != nil {
+	buf := manifestBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer manifestBufPool.Put(buf)
+	// The manifest is small and rewritten on every flush: compress it at
+	// BestSpeed through the shared pooled writers (the level only affects
+	// the file on disk, readers are level-agnostic).
+	zw, err := grabGzipWriter(buf, gzip.BestSpeed)
+	if err != nil {
 		return fmt.Errorf("colstore: compress manifest: %w", err)
 	}
-	if err := zw.Close(); err != nil {
-		return fmt.Errorf("colstore: compress manifest: %w", err)
+	_, werr := zw.Write(blob)
+	cerr := zw.Close()
+	releaseGzipWriter(zw, gzip.BestSpeed)
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("colstore: compress manifest: %w", werr)
 	}
 	path := filepath.Join(s.dir, manifestName)
 	f, err := s.fs.CreateTemp(s.dir, manifestName+".tmp*")
@@ -176,6 +196,7 @@ func (s *Store) loadManifest() error {
 			bytes:      mp.Bytes,
 			sealed:     true, // restored partitions never grow
 			onDisk:     !mp.Lost,
+			raw:        mp.Raw,
 			gen:        mp.Gen,
 			lost:       mp.Lost,
 			chunks:     nil, // paged in on demand

@@ -164,7 +164,7 @@ func (s *Store) recoverOnOpen(manifestCorrupt bool) error {
 				verdicts[i].missing = true
 				return nil
 			}
-			chunks, _, _, err := readPartitionFile(path)
+			chunks, _, _, err := readPartitionFile(path, p.raw)
 			if err != nil {
 				verdicts[i].corrupt = true
 				return nil

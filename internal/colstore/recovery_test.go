@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"compress/gzip"
 	"errors"
 	"fmt"
 	"os"
@@ -505,11 +506,11 @@ func TestTornTailPartition(t *testing.T) {
 	}
 
 	path := filepath.Join(dir, partFileName(0, 0))
-	chunks, _, _, err := readPartitionFile(path)
+	chunks, _, _, err := readPartitionFile(path, 0)
 	if err != nil || len(chunks) != 2 {
 		t.Fatalf("expected 2 chunks in one partition, got %d (%v)", len(chunks), err)
 	}
-	if _, _, err := writePartitionFileAt(faultfs.OS(), path, chunks[:1]); err != nil {
+	if _, _, _, err := writePartitionFileAt(faultfs.OS(), path, chunks[:1], gzip.BestSpeed); err != nil {
 		t.Fatal(err)
 	}
 

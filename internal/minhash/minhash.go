@@ -76,13 +76,18 @@ func (h *Hasher) Sign(set map[uint64]struct{}) Signature {
 		sig[i] = math.MaxUint64
 	}
 	for x := range set {
-		for i := range h.a {
-			if v := hash61(h.a[i], h.b[i], x); v < sig[i] {
-				sig[i] = v
-			}
-		}
+		h.fold(sig, x)
 	}
 	return sig
+}
+
+// fold mins element x into sig under every hash function.
+func (h *Hasher) fold(sig Signature, x uint64) {
+	for i := range h.a {
+		if v := hash61(h.a[i], h.b[i], x); v < sig[i] {
+			sig[i] = v
+		}
+	}
 }
 
 // maxSignElements caps how many distinct elements feed a signature. A
@@ -96,17 +101,27 @@ const maxSignElements = 128
 // and MinHashes the resulting value set. Discretization makes "similar"
 // numeric columns (same values modulo noise or quantization) collide.
 func (h *Hasher) SignFloats(vals []float32, bucket float64) Signature {
+	stride := 1
 	if len(vals) > maxSignElements {
-		stride := len(vals) / maxSignElements
-		sampled := make([]float32, 0, maxSignElements)
-		for i := 0; i < len(vals); i += stride {
-			sampled = append(sampled, vals[i])
-		}
-		vals = sampled
+		stride = len(vals) / maxSignElements
 	}
-	set := make(map[uint64]struct{}, len(vals))
-	for _, v := range vals {
-		f := float64(v)
+	// Deduplicate through a fixed-size open-addressing table that lives on
+	// the stack. Strided sampling admits at most 2*maxSignElements-1 keys
+	// (worst case stride 1 at len = 2*maxSignElements-1), so a 4x-sized
+	// table keeps the load factor under 1/2 and linear probing short. Only
+	// the Signature itself escapes to the heap — this runs once per logged
+	// ColumnChunk (Sec. 8.6: logging overhead must not be dominated by
+	// similarity hashing).
+	var (
+		keys [4 * maxSignElements]uint64
+		used [4 * maxSignElements]bool
+	)
+	sig := make(Signature, len(h.a))
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+	for i := 0; i < len(vals); i += stride {
+		f := float64(vals[i])
 		var key uint64
 		switch {
 		case math.IsNaN(f):
@@ -116,9 +131,17 @@ func (h *Hasher) SignFloats(vals []float32, bucket float64) Signature {
 		default:
 			key = math.Float64bits(f)
 		}
-		set[key] = struct{}{}
+		slot := int(key % uint64(len(keys)))
+		for used[slot] && keys[slot] != key {
+			slot = (slot + 1) % len(keys)
+		}
+		if used[slot] {
+			continue // duplicate
+		}
+		used[slot], keys[slot] = true, key
+		h.fold(sig, key)
 	}
-	return h.Sign(set)
+	return sig
 }
 
 // EstimateJaccard estimates the Jaccard similarity of the underlying sets
@@ -139,17 +162,23 @@ func EstimateJaccard(a, b Signature) float64 {
 // Index is a banded LSH index: signatures are split into bands of rows
 // hashes each; two signatures become candidates if any band matches
 // exactly. With b bands of r rows, the threshold is roughly (1/b)^(1/r).
+//
+// Band buckets are keyed by a 64-bit mix of the band's rows rather than the
+// rows' raw bytes. A mixed-key collision can only produce a spurious
+// *candidate*, and every candidate is re-scored against the full signature
+// (EstimateJaccard in QueryBest), so correctness is unaffected — while
+// inserts and queries stay allocation-free per band.
 type Index struct {
 	bands, rows int
-	tables      []map[string][]int
+	tables      []map[uint64][]int
 	sigs        map[int]Signature
 }
 
 // NewIndex creates an LSH index for signatures of length bands*rows.
 func NewIndex(bands, rows int) *Index {
-	t := make([]map[string][]int, bands)
+	t := make([]map[uint64][]int, bands)
 	for i := range t {
-		t[i] = make(map[string][]int)
+		t[i] = make(map[uint64][]int)
 	}
 	return &Index{bands: bands, rows: rows, tables: t, sigs: make(map[int]Signature)}
 }
@@ -160,15 +189,17 @@ func (ix *Index) Threshold() float64 {
 	return math.Pow(1/float64(ix.bands), 1/float64(ix.rows))
 }
 
-func (ix *Index) bandKey(sig Signature, band int) string {
+// bandKey mixes the band's rows into one uint64 with an FNV-1a-style fold
+// (64-bit prime multiply per row). Equal bands always produce equal keys;
+// unequal bands collide with probability ~2^-64 per pair, and collisions are
+// harmless (see the type comment).
+func (ix *Index) bandKey(sig Signature, band int) uint64 {
 	start := band * ix.rows
-	buf := make([]byte, 0, ix.rows*8)
+	h := uint64(14695981039346656037)
 	for _, v := range sig[start : start+ix.rows] {
-		buf = append(buf,
-			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
-			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+		h = (h ^ v) * 1099511628211
 	}
-	return string(buf)
+	return h
 }
 
 // Insert adds a signature under the given id.
@@ -189,10 +220,13 @@ func (ix *Index) Query(sig Signature) []int {
 	if len(sig) < ix.bands*ix.rows {
 		panic("minhash: signature too short for index")
 	}
-	seen := make(map[int]bool)
+	var seen map[int]bool
 	var out []int
 	for b := 0; b < ix.bands; b++ {
 		for _, id := range ix.tables[b][ix.bandKey(sig, b)] {
+			if seen == nil {
+				seen = make(map[int]bool)
+			}
 			if !seen[id] {
 				seen[id] = true
 				out = append(out, id)

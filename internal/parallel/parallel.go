@@ -2,10 +2,11 @@
 // concurrent hot path in mistique: ingest fan-out (per-column quantize +
 // encode + dedup), partition flush/compaction, and parallel chunk reads.
 //
-// The package is deliberately tiny: a bounded parallel-for (ForEach) and a
-// bounded error group (Group). Both degrade to exact serial execution when
-// workers <= 1, which is what Config.Workers = 1 uses to recover the
-// single-threaded baseline for A/B benchmarking.
+// The package is deliberately tiny: a bounded parallel-for (ForEach), a
+// bounded error group (Group), and a two-stage producer/consumer overlap
+// (Pipeline). All degrade to exact serial execution when workers <= 1,
+// which is what Config.Workers = 1 uses to recover the single-threaded
+// baseline for A/B benchmarking.
 package parallel
 
 import (
@@ -137,4 +138,86 @@ func (g *Group) setErr(err error) {
 		g.err = err
 	}
 	g.mu.Unlock()
+}
+
+// Pipeline overlaps a serial production stage with a parallel consumption
+// stage: produce(i) runs in order on the calling goroutine while consume(i,
+// item) calls fan out across at most workers goroutines, so producing item
+// i+1 overlaps consuming item i (e.g. serializing partition N+1 while
+// partition N compresses). At most workers items are in flight, bounding
+// memory to workers produced-but-unconsumed items. With workers <= 1 each
+// item is produced and consumed inline, in order, stopping at the first
+// error — exact serial semantics for the A/B baseline. With workers > 1 a
+// produce error stops production immediately; consume errors stop further
+// production but already-produced items still reach consume (mirroring
+// ForEach's "fn must be safe after another index failed" contract), and the
+// first error in pipeline order wins.
+func Pipeline[T any](n, workers int, produce func(i int) (T, error), consume func(i int, item T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			item, err := produce(i)
+			if err != nil {
+				return err
+			}
+			if err := consume(i, item); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	type job struct {
+		i    int
+		item T
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		consErr error
+	)
+	jobs := make(chan job, workers-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := consume(j.i, j.item); err != nil {
+					mu.Lock()
+					if consErr == nil {
+						consErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	var prodErr error
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		stop := consErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		item, err := produce(i)
+		if err != nil {
+			prodErr = err
+			break
+		}
+		jobs <- job{i: i, item: item}
+	}
+	close(jobs)
+	wg.Wait()
+	// A consume failure stops production, so when both stages failed the
+	// consume error came first in pipeline order; report it.
+	if consErr != nil {
+		return consErr
+	}
+	return prodErr
 }

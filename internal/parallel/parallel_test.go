@@ -133,3 +133,106 @@ func TestGroupBoundedConcurrency(t *testing.T) {
 		t.Fatalf("observed %d concurrent tasks, bound %d", peak, workers)
 	}
 }
+
+func TestPipelineVisitsAllInOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 100
+		var produced []int // produce is serial: no locking needed
+		consumed := make([]int32, n)
+		err := Pipeline(n, workers, func(i int) (int, error) {
+			produced = append(produced, i)
+			return i * i, nil
+		}, func(i, item int) error {
+			if item != i*i {
+				t.Errorf("consume(%d) got %d", i, item)
+			}
+			atomic.AddInt32(&consumed[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range produced {
+			if p != i {
+				t.Fatalf("workers=%d: produce order %v", workers, produced)
+			}
+		}
+		for i, c := range consumed {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d consumed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestPipelineProduceError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var produced int32
+		err := Pipeline(50, workers, func(i int) (int, error) {
+			atomic.AddInt32(&produced, 1)
+			if i == 17 {
+				return 0, boom
+			}
+			return i, nil
+		}, func(i, item int) error { return nil })
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		if produced != 18 {
+			t.Fatalf("workers=%d: produce ran %d times after failing at 17", workers, produced)
+		}
+	}
+}
+
+func TestPipelineConsumeErrorStopsProduction(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var produced int32
+		err := Pipeline(1000, workers, func(i int) (int, error) {
+			atomic.AddInt32(&produced, 1)
+			return i, nil
+		}, func(i, item int) error {
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		// Serial stops right after item 3; parallel may overrun by the
+		// in-flight window but must not drain the whole range.
+		if produced >= 1000 {
+			t.Fatalf("workers=%d: produced all %d items after consume error", workers, produced)
+		}
+	}
+}
+
+func TestPipelineBoundedInFlight(t *testing.T) {
+	const workers = 3
+	var cur, peak int64
+	err := Pipeline(40, workers, func(i int) (int, error) {
+		atomic.AddInt64(&cur, 1)
+		return i, nil
+	}, func(i, item int) error {
+		c := atomic.LoadInt64(&cur)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+				break
+			}
+		}
+		runtime.Gosched()
+		atomic.AddInt64(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-flight bound: workers consuming + (workers-1) queued + 1 being
+	// handed off.
+	if limit := int64(2 * workers); peak > limit {
+		t.Fatalf("observed %d in-flight items, bound %d", peak, limit)
+	}
+}

@@ -1,0 +1,79 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchVals(n int) []float32 {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(rng.NormFloat64())
+	}
+	return vals
+}
+
+func BenchmarkKBITQuantize(b *testing.B) {
+	vals := benchVals(4096)
+	q, err := FitKBit(vals, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, 0, q.EncodedLen(len(vals)))
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = q.Encode(dst[:0], vals)
+	}
+	_ = dst
+}
+
+func BenchmarkKBITReconstruct(b *testing.B) {
+	vals := benchVals(4096)
+	q, err := FitKBit(vals, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := q.Encode(nil, vals)
+	dst := make([]float32, 0, len(vals))
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = q.Decode(dst[:0], enc, len(vals))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = dst
+}
+
+func BenchmarkLPEncode(b *testing.B) {
+	vals := benchVals(4096)
+	q := NewLP()
+	dst := make([]byte, 0, q.EncodedLen(len(vals)))
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = q.Encode(dst[:0], vals)
+	}
+	_ = dst
+}
+
+func BenchmarkLPReconstruct(b *testing.B) {
+	vals := benchVals(4096)
+	q := NewLP()
+	enc := q.Encode(nil, vals)
+	dst := make([]float32, 0, len(vals))
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = q.Decode(dst[:0], enc, len(vals))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = dst
+}

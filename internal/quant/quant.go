@@ -164,8 +164,13 @@ func (q *Quantizer) BitsPerValue() int {
 	panic("quant: unknown kind")
 }
 
-// Encode appends the encoded form of vals to dst and returns it.
+// Encode appends the encoded form of vals to dst and returns it. dst is
+// grown once to the exact encoded size up front, so encoding into a fresh
+// (or pooled) buffer costs at most one allocation regardless of length.
 func (q *Quantizer) Encode(dst []byte, vals []float32) []byte {
+	if need := q.EncodedLen(len(vals)); cap(dst)-len(dst) < need {
+		dst = append(make([]byte, 0, len(dst)+need), dst...)
+	}
 	switch q.Kind {
 	case Full:
 		for _, v := range vals {
@@ -173,10 +178,7 @@ func (q *Quantizer) Encode(dst []byte, vals []float32) []byte {
 		}
 		return dst
 	case LP:
-		for _, v := range vals {
-			dst = binary.LittleEndian.AppendUint16(dst, f16.FromFloat32(v))
-		}
-		return dst
+		return f16.AppendBytes(dst, vals)
 	case KBit:
 		return q.encodeBits(dst, vals)
 	case Threshold:
@@ -250,6 +252,9 @@ func (q *Quantizer) Decode(dst []float32, data []byte, n int) ([]float32, error)
 	if want := q.EncodedLen(n); len(data) < want {
 		return nil, fmt.Errorf("quant: decode needs %d bytes for %d values, have %d", want, n, len(data))
 	}
+	if cap(dst)-len(dst) < n {
+		dst = append(make([]float32, 0, len(dst)+n), dst...)
+	}
 	switch q.Kind {
 	case Full:
 		for i := 0; i < n; i++ {
@@ -257,10 +262,7 @@ func (q *Quantizer) Decode(dst []float32, data []byte, n int) ([]float32, error)
 		}
 		return dst, nil
 	case LP:
-		for i := 0; i < n; i++ {
-			dst = append(dst, f16.ToFloat32(binary.LittleEndian.Uint16(data[2*i:])))
-		}
-		return dst, nil
+		return f16.DecodeBytes(dst, data, n), nil
 	case KBit:
 		var acc uint64
 		nbits := 0
@@ -306,17 +308,29 @@ func (q *Quantizer) Apply(vals []float32) []float32 {
 
 // MarshalBinary serializes the quantizer (kind, bits, tables, threshold).
 func (q *Quantizer) MarshalBinary() ([]byte, error) {
-	out := []byte{byte(q.Kind), byte(q.Bits)}
-	out = binary.LittleEndian.AppendUint32(out, math.Float32bits(q.Thresh))
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(q.boundaries)))
+	return q.AppendBinary(make([]byte, 0, q.MarshaledSize())), nil
+}
+
+// MarshaledSize returns len of the MarshalBinary encoding without
+// allocating, so serializers can size a destination buffer exactly.
+func (q *Quantizer) MarshaledSize() int {
+	return 14 + 4*(len(q.boundaries)+len(q.reps))
+}
+
+// AppendBinary appends the MarshalBinary encoding to dst and returns it —
+// the allocation-free form used when serializing into a pooled buffer.
+func (q *Quantizer) AppendBinary(dst []byte) []byte {
+	dst = append(dst, byte(q.Kind), byte(q.Bits))
+	dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(q.Thresh))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(q.boundaries)))
 	for _, b := range q.boundaries {
-		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(b))
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(b))
 	}
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(q.reps)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(q.reps)))
 	for _, r := range q.reps {
-		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(r))
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(r))
 	}
-	return out, nil
+	return dst
 }
 
 // UnmarshalBinary deserializes a quantizer produced by MarshalBinary.

@@ -50,11 +50,19 @@ func (d *Dense) Row(i int) []float32 { return d.Data[i*d.Cols : (i+1)*d.Cols] }
 
 // Col copies column j into a new slice.
 func (d *Dense) Col(j int) []float32 {
-	out := make([]float32, d.Rows)
-	for i := 0; i < d.Rows; i++ {
-		out[i] = d.Data[i*d.Cols+j]
+	return d.ColInto(make([]float32, 0, d.Rows), j)
+}
+
+// ColInto appends column j to dst and returns it — the allocation-free
+// form for callers that reuse a column buffer.
+func (d *Dense) ColInto(dst []float32, j int) []float32 {
+	if cap(dst)-len(dst) < d.Rows {
+		dst = append(make([]float32, 0, len(dst)+d.Rows), dst...)
 	}
-	return out
+	for i := 0; i < d.Rows; i++ {
+		dst = append(dst, d.Data[i*d.Cols+j])
+	}
+	return dst
 }
 
 // SetCol overwrites column j with v.

@@ -332,10 +332,11 @@ func (s *System) readMatrix(ctx context.Context, model, interm string, it *metad
 			want = blockRows
 		}
 		key := colstore.ColumnKey{Model: model, Intermediate: interm, Column: cols[t.j], Block: t.b}
-		vals, err := s.store.GetColumn(key)
+		vals, err := s.store.GetColumnInto(grabColBuf(), key)
 		if err != nil {
 			return fmt.Errorf("mistique: read %s: %w", key, err)
 		}
+		defer releaseColBuf(vals)
 		if len(vals) < want {
 			return fmt.Errorf("mistique: column %s.%s.%s has %d rows in block %d, need %d", model, interm, cols[t.j], len(vals), t.b, want)
 		}

@@ -4,13 +4,22 @@
 // commits:
 //
 //	go test -run '^$' -bench . -benchtime=500ms -benchmem . | benchjson > BENCH_pr.json
+//
+// With -compare it acts as the regression gate instead: it diffs two
+// reports and exits non-zero when any benchmark present in both slowed
+// down by more than -threshold (relative ns/op):
+//
+//	benchjson -compare BENCH_pr.json BENCH_new.json -threshold 0.15
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -40,6 +49,35 @@ type Report struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two report files (old new) instead of parsing stdin")
+	threshold := flag.Float64("threshold", 0.15, "relative ns/op slowdown that fails the -compare gate")
+	flag.Parse()
+	if *compare {
+		// flag stops at the first positional argument, but the documented
+		// invocation is `-compare old.json new.json -threshold 0.15`, so
+		// re-parse anything after the two file operands.
+		args := flag.Args()
+		if len(args) > 2 {
+			fs := flag.NewFlagSet("benchjson -compare", flag.ExitOnError)
+			trailing := fs.Float64("threshold", *threshold, "relative ns/op slowdown that fails the gate")
+			if err := fs.Parse(args[2:]); err != nil || fs.NArg() != 0 {
+				fmt.Fprintln(os.Stderr, "benchjson: unexpected arguments after report files")
+				os.Exit(2)
+			}
+			*threshold = *trailing
+			args = args[:2]
+		}
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files: old.json new.json")
+			os.Exit(2)
+		}
+		code, err := runCompare(os.Stdout, args[0], args[1], *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	}
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -51,6 +89,82 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// loadReport reads a JSON report previously produced by this tool.
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// delta is one benchmark's old-vs-new comparison.
+type delta struct {
+	name     string
+	oldNs    float64
+	newNs    float64
+	ratio    float64 // newNs/oldNs - 1; positive = slower
+	regressd bool
+}
+
+// compareReports matches benchmarks by name (benchmarks present in only
+// one report are skipped: additions and removals are not regressions) and
+// flags any whose ns/op grew by more than threshold.
+func compareReports(old, new *Report, threshold float64) []delta {
+	oldNs := make(map[string]float64, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldNs[b.Name] = b.NsPerOp
+	}
+	var out []delta
+	for _, b := range new.Benchmarks {
+		prev, ok := oldNs[b.Name]
+		if !ok || prev <= 0 {
+			continue
+		}
+		d := delta{name: b.Name, oldNs: prev, newNs: b.NsPerOp}
+		d.ratio = b.NsPerOp/prev - 1
+		d.regressd = d.ratio > threshold
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ratio > out[j].ratio })
+	return out
+}
+
+// runCompare prints the comparison table and returns the process exit
+// code: 0 when no benchmark regressed past threshold, 1 otherwise.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+	old, err := loadReport(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	new, err := loadReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+	deltas := compareReports(old, new, threshold)
+	fmt.Fprintf(w, "%-44s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	regressions := 0
+	for _, d := range deltas {
+		mark := ""
+		if d.regressd {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+8.1f%%%s\n", d.name, d.oldNs, d.newNs, d.ratio*100, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed by more than %.0f%%\n", regressions, threshold*100)
+		return 1, nil
+	}
+	fmt.Fprintf(w, "\nno regression beyond %.0f%% across %d compared benchmark(s)\n", threshold*100, len(deltas))
+	return 0, nil
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -47,5 +49,74 @@ func TestParseEmpty(t *testing.T) {
 	}
 	if len(rep.Benchmarks) != 0 {
 		t.Fatalf("benchmarks %+v", rep.Benchmarks)
+	}
+}
+
+func report(pairs ...any) *Report {
+	rep := &Report{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return rep
+}
+
+func TestCompareReports(t *testing.T) {
+	old := report("Stable", 100.0, "Slower", 100.0, "Faster", 100.0, "Removed", 100.0)
+	new := report("Stable", 110.0, "Slower", 130.0, "Faster", 60.0, "Added", 50.0)
+	deltas := compareReports(old, new, 0.15)
+	if len(deltas) != 3 {
+		t.Fatalf("compared %d benchmarks, want 3 (added/removed skipped): %+v", len(deltas), deltas)
+	}
+	// Sorted worst-first.
+	if deltas[0].name != "Slower" || !deltas[0].regressd {
+		t.Fatalf("worst delta %+v, want Slower flagged", deltas[0])
+	}
+	if deltas[1].name != "Stable" || deltas[1].regressd {
+		t.Fatalf("delta %+v, want Stable within threshold", deltas[1])
+	}
+	if deltas[2].name != "Faster" || deltas[2].regressd {
+		t.Fatalf("delta %+v, want Faster not flagged", deltas[2])
+	}
+}
+
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *Report) string {
+		t.Helper()
+		path := dir + "/" + name
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", report("A", 100.0, "B", 100.0))
+
+	var out strings.Builder
+	code, err := runCompare(&out, oldPath, write("ok.json", report("A", 114.0, "B", 90.0)), 0.15)
+	if err != nil || code != 0 {
+		t.Fatalf("clean compare: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "no regression") {
+		t.Fatalf("clean compare output:\n%s", out.String())
+	}
+
+	out.Reset()
+	code, err = runCompare(&out, oldPath, write("bad.json", report("A", 200.0, "B", 90.0)), 0.15)
+	if err != nil || code != 1 {
+		t.Fatalf("regressed compare: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("regressed compare output:\n%s", out.String())
+	}
+
+	if _, err := runCompare(&out, dir+"/missing.json", oldPath, 0.15); err == nil {
+		t.Fatal("missing file: want error")
 	}
 }
