@@ -181,6 +181,31 @@ type FilterResponse struct {
 	Count int   `json:"count"`
 }
 
+// TopKRequest asks for the K rows with the highest values in one column
+// of a materialized intermediate (POST /api/v1/topk) — "which inputs
+// activate this neuron the most".
+type TopKRequest struct {
+	Model        string `json:"model"`
+	Intermediate string `json:"intermediate"`
+	Column       string `json:"column"`
+	K            int    `json:"k"`
+}
+
+// TopKEntry is one ranked row of a TOPK answer.
+type TopKEntry struct {
+	Row   int `json:"row"`
+	Value F32 `json:"value"`
+}
+
+// TopKResponse lists the top-k rows in rank order: value descending, NaN
+// last, ascending row id on ties.
+type TopKResponse struct {
+	Model        string      `json:"model"`
+	Intermediate string      `json:"intermediate"`
+	Column       string      `json:"column"`
+	Entries      []TopKEntry `json:"entries"`
+}
+
 // RowsRequest reads rows [From, To) of the given columns from a
 // materialized intermediate (POST /api/v1/rows). Empty Cols means all.
 type RowsRequest struct {

@@ -331,6 +331,17 @@ func (c *Client) FilterRows(ctx context.Context, model, interm, column, op strin
 	return out.Rows, nil
 }
 
+// TopK returns the k rows with the highest values in one column, in rank
+// order (value descending, NaN last, ascending row id on ties).
+func (c *Client) TopK(ctx context.Context, model, interm, column string, k int) ([]TopKEntry, error) {
+	var out TopKResponse
+	req := TopKRequest{Model: model, Intermediate: interm, Column: column, K: k}
+	if err := c.do(ctx, http.MethodPost, "/api/v1/topk", req, &out); err != nil {
+		return nil, err
+	}
+	return out.Entries, nil
+}
+
 // GetRows reads rows [from, to) of the given columns.
 func (c *Client) GetRows(ctx context.Context, model, interm string, cols []string, from, to int) (*RowsResponse, error) {
 	var out RowsResponse

@@ -43,6 +43,7 @@ import (
 	"mistique/internal/cost"
 	"mistique/internal/frame"
 	"mistique/internal/metadata"
+	"mistique/internal/nindex"
 	"mistique/internal/nn"
 	"mistique/internal/parallel"
 	"mistique/internal/pipeline"
@@ -98,6 +99,9 @@ type Config struct {
 	// a JSON line (model, intermediate, strategy, cost estimates, measured
 	// seconds) to <dir>/slow_queries.jsonl. Zero disables logging.
 	SlowQueryThreshold time.Duration
+	// Index controls the lazily built neuron-centric diagnostic indexes
+	// (internal/nindex) behind TopK, FilterRows and KNN; see IndexConfig.
+	Index IndexConfig
 }
 
 // System is a MISTIQUE instance rooted at a directory.
@@ -110,6 +114,9 @@ type System struct {
 	dir   string
 	store *colstore.Store
 	meta  *metadata.DB
+	// nidx manages the lazy per-column diagnostic indexes (nil when
+	// Config.Index.Disable is set; every query path then full-scans).
+	nidx *nindex.Manager
 
 	// metrics is the system-wide observability registry (never nil); the
 	// store and catalog register their instruments in the same registry at
@@ -189,11 +196,31 @@ func Open(dir string, cfg Config) (*System, error) {
 		}
 	}
 	meta.SetObs(metrics.reg)
+	var nidx *nindex.Manager
+	if !cfg.Index.Disable {
+		// Index files live in a subdirectory of the store's data dir (the
+		// store's recovery sweep skips subdirectories, so it never mistakes
+		// them for partitions) and share the store's fault-injectable FS.
+		nidx, err = nindex.NewManager(nindex.ManagerConfig{
+			Dir:            filepath.Join(dir, "data", "nindex"),
+			FS:             cfg.Store.FS,
+			MemBudgetBytes: cfg.Index.MemBudgetBytes,
+			Index: nindex.Config{
+				SegmentEntries: cfg.Index.SegmentEntries,
+				HistogramBins:  cfg.Index.HistogramBins,
+			},
+			Obs: metrics.reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mistique: %w", err)
+		}
+	}
 	return &System{
 		cfg:       cfg,
 		dir:       dir,
 		store:     st,
 		meta:      meta,
+		nidx:      nidx,
 		metrics:   metrics,
 		pipelines: make(map[string]*pipelineModel),
 		networks:  make(map[string]*dnnModel),
@@ -378,6 +405,9 @@ func (s *System) DropModel(name string) error {
 	delete(s.pipelines, name)
 	delete(s.networks, name)
 	s.store.DeleteModel(name)
+	if s.nidx != nil {
+		s.nidx.InvalidateModel(name)
+	}
 	return nil
 }
 

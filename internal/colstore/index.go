@@ -1,7 +1,9 @@
 package colstore
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 )
 
@@ -138,6 +140,78 @@ func (s *Store) ScanColumn(model, interm, column string, op Op, bound float32) (
 		}
 	}
 	return matches, skipped, nil
+}
+
+// ZoneInfo is the exported per-RowBlock summary of one column chunk. An
+// inverted range (Min > Max) means the block's bounds are unknown or every
+// value in it is NaN; consumers must treat such a block as unprunable.
+type ZoneInfo struct {
+	Min, Max float32
+	Count    int
+}
+
+// ColumnZones returns the per-RowBlock zone summaries of a logical column
+// in block order — the same min/max bounds the scan path prunes with,
+// exposed so the neuron-centric index (internal/nindex) and the KNN block
+// pruner can reason about blocks without reading them.
+func (s *Store) ColumnZones(model, interm, column string) ([]ZoneInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ZoneInfo
+	for b := 0; ; b++ {
+		key := ColumnKey{Model: model, Intermediate: interm, Column: column, Block: b}
+		id, ok := s.columns[key]
+		if !ok {
+			if b == 0 {
+				return nil, fmt.Errorf("colstore: column %s: %w", key, ErrNotStored)
+			}
+			break
+		}
+		z, ok := s.zones[id]
+		if !ok {
+			// No summary recorded (shouldn't happen for a put chunk, but a
+			// reconciled manifest may lack one): report unprunable bounds.
+			z = zone{min: float32(math.Inf(1)), max: float32(math.Inf(-1))}
+		}
+		out = append(out, ZoneInfo{Min: z.min, Max: z.max, Count: z.count})
+	}
+	return out, nil
+}
+
+// ColumnSignature returns a CRC32-C fingerprint of a logical column's
+// physical identity: every block's chunk id plus the owning partition's
+// file generation. Any re-materialization (heal, re-log) maps the column
+// to fresh chunk ids and any compaction bumps a generation, so a stored
+// secondary index stamped with this signature can detect that its source
+// moved and rebuild instead of trusting stale data.
+func (s *Store) ColumnSignature(model, interm, column string) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := crc32.New(castagnoli)
+	var buf [24]byte
+	for b := 0; ; b++ {
+		key := ColumnKey{Model: model, Intermediate: interm, Column: column, Block: b}
+		id, ok := s.columns[key]
+		if !ok {
+			if b == 0 {
+				return 0, fmt.Errorf("colstore: column %s: %w", key, ErrNotStored)
+			}
+			break
+		}
+		var gen, count int64
+		if p, ok := s.parts[id.Partition]; ok {
+			gen = int64(p.gen)
+		}
+		if z, ok := s.zones[id]; ok {
+			count = int64(z.count)
+		}
+		binary.LittleEndian.PutUint64(buf[0:], uint64(id.Partition))
+		binary.LittleEndian.PutUint32(buf[8:], uint32(id.Index))
+		binary.LittleEndian.PutUint32(buf[12:], uint32(gen))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(count))
+		h.Write(buf[:])
+	}
+	return h.Sum32(), nil
 }
 
 // GetColumnRange reads rows [from, to) of a logical column, touching only

@@ -24,9 +24,53 @@ func PointQuery(col []float32, row int) (float32, error) {
 	return col[row], nil
 }
 
-// TopK returns the indices of the k largest values in col, descending
-// (TOPK: "top-10 images with highest activation for neuron-35").
+// RankLess is the pinned total order for activation ranking, shared with
+// the neuron-centric index (internal/nindex) so indexed TOPK and a full
+// scan produce byte-identical answers: value descending, NaN after every
+// number, and ties (including ±0 and equal NaNs) broken by ascending row
+// id. Without the explicit NaN arm a `>` comparator treats NaN as equal to
+// everything, leaving NaN rows wherever the sort happens to put them.
+func RankLess(va, vb float32, ra, rb int) bool {
+	an, bn := math.IsNaN(float64(va)), math.IsNaN(float64(vb))
+	switch {
+	case an && bn:
+		return ra < rb
+	case an:
+		return false
+	case bn:
+		return true
+	case va != vb:
+		return va > vb
+	}
+	return ra < rb
+}
+
+// DistLess is the pinned total order for nearest-neighbor ranking:
+// distance ascending, NaN after every number, ties broken by ascending
+// row id. Shared with the engine's index-pruned KNN for exact parity.
+func DistLess(da, db float64, ra, rb int) bool {
+	an, bn := math.IsNaN(da), math.IsNaN(db)
+	switch {
+	case an && bn:
+		return ra < rb
+	case an:
+		return false
+	case bn:
+		return true
+	case da != db:
+		return da < db
+	}
+	return ra < rb
+}
+
+// TopK returns the indices of the k largest values in col in RankLess
+// order (TOPK: "top-10 images with highest activation for neuron-35").
+// The order is fully deterministic: equal values rank by ascending row id
+// and NaNs rank after every number.
 func TopK(col []float32, k int) []int {
+	if k < 0 {
+		k = 0
+	}
 	if k > len(col) {
 		k = len(col)
 	}
@@ -34,7 +78,7 @@ func TopK(col []float32, k int) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return col[idx[a]] > col[idx[b]] })
+	sort.Slice(idx, func(a, b int) bool { return RankLess(col[idx[a]], col[idx[b]], idx[a], idx[b]) })
 	return idx[:k]
 }
 
@@ -112,7 +156,9 @@ func ColDist(col []float32, bins int) Histogram {
 
 // KNN returns the indices of the k nearest rows of x to the query row by
 // Euclidean distance (MCFR: "find the 10 homes most similar to Home-50").
-// The query row itself is excluded when selfIdx >= 0.
+// The query row itself is excluded when selfIdx >= 0. Ranking follows
+// DistLess, so rows at equal distance (and rows whose distance is NaN,
+// which sort last) come out in a deterministic order.
 func KNN(x *tensor.Dense, query []float32, k, selfIdx int) []int {
 	type cand struct {
 		idx  int
@@ -125,7 +171,12 @@ func KNN(x *tensor.Dense, query []float32, k, selfIdx int) []int {
 		}
 		cands = append(cands, cand{idx: i, dist: tensor.L2Dist(x.Row(i), query)})
 	}
-	sort.SliceStable(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	sort.Slice(cands, func(a, b int) bool {
+		return DistLess(cands[a].dist, cands[b].dist, cands[a].idx, cands[b].idx)
+	})
+	if k < 0 {
+		k = 0
+	}
 	if k > len(cands) {
 		k = len(cands)
 	}

@@ -261,3 +261,104 @@ func TestConfusionMatrix(t *testing.T) {
 		t.Fatal("length mismatch accepted")
 	}
 }
+
+func TestTopKDeterministicTies(t *testing.T) {
+	// Duplicate values must rank by ascending row id, every time.
+	col := []float32{2, 5, 5, 1, 5, 2}
+	want := []int{1, 2, 4, 0, 5, 3}
+	for trial := 0; trial < 10; trial++ {
+		got := TopK(col, len(col))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: TopK order %v, want %v", trial, got, want)
+			}
+		}
+	}
+	// All-equal column: pure row-id order.
+	eq := []float32{7, 7, 7, 7}
+	got := TopK(eq, 3)
+	for i, r := range []int{0, 1, 2} {
+		if got[i] != r {
+			t.Fatalf("all-equal TopK %v", got)
+		}
+	}
+	// k clamping: negative, zero and beyond-n.
+	if got := TopK(col, -1); len(got) != 0 {
+		t.Fatalf("TopK(-1) = %v", got)
+	}
+	if got := TopK(col, 100); len(got) != len(col) {
+		t.Fatalf("TopK(100) len %d", len(got))
+	}
+}
+
+func TestTopKNaNSortsLast(t *testing.T) {
+	nan := float32(math.NaN())
+	col := []float32{nan, 3, nan, float32(math.Inf(1)), -2, float32(math.Inf(-1))}
+	want := []int{3, 1, 4, 5, 0, 2} // +Inf, 3, -2, -Inf, then NaNs by row id
+	got := TopK(col, len(col))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK with NaN/Inf = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKNNDeterministicTies(t *testing.T) {
+	// Three rows at identical distance from the query row: ascending row id.
+	x := tensor.NewDense(4, 2)
+	x.Set(0, 0, 0) // query row
+	x.Set(1, 0, 1)
+	x.Set(2, 0, 1)
+	x.Set(3, 0, 1)
+	for trial := 0; trial < 10; trial++ {
+		got := KNN(x, x.Row(0), 3, 0)
+		for i, r := range []int{1, 2, 3} {
+			if got[i] != r {
+				t.Fatalf("trial %d: KNN ties %v", trial, got)
+			}
+		}
+	}
+}
+
+func TestKNNNaNRowsSortLast(t *testing.T) {
+	nan := float32(math.NaN())
+	x := tensor.NewDense(4, 2)
+	x.Set(0, 0, 0)
+	x.Set(1, 0, nan) // NaN distance: must rank after every finite row
+	x.Set(2, 0, 5)
+	x.Set(3, 0, 1)
+	got := KNN(x, x.Row(0), 3, 0)
+	for i, r := range []int{3, 2, 1} {
+		if got[i] != r {
+			t.Fatalf("KNN with NaN row = %v", got)
+		}
+	}
+}
+
+func TestRankDistLessTotalOrder(t *testing.T) {
+	nan := float32(math.NaN())
+	vals := []float32{nan, float32(math.Inf(1)), 1, 0, float32(math.Copysign(0, -1)), -1, float32(math.Inf(-1))}
+	// Antisymmetry + totality over every pair (including ±0: equal value,
+	// row id decides).
+	for a, va := range vals {
+		for b, vb := range vals {
+			ab := RankLess(va, vb, a, b)
+			ba := RankLess(vb, va, b, a)
+			if a == b {
+				if ab || ba {
+					t.Fatalf("RankLess not irreflexive at %d", a)
+				}
+				continue
+			}
+			if ab == ba {
+				t.Fatalf("RankLess not antisymmetric for (%v,%d) vs (%v,%d)", va, a, vb, b)
+			}
+		}
+	}
+	if !DistLess(1, math.NaN(), 5, 0) || DistLess(math.NaN(), 1, 0, 5) {
+		t.Fatal("DistLess must order NaN last")
+	}
+	if !DistLess(2, 2, 1, 3) || DistLess(2, 2, 3, 1) {
+		t.Fatal("DistLess must break ties by row id")
+	}
+}

@@ -1,0 +1,141 @@
+package nindex
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"mistique/internal/faultfs"
+	"mistique/internal/obs"
+)
+
+// TestNIndexPublishCrashMatrix kills the simulated process at every point
+// of the temp→write→fsync→close→rename→syncdir publish sequence and
+// asserts the two invariants the index's design promises:
+//
+//  1. publish is best-effort — the probe that triggered the build still
+//     answers, and answers correctly, during the crash;
+//  2. after "reboot" (a fresh Manager over the same directory, clean FS),
+//     whatever debris the crash left is either a fully valid file, loaded
+//     and verified, or is ignored/quarantined and the index rebuilds —
+//     the answer matches the oracle either way.
+func TestNIndexPublishCrashMatrix(t *testing.T) {
+	col := testColumn(400, 11)
+	oracle := Build(col, 32, 1, Config{SegmentEntries: 16})
+	want, _, err := oracle.TopK(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faults := []faultfs.Fault{
+		{Op: faultfs.OpCreate, PathContains: "nidx_", Crash: true},
+		{Op: faultfs.OpWrite, PathContains: "nidx_", AfterBytes: 100, Crash: true},
+		{Op: faultfs.OpWrite, PathContains: "nidx_", Crash: true},
+		{Op: faultfs.OpSync, PathContains: "nidx_", Crash: true},
+		{Op: faultfs.OpClose, PathContains: "nidx_", Crash: true},
+		{Op: faultfs.OpRename, PathContains: "nidx_", Crash: true},
+		{Op: faultfs.OpSyncDir, Crash: true},
+	}
+	for _, fault := range faults {
+		t.Run(fault.Op.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			inj := faultfs.NewInjector(nil)
+			reg := obs.New()
+			m, err := NewManager(ManagerConfig{
+				Dir: dir, FS: inj, Obs: reg,
+				Index: Config{SegmentEntries: 16},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := Key{Model: "m", Intermediate: "i", Column: "c"}
+			inj.Arm(fault)
+
+			got, err := m.TopK(key, 1, 7, fetchOf(col, 32))
+			if err != nil {
+				t.Fatalf("probe failed during crashed publish: %v", err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("mid-crash answer diverges at %d", i)
+				}
+			}
+			if !inj.Fired() {
+				t.Fatalf("fault %v never fired; publish path changed?", fault.Op)
+			}
+			if counterVal(reg, "mistique_index_publish_errors_total") == 0 {
+				t.Fatal("crashed publish not counted")
+			}
+			inj.Disarm()
+
+			// Reboot: fresh manager, clean FS, same directory full of debris.
+			// Classify the debris first — only a fully valid final file (the
+			// rename made it) may be trusted; everything else forces a rebuild.
+			m2, reg2 := managerForTest(t, dir)
+			validSurvivor := false
+			if data, err := os.ReadFile(m2.path(key)); err == nil {
+				if storedKey, _, derr := Decode(data); derr == nil && storedKey == key.fileKey() {
+					validSurvivor = true
+				}
+			}
+			got2, err := m2.TopK(key, 1, 7, fetchOf(col, 32))
+			if err != nil {
+				t.Fatalf("post-crash probe: %v", err)
+			}
+			for i := range want {
+				if got2[i] != want[i] {
+					t.Fatalf("post-crash answer diverges at %d", i)
+				}
+			}
+			builds := counterVal(reg2, "mistique_index_builds_total")
+			if validSurvivor && builds != 0 {
+				t.Fatal("valid file survived the crash but the manager rebuilt anyway")
+			}
+			if !validSurvivor && builds == 0 {
+				t.Fatal("no valid file survived the crash yet nothing was rebuilt")
+			}
+			// The probe (served or rebuilt) leaves a decodable published file.
+			if storedKey, _, derr := Decode(mustRead(t, m2.path(key))); derr != nil || storedKey != key.fileKey() {
+				t.Fatalf("re-published file invalid: key=%q err=%v", storedKey, derr)
+			}
+		})
+	}
+}
+
+// TestNIndexPublishErrorKeepsServing covers the non-crash flavor: a plain
+// I/O error (ENOSPC-style) in any publish step must not surface to the
+// probe, and the next manager rebuilds from data.
+func TestNIndexPublishErrorKeepsServing(t *testing.T) {
+	col := testColumn(150, 13)
+	for _, op := range []faultfs.Op{faultfs.OpCreate, faultfs.OpWrite, faultfs.OpSync, faultfs.OpRename} {
+		dir := t.TempDir()
+		inj := faultfs.NewInjector(nil)
+		reg := obs.New()
+		m, err := NewManager(ManagerConfig{Dir: dir, FS: inj, Obs: reg, Index: Config{SegmentEntries: 16}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj.Arm(faultfs.Fault{Op: op, PathContains: "nidx_"})
+		key := Key{Model: "m", Intermediate: "i", Column: "c"}
+		if _, err := m.TopK(key, 1, 5, fetchOf(col, 32)); err != nil {
+			t.Fatalf("op %v: probe failed on publish error: %v", op, err)
+		}
+		if !inj.Fired() {
+			t.Fatalf("op %v never fired", op)
+		}
+		if counterVal(reg, "mistique_index_publish_errors_total") != 1 {
+			t.Fatalf("op %v: publish error not counted", op)
+		}
+		// Failed publishes must not leave temp debris behind (the non-crash
+		// error path cleans up after itself).
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.Contains(e.Name(), ".tmp") && op != faultfs.OpRename {
+				t.Fatalf("op %v left temp debris %q", op, e.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,558 @@
+// Package nindex implements a neuron-centric diagnostic index in the style
+// of DeepEverest's Neural Partition Index: one small secondary index per
+// stored column (neuron) that answers TOPK and threshold (FilterRows)
+// queries by touching only the blocks that can contribute, instead of
+// scanning every row.
+//
+// An Index holds three summaries of one column:
+//
+//   - an equi-depth value histogram (quantile boundaries over the non-NaN
+//     values), the column's distribution at a glance;
+//   - a priority-ordered row list: row ids sorted by activation under the
+//     pinned total order of internal/diag (value descending, NaN last, row
+//     id ascending on ties), cut into fixed-size segments whose row ids
+//     are delta-varint encoded — a top-k probe decodes only the prefix
+//     segments that can hold the first k positions, a threshold probe only
+//     the segments whose [min, max] straddles or clears the bound;
+//   - per-RowBlock min/max zones, mirroring the store's zone maps, which
+//     the engine's KNN uses to lower-bound the distance of whole blocks
+//     and skip them (PlanKNN).
+//
+// Ordering is the load-bearing invariant: every probe answer is defined by
+// diag.RankLess, the same comparator the naive full-scan oracles use, so
+// index and scan results are byte-identical — parity is exact, not
+// approximate — and the differential harness in nindex/oracletest can
+// assert equality across randomized inputs including NaN/±Inf, constant
+// columns, duplicates and all-equal ties.
+//
+// Indexes are built lazily on first use (see Manager), persisted with
+// CRC32-C footers under the store's temp→fsync→rename discipline, and
+// stamped with the column's physical signature so a stale index is
+// detected and rebuilt, never trusted.
+package nindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"mistique/internal/diag"
+)
+
+// Config holds the build-time knobs of one index.
+type Config struct {
+	// SegmentEntries is the priority-list segment length (default 1024,
+	// matching the default RowBlock height): a TOPK(k) probe decodes
+	// ceil(k/SegmentEntries) segments.
+	SegmentEntries int
+	// HistogramBins is the equi-depth histogram resolution (default 64).
+	HistogramBins int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentEntries <= 0 {
+		c.SegmentEntries = 1024
+	}
+	if c.HistogramBins <= 0 {
+		c.HistogramBins = 64
+	}
+	return c
+}
+
+// Entry is one (row, value) pair of a probe answer, in rank order.
+type Entry struct {
+	Row   int
+	Value float32
+}
+
+// Zone is a per-RowBlock min/max summary over the block's non-NaN values.
+// An inverted range (Min > Max) marks a block with no usable bounds (all
+// NaN, or unknown); it can never be pruned.
+type Zone struct {
+	Min, Max float32
+	Count    int
+}
+
+// Histogram is the equi-depth value distribution of a column: Bounds has
+// len(Counts)+1 quantile boundaries over the non-NaN values, Counts the
+// (near-equal) per-bin row counts, NaNs the rows excluded.
+type Histogram struct {
+	Bounds []float32
+	Counts []int
+	NaNs   int
+}
+
+// segment is one run of the priority-ordered row list. Row ids are stored
+// delta-varint encoded in ascending order; values are stored as raw
+// little-endian float32 in the same (row-ascending) order, in a separate
+// buffer so a full-match threshold probe can decode rows without values.
+// max/min are the first/last values of the run in priority order; nan
+// marks the NaN tail (such segments match no predicate).
+type segment struct {
+	nan     bool
+	count   int
+	max     float32
+	min     float32
+	rowsEnc []byte
+	valsEnc []byte
+}
+
+// Index is the per-column Neural Partition Index. Immutable once built;
+// safe for concurrent probes.
+type Index struct {
+	sig       uint32
+	rows      int
+	blockRows int
+	hist      Histogram
+	zones     []Zone
+	segs      []segment
+	// nonNaN is the number of leading segments holding non-NaN entries.
+	nonNaN int
+	bytes  int64
+}
+
+// Build constructs the index over one column's values. blockRows is the
+// RowBlock height (for the per-block zones); sig is the column's physical
+// signature (see colstore.ColumnSignature) stamped into the index for
+// staleness detection.
+func Build(values []float32, blockRows int, sig uint32, cfg Config) *Index {
+	cfg = cfg.withDefaults()
+	if blockRows <= 0 {
+		blockRows = 1024
+	}
+	n := len(values)
+	x := &Index{sig: sig, rows: n, blockRows: blockRows}
+
+	// Priority order under the pinned comparator; NaNs land at the tail.
+	// The comparator is diag.RankLess, but packed into sortable uint64
+	// keys (rankKey) so the build sorts machine words instead of calling
+	// a closure ~n·log n times — the build cost is what lazy construction
+	// amortizes, so it must stay under a couple of full scans.
+	keys := make([]uint64, n)
+	for i, v := range values {
+		keys[i] = rankKey(v, i)
+	}
+	slices.Sort(keys)
+	order := make([]int, n)
+	for i, k := range keys {
+		order[i] = int(uint32(k))
+	}
+	nanStart := n
+	for i, r := range order {
+		if math.IsNaN(float64(values[r])) {
+			nanStart = i
+			break
+		}
+	}
+
+	cut := func(lo, hi int, nan bool) {
+		for s := lo; s < hi; s += cfg.SegmentEntries {
+			e := s + cfg.SegmentEntries
+			if e > hi {
+				e = hi
+			}
+			x.segs = append(x.segs, buildSegment(values, order[s:e], nan))
+		}
+	}
+	cut(0, nanStart, false)
+	x.nonNaN = len(x.segs)
+	cut(nanStart, n, true)
+
+	x.hist = buildHistogram(values, cfg.HistogramBins)
+	x.zones = buildZones(values, blockRows)
+	x.bytes = x.footprint()
+	return x
+}
+
+// rankKey packs one (value, row) pair into a uint64 whose ascending
+// order is exactly diag.RankLess: value descending, NaN after every
+// value, ties (including -0 vs +0, which compare equal) broken by
+// ascending row id. The high word is the value's order-flipped sortable
+// bits, the low word the row.
+func rankKey(v float32, row int) uint64 {
+	var d uint32
+	switch {
+	case math.IsNaN(float64(v)):
+		d = 0xFFFFFFFF // past -Inf's 0xFF800000: NaNs rank last
+	default:
+		if v == 0 {
+			v = 0 // normalize -0: RankLess ties it with +0
+		}
+		bits := math.Float32bits(v)
+		if bits&0x80000000 != 0 {
+			bits = ^bits // negative: flip everything for ascending order
+		} else {
+			bits |= 0x80000000 // positive: set sign so it sorts above negatives
+		}
+		d = ^bits // flip the ascending order: highest value = smallest key
+	}
+	return uint64(d)<<32 | uint64(uint32(row))
+}
+
+// buildSegment encodes one priority-order run: entries re-sorted by
+// ascending row id, rows delta-varint encoded, values raw in the same
+// order. max/min come from the priority order (first/last of the run).
+func buildSegment(values []float32, run []int, nan bool) segment {
+	seg := segment{nan: nan, count: len(run)}
+	if len(run) > 0 {
+		seg.max = values[run[0]]
+		seg.min = values[run[len(run)-1]]
+	}
+	rows := make([]int, len(run))
+	copy(rows, run)
+	sort.Ints(rows)
+	var scratch [binary.MaxVarintLen64]byte
+	seg.rowsEnc = make([]byte, 0, len(rows)*2)
+	prev := 0
+	for i, r := range rows {
+		d := r
+		if i > 0 {
+			d = r - prev
+		}
+		seg.rowsEnc = append(seg.rowsEnc, scratch[:binary.PutUvarint(scratch[:], uint64(d))]...)
+		prev = r
+	}
+	seg.valsEnc = make([]byte, 4*len(rows))
+	for i, r := range rows {
+		binary.LittleEndian.PutUint32(seg.valsEnc[4*i:], math.Float32bits(values[r]))
+	}
+	return seg
+}
+
+func buildHistogram(values []float32, bins int) Histogram {
+	sorted := make([]float32, 0, len(values))
+	nans := 0
+	for _, v := range values {
+		if math.IsNaN(float64(v)) {
+			nans++
+			continue
+		}
+		sorted = append(sorted, v)
+	}
+	h := Histogram{NaNs: nans}
+	n := len(sorted)
+	if n == 0 {
+		return h
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if bins > n {
+		bins = n
+	}
+	h.Bounds = make([]float32, bins+1)
+	h.Counts = make([]int, bins)
+	for b := 0; b < bins; b++ {
+		h.Bounds[b] = sorted[b*n/bins]
+		h.Counts[b] = (b+1)*n/bins - b*n/bins
+	}
+	h.Bounds[bins] = sorted[n-1]
+	return h
+}
+
+func buildZones(values []float32, blockRows int) []Zone {
+	var zones []Zone
+	for lo := 0; lo < len(values); lo += blockRows {
+		hi := lo + blockRows
+		if hi > len(values) {
+			hi = len(values)
+		}
+		z := Zone{Min: float32(math.Inf(1)), Max: float32(math.Inf(-1)), Count: hi - lo}
+		for _, v := range values[lo:hi] {
+			if v < z.Min {
+				z.Min = v
+			}
+			if v > z.Max {
+				z.Max = v
+			}
+		}
+		zones = append(zones, z)
+	}
+	return zones
+}
+
+func (x *Index) footprint() int64 {
+	b := int64(64)
+	b += int64(4*(len(x.hist.Bounds)+2*len(x.hist.Counts)) + 12*len(x.zones))
+	for i := range x.segs {
+		b += 24 + int64(len(x.segs[i].rowsEnc)+len(x.segs[i].valsEnc))
+	}
+	return b
+}
+
+// Sig returns the column signature the index was built against.
+func (x *Index) Sig() uint32 { return x.sig }
+
+// Rows returns the number of rows the index covers.
+func (x *Index) Rows() int { return x.rows }
+
+// Bytes returns the approximate resident size of the index.
+func (x *Index) Bytes() int64 { return x.bytes }
+
+// Segments returns the number of priority-list segments.
+func (x *Index) Segments() int { return len(x.segs) }
+
+// Hist returns the equi-depth value histogram.
+func (x *Index) Hist() Histogram { return x.hist }
+
+// BlockZones returns the per-RowBlock min/max summaries.
+func (x *Index) BlockZones() []Zone { return x.zones }
+
+// decodeRows decodes a segment's delta-varint row list, validating
+// monotonicity and range so a corrupted (but checksum-passing) payload
+// surfaces as an error instead of nonsense rows.
+func (s *segment) decodeRows(maxRows int) ([]int, error) {
+	rows := make([]int, 0, s.count)
+	buf := s.rowsEnc
+	prev := -1
+	for len(rows) < s.count {
+		d, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("nindex: truncated row list (%d of %d rows)", len(rows), s.count)
+		}
+		buf = buf[n:]
+		r := int(d)
+		if len(rows) > 0 {
+			r = prev + int(d)
+		}
+		if r <= prev || r >= maxRows {
+			return nil, fmt.Errorf("nindex: row id %d out of order or range (rows=%d)", r, maxRows)
+		}
+		rows = append(rows, r)
+		prev = r
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("nindex: %d trailing bytes after row list", len(buf))
+	}
+	return rows, nil
+}
+
+func (s *segment) decodeVals() ([]float32, error) {
+	if len(s.valsEnc) != 4*s.count {
+		return nil, fmt.Errorf("nindex: value payload %dB for %d entries", len(s.valsEnc), s.count)
+	}
+	vals := make([]float32, s.count)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(s.valsEnc[4*i:]))
+	}
+	return vals, nil
+}
+
+// TopK returns the k highest-activation rows in diag.RankLess order,
+// decoding only the prefix segments that can contain the first k
+// positions of the priority order. decoded reports how many segments were
+// decoded (the partial-scan signal).
+func (x *Index) TopK(k int) (entries []Entry, decoded int, err error) {
+	if k > x.rows {
+		k = x.rows
+	}
+	if k <= 0 {
+		return nil, 0, nil
+	}
+	covered := 0
+	for _, seg := range x.segs {
+		rows, rerr := seg.decodeRows(x.rows)
+		if rerr != nil {
+			return nil, decoded, rerr
+		}
+		vals, verr := seg.decodeVals()
+		if verr != nil {
+			return nil, decoded, verr
+		}
+		decoded++
+		for i, r := range rows {
+			entries = append(entries, Entry{Row: r, Value: vals[i]})
+		}
+		covered += seg.count
+		if covered >= k {
+			break
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		return diag.RankLess(entries[a].Value, entries[b].Value, entries[a].Row, entries[b].Row)
+	})
+	return entries[:k], decoded, nil
+}
+
+// Op is a comparison predicate for threshold probes, mirroring the store's
+// zone-map ops.
+type Op int
+
+const (
+	// Gt selects values strictly greater than the bound.
+	Gt Op = iota
+	// Ge selects values greater than or equal to the bound.
+	Ge
+	// Lt selects values strictly less than the bound.
+	Lt
+	// Le selects values less than or equal to the bound.
+	Le
+)
+
+func (o Op) String() string {
+	switch o {
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Lt:
+		return "<"
+	}
+	return "<="
+}
+
+func (o Op) matches(v, bound float32) bool {
+	switch o {
+	case Gt:
+		return v > bound
+	case Ge:
+		return v >= bound
+	case Lt:
+		return v < bound
+	default:
+		return v <= bound
+	}
+}
+
+// fullMatch reports whether every value in [min, max] matches. NaN bounds
+// make every comparison false, so a NaN-bounded segment never full-matches.
+func (o Op) fullMatch(min, max, bound float32) bool {
+	switch o {
+	case Gt:
+		return min > bound
+	case Ge:
+		return min >= bound
+	case Lt:
+		return max < bound
+	default:
+		return max <= bound
+	}
+}
+
+// canSkip reports whether no value in [min, max] can match.
+func (o Op) canSkip(min, max, bound float32) bool {
+	switch o {
+	case Gt:
+		return max <= bound
+	case Ge:
+		return max < bound
+	case Lt:
+		return min >= bound
+	default:
+		return min > bound
+	}
+}
+
+// FilterRows returns the rows whose value matches `op bound`, in ascending
+// row order. Segments are value-range partitioned along the priority
+// order, so only the segments overlapping the predicate decode: a prefix
+// for Gt/Ge, a suffix (before the NaN tail, which matches nothing) for
+// Lt/Le; fully-covered segments decode row ids only, boundary segments
+// also decode values and filter exactly. decoded reports segments decoded.
+func (x *Index) FilterRows(op Op, bound float32) (rows []int, decoded int, err error) {
+	collect := func(seg *segment) error {
+		segRows, rerr := seg.decodeRows(x.rows)
+		if rerr != nil {
+			return rerr
+		}
+		decoded++
+		if op.fullMatch(seg.min, seg.max, bound) {
+			rows = append(rows, segRows...)
+			return nil
+		}
+		vals, verr := seg.decodeVals()
+		if verr != nil {
+			return verr
+		}
+		for i, r := range segRows {
+			if op.matches(vals[i], bound) {
+				rows = append(rows, r)
+			}
+		}
+		return nil
+	}
+	switch op {
+	case Gt, Ge:
+		for i := 0; i < x.nonNaN; i++ {
+			seg := &x.segs[i]
+			if op.canSkip(seg.min, seg.max, bound) {
+				break // segments only get smaller from here
+			}
+			if err := collect(seg); err != nil {
+				return nil, decoded, err
+			}
+		}
+	default:
+		for i := x.nonNaN - 1; i >= 0; i-- {
+			seg := &x.segs[i]
+			if op.canSkip(seg.min, seg.max, bound) {
+				break // segments only get larger from here
+			}
+			if err := collect(seg); err != nil {
+				return nil, decoded, err
+			}
+		}
+	}
+	sort.Ints(rows)
+	return rows, decoded, nil
+}
+
+// BlockBound is one RowBlock's lower-bound distance to a KNN query point.
+type BlockBound struct {
+	Block int
+	LB    float64
+}
+
+// PlanKNN orders RowBlocks by a lower bound on the Euclidean distance any
+// row inside the block can have to query, computed from per-column
+// per-block zones (colZones is indexed [column][block]; short or missing
+// zone lists contribute nothing for the absent blocks).
+//
+// The bound is exact with respect to tensor.L2Dist's arithmetic: each
+// column's gap g_j = fl(min_jb − q_j) (or fl(q_j − max_jb)) satisfies
+// g_j ≤ |fl(v_j − q_j)| for every in-bounds value v_j by IEEE rounding
+// monotonicity, and the squares are accumulated in the same column order
+// with the same float64 operations — so LB ≤ computed distance holds
+// exactly, and pruning a block whose LB exceeds the current k-th distance
+// can never drop a row the full scan would rank (ties at the k-th distance
+// included, since pruning requires strict excess). Columns whose zone is
+// inverted (all-NaN or unknown) and NaN query coordinates contribute zero,
+// keeping the bound conservative.
+func PlanKNN(query []float32, colZones [][]Zone) []BlockBound {
+	nBlocks := 0
+	for _, zs := range colZones {
+		if len(zs) > nBlocks {
+			nBlocks = len(zs)
+		}
+	}
+	out := make([]BlockBound, nBlocks)
+	for b := range out {
+		sum := 0.0
+		for j, zs := range colZones {
+			if b >= len(zs) || j >= len(query) {
+				continue
+			}
+			z := zs[b]
+			if z.Min > z.Max {
+				continue // no usable bounds: cannot prune on this column
+			}
+			q := float64(query[j])
+			var g float64
+			switch {
+			case q < float64(z.Min):
+				g = float64(z.Min) - q
+			case q > float64(z.Max):
+				g = q - float64(z.Max)
+			}
+			sum += g * g
+		}
+		out[b] = BlockBound{Block: b, LB: math.Sqrt(sum)}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LB != out[j].LB {
+			return out[i].LB < out[j].LB
+		}
+		return out[i].Block < out[j].Block
+	})
+	return out
+}

@@ -1,0 +1,194 @@
+package nindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBuildShapes(t *testing.T) {
+	vals := []float32{5, 1, float32(math.NaN()), 3, 3, -2, float32(math.Inf(1)), 0}
+	x := Build(vals, 4, 42, Config{SegmentEntries: 3, HistogramBins: 4})
+	if x.Rows() != 8 || x.Sig() != 42 {
+		t.Fatalf("rows=%d sig=%d", x.Rows(), x.Sig())
+	}
+	if len(x.BlockZones()) != 2 {
+		t.Fatalf("%d zones for 8 rows of 4", len(x.BlockZones()))
+	}
+	// 7 non-NaN entries in 3-entry segments (3+3+1) plus one NaN segment.
+	if x.Segments() != 4 || x.nonNaN != 3 {
+		t.Fatalf("segments=%d nonNaN=%d", x.Segments(), x.nonNaN)
+	}
+	for i, seg := range x.segs {
+		if seg.nan != (i >= x.nonNaN) {
+			t.Fatalf("segment %d nan=%v", i, seg.nan)
+		}
+	}
+	h := x.Hist()
+	if h.NaNs != 1 {
+		t.Fatalf("histogram NaNs=%d", h.NaNs)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 7 {
+		t.Fatalf("histogram counts sum %d, want 7", total)
+	}
+	if x.Bytes() <= 0 {
+		t.Fatal("zero footprint")
+	}
+}
+
+func TestHistogramEquiDepth(t *testing.T) {
+	vals := make([]float32, 1000)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	h := buildHistogram(vals, 10)
+	if len(h.Counts) != 10 || len(h.Bounds) != 11 {
+		t.Fatalf("bins=%d bounds=%d", len(h.Counts), len(h.Bounds))
+	}
+	for b, c := range h.Counts {
+		if c != 100 {
+			t.Fatalf("bin %d count %d, want 100", b, c)
+		}
+	}
+	if h.Bounds[0] != 0 || h.Bounds[10] != 999 {
+		t.Fatalf("bounds [%v, %v]", h.Bounds[0], h.Bounds[10])
+	}
+	// More bins than values collapses to one bin per value.
+	h = buildHistogram([]float32{2, 1}, 64)
+	if len(h.Counts) != 2 {
+		t.Fatalf("tiny column got %d bins", len(h.Counts))
+	}
+}
+
+func TestZonesIgnoreNaNAndMarkAllNaNInverted(t *testing.T) {
+	nan := float32(math.NaN())
+	zones := buildZones([]float32{1, nan, 3, nan, nan, nan}, 3)
+	if len(zones) != 2 {
+		t.Fatalf("%d zones", len(zones))
+	}
+	if zones[0].Min != 1 || zones[0].Max != 3 {
+		t.Fatalf("zone 0 [%v, %v]", zones[0].Min, zones[0].Max)
+	}
+	if zones[1].Min <= zones[1].Max {
+		t.Fatalf("all-NaN zone not inverted: [%v, %v]", zones[1].Min, zones[1].Max)
+	}
+}
+
+func TestDecodeRowsRejectsCorruptPayloads(t *testing.T) {
+	seg := buildSegment([]float32{9, 8, 7}, []int{0, 1, 2}, false)
+	if rows, err := seg.decodeRows(3); err != nil || len(rows) != 3 {
+		t.Fatalf("clean decode: rows=%v err=%v", rows, err)
+	}
+	// Row id out of range.
+	if _, err := seg.decodeRows(2); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	// Truncated varints.
+	trunc := seg
+	trunc.rowsEnc = seg.rowsEnc[:1]
+	if _, err := trunc.decodeRows(3); err == nil {
+		t.Fatal("truncated row list accepted")
+	}
+	// Trailing bytes.
+	tail := seg
+	tail.rowsEnc = append(append([]byte{}, seg.rowsEnc...), 0)
+	if _, err := tail.decodeRows(3); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Non-monotone deltas (a zero delta re-encodes the same row).
+	dup := buildSegment([]float32{9, 8}, []int{1, 1}, false)
+	if _, err := dup.decodeRows(3); err == nil {
+		t.Fatal("duplicate row accepted")
+	}
+	// Value payload length mismatch.
+	bad := seg
+	bad.valsEnc = seg.valsEnc[:5]
+	if _, err := bad.decodeVals(); err == nil {
+		t.Fatal("short value payload accepted")
+	}
+}
+
+func TestPlanKNNOrdersAndBounds(t *testing.T) {
+	// Two columns, three blocks; the query sits inside block 1's ranges.
+	colZones := [][]Zone{
+		{{Min: 10, Max: 20, Count: 4}, {Min: 0, Max: 1, Count: 4}, {Min: -5, Max: -4, Count: 4}},
+		{{Min: 10, Max: 20, Count: 4}, {Min: 0, Max: 1, Count: 4}, {Min: -5, Max: -4, Count: 4}},
+	}
+	plan := PlanKNN([]float32{0.5, 0.5}, colZones)
+	if len(plan) != 3 {
+		t.Fatalf("%d blocks", len(plan))
+	}
+	if plan[0].Block != 1 || plan[0].LB != 0 {
+		t.Fatalf("nearest block %d lb %v", plan[0].Block, plan[0].LB)
+	}
+	for i := 1; i < len(plan); i++ {
+		if plan[i].LB < plan[i-1].LB {
+			t.Fatalf("plan not LB-ascending at %d", i)
+		}
+	}
+	// Inverted (all-NaN) zones and NaN query coords contribute nothing.
+	inverted := [][]Zone{{{Min: float32(math.Inf(1)), Max: float32(math.Inf(-1))}}}
+	p := PlanKNN([]float32{float32(math.NaN())}, inverted)
+	if len(p) != 1 || p[0].LB != 0 {
+		t.Fatalf("inverted zone plan %+v", p)
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	cases := []struct {
+		op       Op
+		v, bound float32
+		match    bool
+		str      string
+		skipMin  float32 // a [min,max] that must be skippable
+		skipMax  float32
+		fullMin  float32 // a [min,max] that must full-match
+		fullMax  float32
+	}{
+		{Gt, 2, 1, true, ">", -3, 1, 1.5, 9},
+		{Ge, 1, 1, true, ">=", -3, 0.5, 1, 9},
+		{Lt, 0, 1, true, "<", 1, 9, -3, 0.5},
+		{Le, 1, 1, true, "<=", 1.5, 9, -3, 1},
+	}
+	for _, c := range cases {
+		if c.op.String() != c.str {
+			t.Errorf("%v String %q", c.op, c.op.String())
+		}
+		if c.op.matches(c.v, c.bound) != c.match {
+			t.Errorf("%v matches(%v, %v)", c.op, c.v, c.bound)
+		}
+		if !c.op.canSkip(c.skipMin, c.skipMax, c.bound) {
+			t.Errorf("%v canSkip [%v,%v] vs %v", c.op, c.skipMin, c.skipMax, c.bound)
+		}
+		if !c.op.fullMatch(c.fullMin, c.fullMax, c.bound) {
+			t.Errorf("%v fullMatch [%v,%v] vs %v", c.op, c.fullMin, c.fullMax, c.bound)
+		}
+		// NaN bound: nothing matches, nothing full-matches.
+		nan := float32(math.NaN())
+		if c.op.matches(c.v, nan) || c.op.fullMatch(-1, 1, nan) {
+			t.Errorf("%v accepted a NaN bound", c.op)
+		}
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float32, 3000)
+	for i := range vals {
+		vals[i] = rng.Float32()
+	}
+	x := Build(vals, 0, 0, Config{})
+	if got := x.Segments(); got != 3 { // 3000 rows / default 1024-entry segments
+		t.Fatalf("%d segments with default config", got)
+	}
+	if len(x.Hist().Counts) != 64 {
+		t.Fatalf("%d histogram bins with default config", len(x.Hist().Counts))
+	}
+	if len(x.BlockZones()) != 3 {
+		t.Fatalf("%d zones with default blockRows", len(x.BlockZones()))
+	}
+}

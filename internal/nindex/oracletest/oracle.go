@@ -1,0 +1,227 @@
+// Package oracletest is the differential-testing harness for the
+// neuron-centric indexes: every indexed query shape (TOPK, FilterRows,
+// block-pruned KNN) is replayed against a naive full-scan oracle built on
+// internal/diag's pinned comparators, over randomized columns that include
+// the adversarial shapes — NaN and ±Inf, constant columns, duplicate
+// values, all-equal ties, signed zeros — and the results are asserted
+// byte-identical, not approximately equal. Tie-breaking is pinned to
+// ascending row id on both sides, so any divergence is a real bug, never
+// flake.
+package oracletest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"mistique/internal/diag"
+	"mistique/internal/nindex"
+	"mistique/internal/tensor"
+)
+
+// ColumnKind names one generator shape.
+type ColumnKind string
+
+const (
+	// Uniform draws i.i.d. uniform values.
+	Uniform ColumnKind = "uniform"
+	// Duplicates draws from a tiny value set, forcing heavy ties.
+	Duplicates ColumnKind = "duplicates"
+	// Constant repeats one value (an all-equal column: every rank and
+	// every boundary predicate is a tie).
+	Constant ColumnKind = "constant"
+	// Special mixes NaN, ±Inf, ±0 and duplicates into uniform noise.
+	Special ColumnKind = "special"
+	// Sorted is ascending (segment ranges collapse to disjoint runs).
+	Sorted ColumnKind = "sorted"
+	// Reversed is descending (priority order equals row order).
+	Reversed ColumnKind = "reversed"
+)
+
+// Kinds lists every generator shape, for table-driven sweeps.
+var Kinds = []ColumnKind{Uniform, Duplicates, Constant, Special, Sorted, Reversed}
+
+// Column generates n values of the given shape from rng.
+func Column(rng *rand.Rand, kind ColumnKind, n int) []float32 {
+	out := make([]float32, n)
+	switch kind {
+	case Duplicates:
+		vals := []float32{-2, 0, 0.5, 3}
+		for i := range out {
+			out[i] = vals[rng.Intn(len(vals))]
+		}
+	case Constant:
+		v := float32(rng.NormFloat64())
+		for i := range out {
+			out[i] = v
+		}
+	case Special:
+		specials := []float32{
+			float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+			0, float32(math.Copysign(0, -1)), 1, 1, -1,
+		}
+		for i := range out {
+			if rng.Intn(3) == 0 {
+				out[i] = specials[rng.Intn(len(specials))]
+			} else {
+				out[i] = float32(rng.NormFloat64())
+			}
+		}
+	case Sorted:
+		v := float32(-100)
+		for i := range out {
+			v += float32(rng.Float64())
+			out[i] = v
+		}
+	case Reversed:
+		v := float32(100)
+		for i := range out {
+			v -= float32(rng.Float64())
+			out[i] = v
+		}
+	default:
+		for i := range out {
+			out[i] = float32(rng.Float64()*200 - 100)
+		}
+	}
+	return out
+}
+
+// Bounds returns predicate bounds worth probing against col: exact stored
+// values (duplicate-boundary ties), midpoints, the extremes, ±Inf, NaN
+// (which must match nothing), and zero.
+func Bounds(rng *rand.Rand, col []float32) []float32 {
+	bounds := []float32{
+		float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()), 0,
+	}
+	finite := make([]float32, 0, len(col))
+	for _, v := range col {
+		if !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) {
+			finite = append(finite, v)
+		}
+	}
+	if len(finite) > 0 {
+		for i := 0; i < 3; i++ {
+			bounds = append(bounds, finite[rng.Intn(len(finite))]) // exact hit
+		}
+		a, b := finite[rng.Intn(len(finite))], finite[rng.Intn(len(finite))]
+		bounds = append(bounds, (a+b)/2)
+	}
+	return bounds
+}
+
+// TopK is the naive oracle: rank the whole column with diag.TopK (value
+// descending, NaN last, ascending row id on ties) and keep k.
+func TopK(col []float32, k int) []nindex.Entry {
+	ranked := diag.TopK(col, k)
+	out := make([]nindex.Entry, len(ranked))
+	for i, r := range ranked {
+		out[i] = nindex.Entry{Row: r, Value: col[r]}
+	}
+	return out
+}
+
+// FilterRows is the naive oracle: test every value, ascending row order.
+// NaN matches no predicate.
+func FilterRows(col []float32, op nindex.Op, bound float32) []int {
+	out := []int{}
+	for i, v := range col {
+		var match bool
+		switch op {
+		case nindex.Gt:
+			match = v > bound
+		case nindex.Ge:
+			match = v >= bound
+		case nindex.Lt:
+			match = v < bound
+		default:
+			match = v <= bound
+		}
+		if match {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// KNN is the naive oracle: diag.KNN over the full matrix.
+func KNN(x *tensor.Dense, query []float32, k, selfIdx int) []int {
+	return diag.KNN(x, query, k, selfIdx)
+}
+
+// PrunedKNN answers KNN the way the engine does: blocks ordered by
+// nindex.PlanKNN's lower bound, scanned until the k-th candidate distance
+// strictly beats every remaining bound, candidates ranked by
+// diag.DistLess. blockRows is the RowBlock height. The parity suite holds
+// this equal to the naive KNN oracle on every input, which is exactly the
+// claim that the lower bound never prunes a contributing block.
+func PrunedKNN(x *tensor.Dense, query []float32, k, selfIdx, blockRows int) (rows []int, blocksRead int) {
+	colZones := make([][]nindex.Zone, x.Cols)
+	for j := 0; j < x.Cols; j++ {
+		colZones[j] = zonesOf(x.Col(j), blockRows)
+	}
+	plan := nindex.PlanKNN(query, colZones)
+	if k < 0 {
+		k = 0
+	}
+	type cand struct {
+		row  int
+		dist float64
+	}
+	var cands []cand
+	kth := math.NaN()
+	for _, bb := range plan {
+		if len(cands) >= k && k > 0 && bb.LB > kth {
+			break
+		}
+		lo := bb.Block * blockRows
+		hi := lo + blockRows
+		if hi > x.Rows {
+			hi = x.Rows
+		}
+		blocksRead++
+		for r := lo; r < hi; r++ {
+			if r == selfIdx {
+				continue
+			}
+			cands = append(cands, cand{row: r, dist: tensor.L2Dist(x.Row(r), query)})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			return diag.DistLess(cands[a].dist, cands[b].dist, cands[a].row, cands[b].row)
+		})
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		if len(cands) >= k && k > 0 {
+			kth = cands[k-1].dist
+		}
+	}
+	rows = make([]int, 0, len(cands))
+	for _, c := range cands {
+		rows = append(rows, c.row)
+	}
+	return rows, blocksRead
+}
+
+// zonesOf mirrors the store's zone maps (min/max over a block; NaN
+// excluded by comparison semantics, all-NaN blocks stay inverted).
+func zonesOf(col []float32, blockRows int) []nindex.Zone {
+	var zs []nindex.Zone
+	for lo := 0; lo < len(col); lo += blockRows {
+		hi := lo + blockRows
+		if hi > len(col) {
+			hi = len(col)
+		}
+		z := nindex.Zone{Min: float32(math.Inf(1)), Max: float32(math.Inf(-1)), Count: hi - lo}
+		for _, v := range col[lo:hi] {
+			if v < z.Min {
+				z.Min = v
+			}
+			if v > z.Max {
+				z.Max = v
+			}
+		}
+		zs = append(zs, z)
+	}
+	return zs
+}

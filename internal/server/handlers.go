@@ -238,6 +238,33 @@ func (s *Server) handleFilter(r *http.Request) (any, error) {
 	return client.FilterResponse{Rows: rows, Count: len(rows)}, nil
 }
 
+func (s *Server) handleTopK(r *http.Request) (any, error) {
+	var req client.TopKRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Model == "" || req.Intermediate == "" || req.Column == "" {
+		return nil, badRequest("topk needs model, intermediate and column")
+	}
+	if req.K < 0 {
+		return nil, badRequest("topk needs k >= 0, got %d", req.K)
+	}
+	entries, err := s.sys.TopKCtx(r.Context(), req.Model, req.Intermediate, req.Column, req.K)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]client.TopKEntry, len(entries))
+	for i, e := range entries {
+		out[i] = client.TopKEntry{Row: e.Row, Value: client.F32(e.Value)}
+	}
+	return client.TopKResponse{
+		Model:        req.Model,
+		Intermediate: req.Intermediate,
+		Column:       req.Column,
+		Entries:      out,
+	}, nil
+}
+
 func parseOp(op string) (colstore.Op, error) {
 	switch op {
 	case "gt":

@@ -125,6 +125,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/api/v1/query", s.admitted(http.MethodPost, s.handleQuery))
 	s.mux.HandleFunc("/api/v1/models/{model}/intermediates/{interm}/columns/{col}", s.admitted(http.MethodGet, s.handleColumn))
 	s.mux.HandleFunc("/api/v1/filter", s.admitted(http.MethodPost, s.handleFilter))
+	s.mux.HandleFunc("/api/v1/topk", s.admitted(http.MethodPost, s.handleTopK))
 	s.mux.HandleFunc("/api/v1/rows", s.admitted(http.MethodPost, s.handleRows))
 	s.mux.HandleFunc("/api/v1/compact", s.admitted(http.MethodPost, s.handleCompact))
 
@@ -271,7 +272,8 @@ func errorStatus(err error) int {
 	switch {
 	case errors.As(err, &ae):
 		return ae.status
-	case errors.Is(err, mistique.ErrUnknownModel), errors.Is(err, mistique.ErrUnknownIntermediate):
+	case errors.Is(err, mistique.ErrUnknownModel), errors.Is(err, mistique.ErrUnknownIntermediate),
+		errors.Is(err, mistique.ErrUnknownColumn):
 		return http.StatusNotFound
 	case errors.Is(err, mistique.ErrNotMaterialized):
 		return http.StatusConflict

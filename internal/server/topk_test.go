@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mistique"
+	"mistique/client"
+)
+
+// TestTopKEndpoint holds POST /api/v1/topk to exact parity with direct
+// System.TopK calls and checks the endpoint's whole error surface.
+func TestTopKEndpoint(t *testing.T) {
+	sys := newSys(t, mistique.Config{})
+	srv := New(sys, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for _, k := range []int{0, 1, 10, 600, 601} {
+		got, err := c.TopK(ctx, "demo", "joined", "yearbuilt", k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want, err := sys.TopK("demo", "joined", "yearbuilt", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d entries over HTTP, %d direct", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Row != want[i].Row ||
+				math.Float32bits(float32(got[i].Value)) != math.Float32bits(want[i].Value) {
+				t.Fatalf("k=%d entry %d: {%d %v} over HTTP, {%d %v} direct",
+					k, i, got[i].Row, got[i].Value, want[i].Row, want[i].Value)
+			}
+		}
+	}
+
+	// Unknown model / intermediate / column → 404.
+	if _, err := c.TopK(ctx, "nope", "joined", "yearbuilt", 3); !client.IsNotFound(err) {
+		t.Fatalf("unknown model err = %v", err)
+	}
+	if _, err := c.TopK(ctx, "demo", "nope", "yearbuilt", 3); !client.IsNotFound(err) {
+		t.Fatalf("unknown intermediate err = %v", err)
+	}
+	if _, err := c.TopK(ctx, "demo", "joined", "no_such_col", 3); !client.IsNotFound(err) {
+		t.Fatalf("unknown column err = %v", err)
+	}
+
+	// Bad params → 400.
+	var ae *client.APIError
+	if _, err := c.TopK(ctx, "demo", "joined", "yearbuilt", -1); !errors.As(err, &ae) || ae.Status != 400 {
+		t.Fatalf("negative k err = %v", err)
+	}
+	if _, err := c.TopK(ctx, "demo", "joined", "", 3); !errors.As(err, &ae) || ae.Status != 400 {
+		t.Fatalf("empty column err = %v", err)
+	}
+
+	// Raw shapes: malformed body and wrong method.
+	resp, err := http.Post(ts.URL+"/api/v1/topk", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errorShape(t, resp, 400)
+	resp, err = http.Get(ts.URL + "/api/v1/topk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errorShape(t, resp, 405)
+}

@@ -40,6 +40,8 @@ type systemMetrics struct {
 	queryRerunSeconds   *obs.Histogram
 	queryFilterSeconds  *obs.Histogram
 	queryGetRowsSeconds *obs.Histogram
+	queryTopKSeconds    *obs.Histogram
+	queryKNNSeconds     *obs.Histogram
 	costReadRelErr      *obs.Histogram
 	costRerunRelErr     *obs.Histogram
 	materializations    *obs.Counter
@@ -71,6 +73,8 @@ func newSystemMetrics() *systemMetrics {
 		queryRerunSeconds:   reg.Histogram("mistique_query_rerun_seconds", "fetch wall time of queries answered by RERUN"),
 		queryFilterSeconds:  reg.Histogram("mistique_query_filter_rows_seconds", "FilterRows (zone-map predicate scan) wall time"),
 		queryGetRowsSeconds: reg.Histogram("mistique_query_get_rows_seconds", "GetRows (row-range read) wall time"),
+		queryTopKSeconds:    reg.Histogram("mistique_query_topk_seconds", "TopK (neuron top-k probe) wall time"),
+		queryKNNSeconds:     reg.Histogram("mistique_query_knn_seconds", "KNN (block-pruned nearest neighbors) wall time"),
 		costReadRelErr:      reg.Histogram("mistique_cost_read_rel_error", "cost-model relative error |est-actual|/actual for READ queries"),
 		costRerunRelErr:     reg.Histogram("mistique_cost_rerun_rel_error", "cost-model relative error |est-actual|/actual for RERUN queries"),
 		materializations:    reg.Counter("mistique_adaptive_materializations_total", "intermediates materialized by a query crossing the gamma threshold"),

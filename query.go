@@ -515,6 +515,12 @@ func (s *System) recoverRead(ctx context.Context, m *metadata.Model, it *metadat
 	if merr := s.materialize(m, it); merr != nil {
 		s.meta.SetUnmaterialized(m.Name, it.Name)
 	}
+	// Re-materialization moved the columns to fresh chunks; drop any
+	// diagnostic indexes built over the old ones (their stale signatures
+	// would be rejected anyway — this just skips the wasted load).
+	if s.nidx != nil {
+		s.nidx.InvalidateModel(m.Name)
+	}
 	return data, nil
 }
 
@@ -540,6 +546,9 @@ func (s *System) healIntermediate(model, interm string) error {
 	stop()
 	s.metrics.heals.Inc()
 	s.store.NoteRecoveredRead()
+	if s.nidx != nil {
+		s.nidx.InvalidateModel(model)
+	}
 	return nil
 }
 
@@ -569,6 +578,14 @@ func (s *System) FilterRowsCtx(ctx context.Context, model, interm, column string
 		return nil, err
 	}
 	defer s.metrics.queryFilterSeconds.Time()()
+	// Prefer the neuron-centric index: it decodes only the priority-list
+	// segments straddling the bound. Any index-side trouble falls back to
+	// the zone-map scan below — both paths return identical rows.
+	if rows, ok, ierr := s.filterViaIndex(ctx, model, interm, column, op, bound, it.Rows); ierr != nil {
+		return nil, ierr
+	} else if ok {
+		return rows, nil
+	}
 	matches, _, err := s.store.ScanColumn(model, interm, column, op, bound)
 	if err != nil && recoverableReadErr(err) {
 		if cerr := ctx.Err(); cerr != nil {
@@ -623,6 +640,14 @@ func (s *System) GetRowsCtx(ctx context.Context, model, interm string, cols []st
 		cols = it.Columns
 	}
 	defer s.metrics.queryGetRowsSeconds.Time()()
+	return s.readRowRange(ctx, model, interm, cols, from, to)
+}
+
+// readRowRange assembles rows [from, to) of the given columns via the
+// primary (row-aligned block) index, fetching columns concurrently and
+// healing lost chunks with one re-materialize-and-retry. Shared by GetRows
+// and the KNN block scanner.
+func (s *System) readRowRange(ctx context.Context, model, interm string, cols []string, from, to int) (*tensor.Dense, error) {
 	fetch := func() (*tensor.Dense, error) {
 		out := tensor.NewDense(to-from, len(cols))
 		err := parallel.ForEach(len(cols), s.workers(), func(j int) error {

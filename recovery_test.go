@@ -111,10 +111,13 @@ func TestQueryRecoversFromCorruptPartitions(t *testing.T) {
 
 // TestFilterRowsHealsAfterLoss: zone-map scans have no rerun equivalent of
 // their own, so a scan over lost chunks re-materializes the intermediate
-// and retries once.
+// and retries once. The neuron index is disabled so the zone-scan heal
+// machinery is what answers — with the index on, a FilterRows over lost
+// chunks can be served from the index's own checksummed copy instead
+// (TestFilterRowsIndexHealsAfterLoss covers the index-side heal).
 func TestFilterRowsHealsAfterLoss(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, Config{})
+	s, err := Open(dir, Config{Index: IndexConfig{Disable: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
