@@ -166,13 +166,17 @@ type EstimateResponse struct {
 
 // FilterRequest is a zone-map predicate scan (POST /api/v1/filter):
 // matching row offsets of `column op bound`. Op is one of "gt", "ge",
-// "lt", "le".
+// "lt", "le". From/To restrict the scan to global rows [From, To) — the
+// shard-local sub-queries of the cluster router use this; both zero (the
+// old wire shape) scans the whole intermediate.
 type FilterRequest struct {
 	Model        string  `json:"model"`
 	Intermediate string  `json:"intermediate"`
 	Column       string  `json:"column"`
 	Op           string  `json:"op"`
 	Bound        float64 `json:"bound"`
+	From         int     `json:"from,omitempty"`
+	To           int     `json:"to,omitempty"`
 }
 
 // FilterResponse lists the matching global row offsets in order.
@@ -189,6 +193,10 @@ type TopKRequest struct {
 	Intermediate string `json:"intermediate"`
 	Column       string `json:"column"`
 	K            int    `json:"k"`
+	// From/To restrict the ranking to global rows [From, To) — the
+	// shard-local probes of the cluster router. Both zero ranks every row.
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
 }
 
 // TopKEntry is one ranked row of a TOPK answer.
@@ -251,8 +259,34 @@ type CompactResponse struct {
 	ReclaimedBytes int64 `json:"reclaimed_bytes"`
 }
 
-// HealthResponse is the liveness probe (GET /healthz).
+// HealthResponse is the liveness probe (GET /healthz): "is the process
+// up". Readiness ("should this node take traffic") is /readyz.
 type HealthResponse struct {
 	Status string `json:"status"`
 	Models int    `json:"models"`
+}
+
+// ReadyResponse is the readiness probe (GET /readyz). The server answers
+// 200 with Status "ok" when the node should take traffic and 503 with
+// Status "degraded" — same JSON shape — when it should be shed: load
+// balancers key off the status code alone, while the cluster health
+// checker reads the body to distinguish "shed me" (suspect) from "dead"
+// (down).
+type ReadyResponse struct {
+	Status string `json:"status"` // "ok" or "degraded"
+	// Shard is the node's configured shard name (serve -shard), if any.
+	Shard  string `json:"shard,omitempty"`
+	Models int    `json:"models"`
+	// QuarantinedPartitions counts partition files the last recovery
+	// sweep moved aside; ManifestQuarantined reports a corrupt manifest
+	// (the store restarted from empty logical state).
+	QuarantinedPartitions int  `json:"quarantined_partitions"`
+	ManifestQuarantined   bool `json:"manifest_quarantined,omitempty"`
+	// InFlight/MaxInFlight expose the admission semaphore; Saturated is
+	// true when every slot is taken and new queries are being shed.
+	InFlight    int  `json:"in_flight"`
+	MaxInFlight int  `json:"max_in_flight"`
+	Saturated   bool `json:"saturated,omitempty"`
+	// Reasons lists, in prose, why Status is "degraded".
+	Reasons []string `json:"reasons,omitempty"`
 }

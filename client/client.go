@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -46,11 +47,12 @@ func IsOverCapacity(err error) bool {
 // is safe for concurrent use.
 //
 // Transient failures are retried: connection errors and 5xx responses up
-// to MaxRetries times with doubling backoff, and 429 over-capacity
-// rejections by honoring the server's Retry-After hint until the request
-// deadline expires — backpressure is transparent to callers, who either
-// get an answer or a deadline error. 4xx responses other than 429 are
-// never retried.
+// to MaxRetries times with full-jitter backoff (the sleep is drawn
+// uniformly from [0, cap] and the cap doubles per attempt), and 429
+// over-capacity rejections by honoring the server's Retry-After hint
+// until the request deadline expires — backpressure is transparent to
+// callers, who either get an answer or a deadline error. 4xx responses
+// other than 429 are never retried.
 type Client struct {
 	base       string
 	hc         *http.Client
@@ -69,8 +71,8 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // (default 3; 0 disables retries).
 func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
 
-// WithBackoff sets the initial retry backoff, doubled per attempt
-// (default 50ms).
+// WithBackoff sets the initial retry backoff cap, doubled per attempt;
+// each sleep is drawn uniformly from [0, cap] (default cap 50ms).
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
 // WithTimeout sets the per-request deadline applied to every attempt's
@@ -137,7 +139,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			delay = retryAfter(err)
 		case retriable(err) && retriesLeft > 0:
 			retriesLeft--
-			delay = wait
+			delay = jitterDelay(wait)
 			wait *= 2
 		default:
 			return err
@@ -150,6 +152,19 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		case <-t.C:
 		}
 	}
+}
+
+// jitterDelay draws one retry's sleep uniformly from [0, cap] — "full
+// jitter". A deterministic backoff re-synchronizes every caller that
+// failed together, so a saturated server takes the whole retry wave back
+// at once; spreading each sleep over the full window decorrelates them.
+// The cap still doubles per attempt and the per-request deadline still
+// bounds the total wait, so worst-case semantics are unchanged.
+func jitterDelay(cap time.Duration) time.Duration {
+	if cap <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(cap) + 1))
 }
 
 // attempt issues one HTTP round trip.
@@ -331,11 +346,31 @@ func (c *Client) FilterRows(ctx context.Context, model, interm, column, op strin
 	return out.Rows, nil
 }
 
+// FilterRowsRange is FilterRows restricted to global rows [from, to);
+// from <= 0 means row 0 and to <= 0 means the intermediate's row count.
+// Returned offsets stay global, so per-block answers concatenate.
+func (c *Client) FilterRowsRange(ctx context.Context, model, interm, column, op string, bound float64, from, to int) ([]int, error) {
+	var out FilterResponse
+	req := FilterRequest{Model: model, Intermediate: interm, Column: column, Op: op, Bound: bound, From: from, To: to}
+	if err := c.do(ctx, http.MethodPost, "/api/v1/filter", req, &out); err != nil {
+		return nil, err
+	}
+	return out.Rows, nil
+}
+
 // TopK returns the k rows with the highest values in one column, in rank
 // order (value descending, NaN last, ascending row id on ties).
 func (c *Client) TopK(ctx context.Context, model, interm, column string, k int) ([]TopKEntry, error) {
+	return c.TopKRange(ctx, model, interm, column, k, 0, 0)
+}
+
+// TopKRange is TopK restricted to global rows [from, to) — the
+// shard-local probe behind scatter-gather TOPK. Row ids stay global and
+// the ranking order is the engine's pinned comparator, so merged
+// per-block candidate lists reproduce the single-node answer exactly.
+func (c *Client) TopKRange(ctx context.Context, model, interm, column string, k, from, to int) ([]TopKEntry, error) {
 	var out TopKResponse
-	req := TopKRequest{Model: model, Intermediate: interm, Column: column, K: k}
+	req := TopKRequest{Model: model, Intermediate: interm, Column: column, K: k, From: from, To: to}
 	if err := c.do(ctx, http.MethodPost, "/api/v1/topk", req, &out); err != nil {
 		return nil, err
 	}
@@ -371,11 +406,53 @@ func (c *Client) Compact(ctx context.Context) (int64, error) {
 	return out.ReclaimedBytes, nil
 }
 
-// Health probes liveness.
+// Health probes liveness ("is the process up"). Readiness — "should this
+// node take traffic" — is Ready.
 func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	var out HealthResponse
 	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Ready probes readiness. Unlike every other call, a 503 here is data,
+// not a failure: the server answers 503 with the same JSON body when it
+// is alive but degraded (quarantined partitions, admission saturation),
+// and Ready returns that decoded body with ready == false so a health
+// checker can distinguish "shed me traffic" from "dead". The probe is a
+// single attempt with no retries — the checker supplies its own cadence,
+// and retrying inside a probe would mask exactly the flakiness it exists
+// to detect.
+func (c *Client) Ready(ctx context.Context) (resp *ReadyResponse, ready bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("client: %w", err)
+	}
+	hr, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, &connError{err: err}
+	}
+	defer func() {
+		io.Copy(io.Discard, hr.Body)
+		hr.Body.Close()
+	}()
+	switch hr.StatusCode {
+	case http.StatusOK, http.StatusServiceUnavailable:
+		var out ReadyResponse
+		if derr := json.NewDecoder(io.LimitReader(hr.Body, 1<<20)).Decode(&out); derr != nil {
+			return nil, false, fmt.Errorf("client: decode /readyz response: %w", derr)
+		}
+		return &out, hr.StatusCode == http.StatusOK, nil
+	default:
+		return nil, false, decodeError(hr)
+	}
 }

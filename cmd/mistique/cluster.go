@@ -1,0 +1,139 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"mistique/client"
+	"mistique/internal/cluster"
+	"mistique/internal/obs"
+)
+
+// runCluster issues one scatter-gather query through the shard router
+// against a set of running `mistique serve -shard` nodes:
+//
+//	mistique serve -dir /tmp/a -addr :7420 -shard s0 -pipelines 3 &
+//	mistique serve -dir /tmp/b -addr :7421 -shard s1 -pipelines 3 &
+//	mistique serve -dir /tmp/c -addr :7422 -shard s2 -pipelines 3 &
+//	mistique cluster -shards :7420,:7421,:7422 \
+//	  -model p1_v0 -interm model -col pred -op topk -k 10
+//
+// On a partial answer it prints what was served plus the missing-block
+// manifest and exits nonzero — degraded is visible, never silent.
+func runCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	shardList := fs.String("shards", "", "comma-separated shard base URLs (host:port or http://host:port; required)")
+	model := fs.String("model", "", "model name")
+	interm := fs.String("interm", "", "intermediate name")
+	col := fs.String("col", "", "column to query")
+	op := fs.String("op", "topk", "query: topk or filter")
+	k := fs.Int("k", 10, "top-k size (op=topk)")
+	pred := fs.String("pred", "gt", "filter predicate: gt, ge, lt, le (op=filter)")
+	bound := fs.Float64("bound", 0, "filter bound (op=filter)")
+	replication := fs.Int("replication", 2, "replicas per row-block")
+	blockRows := fs.Int("block-rows", 512, "rows per placement block")
+	timeout := fs.Duration("timeout", 30*time.Second, "whole-query deadline")
+	limit := fs.Int("limit", 20, "max rows to print")
+	fs.Parse(args)
+	if *shardList == "" || *model == "" || *interm == "" || *col == "" {
+		return fmt.Errorf("cluster needs -shards, -model, -interm and -col")
+	}
+
+	var shards []cluster.Shard
+	for i, raw := range strings.Split(*shardList, ",") {
+		base := strings.TrimSpace(raw)
+		if base == "" {
+			continue
+		}
+		if !strings.Contains(base, "://") {
+			if strings.HasPrefix(base, ":") {
+				base = "127.0.0.1" + base
+			}
+			if !strings.Contains(base, ":") {
+				return fmt.Errorf("shard %q needs a port", raw)
+			}
+			base = "http://" + base
+		}
+		// The router owns retries, hedging and failover; client-side
+		// retries underneath would double-spend the latency budget.
+		c, err := client.New(base, client.WithMaxRetries(0), client.WithTimeout(*timeout))
+		if err != nil {
+			return fmt.Errorf("shard %q: %w", raw, err)
+		}
+		shards = append(shards, cluster.Shard{
+			ID:      cluster.ShardID(fmt.Sprintf("s%d", i)),
+			Backend: cluster.NewHTTPBackend(c),
+		})
+	}
+	if len(shards) == 0 {
+		return fmt.Errorf("no shards in %q", *shardList)
+	}
+
+	reg := obs.New()
+	r, err := cluster.New(shards, cluster.Config{
+		Replication: *replication,
+		BlockRows:   *blockRows,
+		// A one-shot query has no time to learn membership; rely on
+		// per-block failover instead of background probes.
+		DisableProbes: true,
+		Obs:           reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var qerr error
+	switch *op {
+	case "topk":
+		res, err := r.TopK(ctx, *model, *interm, *col, *k)
+		if res == nil {
+			return err
+		}
+		qerr = err
+		fmt.Printf("top-%d of %s.%s.%s across %d shard(s):\n", *k, *model, *interm, *col, len(shards))
+		for i, e := range res.Entries {
+			fmt.Printf("%3d. row %6d  %g\n", i+1, e.Row, e.Value)
+		}
+	case "filter":
+		res, err := r.FilterRows(ctx, *model, *interm, *col, *pred, *bound)
+		if res == nil {
+			return err
+		}
+		qerr = err
+		fmt.Printf("%d rows match %s %s %g across %d shard(s)\n", len(res.Rows), *col, *pred, *bound, len(shards))
+		for i, row := range res.Rows {
+			if i >= *limit {
+				fmt.Printf("... and %d more\n", len(res.Rows)-*limit)
+				break
+			}
+			fmt.Println(row)
+		}
+	default:
+		return fmt.Errorf("unknown -op %q (want topk or filter)", *op)
+	}
+
+	snap := reg.Snapshot()
+	fmt.Printf("hedges fired/won %d/%d  failovers %d  retries %d  shed %d\n",
+		snap.Counters["mistique_cluster_hedges_fired_total"],
+		snap.Counters["mistique_cluster_hedges_won_total"],
+		snap.Counters["mistique_cluster_failovers_total"],
+		snap.Counters["mistique_cluster_retries_total"],
+		snap.Counters["mistique_cluster_shard_shed_total"])
+
+	var de *cluster.DegradedError
+	if errors.As(qerr, &de) {
+		fmt.Printf("DEGRADED: %d row-block(s) unserved (cause: %v)\n", len(de.Missing), de.Cause)
+		for _, m := range de.Missing {
+			fmt.Printf("  missing block %d (rows [%d, %d))\n", m.Block, m.From, m.To)
+		}
+	}
+	return qerr
+}

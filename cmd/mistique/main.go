@@ -33,14 +33,19 @@ import (
 )
 
 func main() {
-	dir := flag.String("dir", "", "store directory (required)")
+	dir := flag.String("dir", "", "store directory (required for every command but cluster)")
 	flag.Parse()
-	if *dir == "" || flag.NArg() == 0 {
+	if flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
 	args := flag.Args()[1:]
+	// cluster talks to running shards over HTTP; it has no store of its own.
+	if *dir == "" && cmd != "cluster" {
+		usage()
+		os.Exit(2)
+	}
 
 	var err error
 	switch cmd {
@@ -52,6 +57,8 @@ func main() {
 		err = runStats(*dir, args)
 	case "serve":
 		err = runServe(*dir, args)
+	case "cluster":
+		err = runCluster(args)
 	case "catalog":
 		err = runCatalog(*dir)
 	case "scan":
@@ -78,8 +85,11 @@ commands:
   query    -model M -interm I [-col C] [-n N]           fetch an intermediate
   scan     -model M -interm I -col C -op OP -bound V    zone-map predicate scan
   stats    [-format text|json|prom]                     metrics snapshot
-  serve    -addr HOST:PORT [-pipelines N]               HTTP query service
+  serve    -addr HOST:PORT [-pipelines N] [-shard NAME]  HTTP query service
            [-max-in-flight N] [-request-timeout D] [-drain-timeout D]
+  cluster  -shards URL,URL,... -model M -interm I -col C  scatter-gather query
+           [-op topk|filter] [-k N] [-pred gt|ge|lt|le] [-bound V]
+           [-replication N] [-block-rows N]   (no -dir: talks to running shards)
   fsck                                                  verify store integrity
   compact                                               reclaim garbage chunks
   catalog                                               list logged models`)
@@ -327,6 +337,7 @@ func runServe(dir string, args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "deprecated alias for -addr")
 	nPipes := fs.Int("pipelines", 0, "Zillow pipelines to log before serving")
 	seed := fs.Int64("seed", 1, "data seed")
+	shard := fs.String("shard", "", "shard name reported by /readyz when this node serves in a cluster")
 	maxInFlight := fs.Int("max-in-flight", 64, "admission bound on concurrently executing queries (excess gets 429)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request context deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown bound on finishing in-flight requests")
@@ -359,6 +370,7 @@ func runServe(dir string, args []string) error {
 	}
 
 	srv := server.New(sys, server.Config{
+		ShardName:      *shard,
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
 	})

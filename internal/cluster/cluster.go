@@ -1,0 +1,47 @@
+// Package cluster distributes the MISTIQUE query surface across shard
+// nodes. A Router places row-blocks of every intermediate on a
+// consistent-hash ring keyed by (model, intermediate, row-block) with
+// configurable replication, and answers FilterRows / TopK / GetRows /
+// GetIntermediate by fanning shard-local sub-queries over the HTTP API
+// (mistique/client) and merging the per-block answers deterministically —
+// TOPK candidates are re-ranked with the engine's pinned diag.RankLess
+// comparator, so a scatter-gather answer is bit-identical to a
+// single-node scan.
+//
+// Robustness is the point of the package, not an afterthought:
+//
+//   - Retries use full-jitter backoff under a per-query budget, so a
+//     saturated shard sees a spread-out trickle instead of a synchronized
+//     wave.
+//   - Hedged requests: when a shard sits past its own p95 latency, the
+//     router races the next replica and the first success wins; the loser
+//     is cancelled. Tail latency of a slow or hung shard stops being the
+//     tail latency of the query.
+//   - Active health checks drive a three-state membership view (healthy /
+//     suspect / down). Suspects are tried only after healthy replicas,
+//     down shards only as a last resort, and probe frequency backs off
+//     exponentially while a shard stays bad — a flapping node does not
+//     attract a thundering herd of probes.
+//   - Per-shard admission control mirrors the server's PR 4 semaphore
+//     semantics on the client side: a shard at its in-flight bound sheds
+//     instantly and the replica chain goes elsewhere.
+//   - Graceful degradation: when a block is replicated, losing a shard is
+//     invisible (transparent failover). When it is not, the query returns
+//     everything it could compute plus a typed *DegradedError naming
+//     exactly the missing row-blocks — never silently wrong data, never
+//     an opaque failure.
+//
+// The fault matrix in the package tests runs a real 3-node in-process
+// cluster (three Systems behind three HTTP servers) wrapped in
+// FaultBackend, which extends the internal/faultfs injection philosophy
+// to the network: latency, errors, hangs, flaps and partitions.
+package cluster
+
+// ShardID names one shard node.
+type ShardID string
+
+// Shard pairs a shard's identity with the transport used to reach it.
+type Shard struct {
+	ID      ShardID
+	Backend Backend
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -228,7 +229,10 @@ func (s *Server) handleFilter(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := s.sys.FilterRowsCtx(r.Context(), req.Model, req.Intermediate, req.Column, op, float32(req.Bound))
+	if req.From < 0 || (req.To != 0 && req.To < req.From) {
+		return nil, badRequest("bad row range [%d, %d)", req.From, req.To)
+	}
+	rows, err := s.sys.FilterRowsRangeCtx(r.Context(), req.Model, req.Intermediate, req.Column, op, float32(req.Bound), req.From, req.To)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +253,10 @@ func (s *Server) handleTopK(r *http.Request) (any, error) {
 	if req.K < 0 {
 		return nil, badRequest("topk needs k >= 0, got %d", req.K)
 	}
-	entries, err := s.sys.TopKCtx(r.Context(), req.Model, req.Intermediate, req.Column, req.K)
+	if req.From < 0 || (req.To != 0 && req.To < req.From) {
+		return nil, badRequest("bad row range [%d, %d)", req.From, req.To)
+	}
+	entries, err := s.sys.TopKRangeCtx(r.Context(), req.Model, req.Intermediate, req.Column, req.K, req.From, req.To)
 	if err != nil {
 		return nil, err
 	}
@@ -339,6 +346,68 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(r *http.Request) (any, error) {
 	return client.HealthResponse{Status: "ok", Models: len(s.sys.Metadata().Models())}, nil
+}
+
+// readiness assembles the /readyz body: degraded when the last recovery
+// sweep quarantined data or the admission semaphore is saturated.
+func (s *Server) readiness() client.ReadyResponse {
+	resp := client.ReadyResponse{
+		Status:      "ok",
+		Shard:       s.cfg.ShardName,
+		Models:      len(s.sys.Metadata().Models()),
+		InFlight:    len(s.sem),
+		MaxInFlight: s.cfg.MaxInFlight,
+	}
+	var reasons []string
+	if rep := s.sys.RecoveryReport(); rep != nil {
+		resp.QuarantinedPartitions = len(rep.ExtraFilesQuarantined) + len(rep.CorruptPartitions)
+		resp.ManifestQuarantined = rep.ManifestQuarantined
+		if rep.ManifestQuarantined {
+			reasons = append(reasons, "manifest quarantined on last open (store restarted empty)")
+		}
+		if resp.QuarantinedPartitions > 0 {
+			reasons = append(reasons, fmt.Sprintf("%d partition(s) quarantined by recovery", resp.QuarantinedPartitions))
+		}
+		if n := len(rep.LostChunks); n > 0 {
+			reasons = append(reasons, fmt.Sprintf("%d chunk(s) lost, serving via rerun recovery", n))
+		}
+	}
+	if resp.InFlight >= resp.MaxInFlight {
+		resp.Saturated = true
+		reasons = append(reasons, "admission semaphore saturated, shedding queries")
+	}
+	if len(reasons) > 0 {
+		resp.Status = "degraded"
+		resp.Reasons = reasons
+	}
+	return resp
+}
+
+// handleReady is raw (not wrapped in plain) because a degraded node must
+// answer 503 with the ReadyResponse body, not the error envelope: the
+// body is the answer, the status code is for load balancers.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	defer s.recoverPanic(w)
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "%s needs GET, got %s", r.URL.Path, r.Method)
+		return
+	}
+	resp := s.readiness()
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.errors5x.Inc()
+		writeError(w, http.StatusInternalServerError, "encode response: %v", err)
+		return
+	}
+	status := http.StatusOK
+	if resp.Status != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
 }
 
 func (s *Server) handleCompact(r *http.Request) (any, error) {

@@ -57,6 +57,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// RetryAfter is the hint sent with 429 rejections. Default 1s.
 	RetryAfter time.Duration
+	// ShardName labels this node in /readyz responses when it serves as
+	// one shard of a cluster (mistique serve -shard). Empty is fine for a
+	// single-node service.
+	ShardName string
 
 	// queryGate, when non-nil, is called at the start of every admitted
 	// query-class request. Tests use it to hold requests in flight while
@@ -139,7 +143,13 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/api/v1/stats", s.plain(http.MethodGet, s.handleStats))
 	s.mux.HandleFunc("/statsz", s.plain(http.MethodGet, s.handleStats))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	// Liveness vs readiness: /healthz answers "is the process up" and
+	// stays 200 as long as the server can serve at all; /readyz answers
+	// "should this node take traffic" and flips to 503 (same JSON body)
+	// when degraded, so load balancers and the cluster health checker can
+	// tell "dead" from "shed me".
 	s.mux.HandleFunc("/healthz", s.plain(http.MethodGet, s.handleHealth))
+	s.mux.HandleFunc("/readyz", s.handleReady)
 
 	// Everything else: JSON 404, not net/http's text page.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {

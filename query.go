@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"mistique/internal/colstore"
@@ -605,6 +606,34 @@ func (s *System) FilterRowsCtx(ctx context.Context, model, interm, column string
 		rows[i] = m.Row
 	}
 	return rows, nil
+}
+
+// FilterRowsRangeCtx restricts FilterRowsCtx to global rows [from, to) —
+// the shard-local form of the predicate scan used by the cluster router
+// (internal/cluster), which owns disjoint row-blocks of an intermediate
+// and must evaluate each block exactly once. from <= 0 means row 0 and
+// to <= 0 means the intermediate's row count, so the zero range is the
+// whole intermediate and old callers are unaffected. Offsets stay global
+// and the scan path is the same, so a concatenation of per-block answers
+// in block order is byte-identical to the single-node scan.
+func (s *System) FilterRowsRangeCtx(ctx context.Context, model, interm, column string, op colstore.Op, bound float32, from, to int) ([]int, error) {
+	rows, err := s.FilterRowsCtx(ctx, model, interm, column, op, bound)
+	if err != nil {
+		return nil, err
+	}
+	// rows is ascending, so the range restriction is two binary searches.
+	lo := 0
+	if from > 0 {
+		lo = sort.SearchInts(rows, from)
+	}
+	hi := len(rows)
+	if to > 0 {
+		hi = sort.SearchInts(rows, to)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return rows[lo:hi], nil
 }
 
 // GetRows reads rows [from, to) of the given columns from a materialized

@@ -101,6 +101,56 @@ func (s *System) TopKCtx(ctx context.Context, model, interm, column string, k in
 	return out, nil
 }
 
+// TopKRangeCtx ranks only global rows [from, to) of a column, in the same
+// pinned diag.RankLess order as TopKCtx, returning global row ids. This is
+// the shard-local TOPK probe behind the cluster router's scatter-gather
+// (internal/cluster): each shard ranks the row-blocks it owns, and because
+// every path uses the one comparator, merging per-block candidate lists
+// with RankLess again reproduces the single-node answer bit for bit.
+// from <= 0 means row 0; to <= 0 or past the end means the row count. The
+// full range delegates to TopKCtx, which is index-accelerated.
+func (s *System) TopKRangeCtx(ctx context.Context, model, interm, column string, k, from, to int) ([]TopKEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	it, ok := s.meta.IntermSnapshot(model, interm)
+	if !ok {
+		return nil, fmt.Errorf("mistique: %w %s.%s", ErrUnknownIntermediate, model, interm)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to <= 0 || to > it.Rows {
+		to = it.Rows
+	}
+	if from > to {
+		from = to
+	}
+	if from == 0 && to == it.Rows {
+		return s.TopKCtx(ctx, model, interm, column, k)
+	}
+	if _, err := s.columnQueryTarget(ctx, model, interm, column); err != nil {
+		return nil, err
+	}
+	defer s.metrics.queryTopKSeconds.Time()()
+	m, err := s.readRowRange(ctx, model, interm, []string{column}, from, to)
+	if err != nil {
+		return nil, err
+	}
+	col := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		col[i] = m.Row(i)[0]
+	}
+	// diag.TopK breaks ties by ascending local offset; adding the constant
+	// `from` preserves that order in global row ids.
+	ranked := diag.TopK(col, k)
+	out := make([]TopKEntry, len(ranked))
+	for i, r := range ranked {
+		out[i] = TopKEntry{Row: from + r, Value: col[r]}
+	}
+	return out, nil
+}
+
 // KNN returns the k rows of a materialized intermediate nearest to row
 // queryRow by Euclidean distance over all columns, excluding the query row
 // itself. Per-block zone bounds order the blocks by a sound lower bound on
