@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"mistique"
+	"mistique/internal/codec"
 	"mistique/internal/colstore"
 	"mistique/internal/cost"
 	"mistique/internal/metadata"
@@ -66,7 +67,7 @@ func main() {
 	case "fsck":
 		err = runFsck(*dir)
 	case "compact":
-		err = runCompact(*dir)
+		err = runCompact(*dir, args)
 	default:
 		usage()
 		os.Exit(2)
@@ -87,16 +88,21 @@ commands:
   stats    [-format text|json|prom]                     metrics snapshot
   serve    -addr HOST:PORT [-pipelines N] [-shard NAME]  HTTP query service
            [-max-in-flight N] [-request-timeout D] [-drain-timeout D]
+           [-codec gzip|store|actz]  partition codec for new flushes
   cluster  -shards URL,URL,... -model M -interm I -col C  scatter-gather query
            [-op topk|filter] [-k N] [-pred gt|ge|lt|le] [-bound V]
            [-replication N] [-block-rows N]   (no -dir: talks to running shards)
   fsck                                                  verify store integrity
-  compact                                               reclaim garbage chunks
+  compact  [-codec gzip|store|actz]                     reclaim garbage chunks
   catalog                                               list logged models`)
 }
 
-func open(dir string, dedup bool, gamma float64) (*mistique.System, error) {
+// open builds the system. codecName selects the partition codec for new
+// flushes ("" keeps the store default; files on disk are always read by
+// their own framing, whatever the config says).
+func open(dir string, dedup bool, gamma float64, codecName string) (*mistique.System, error) {
 	cfg := mistique.Config{Gamma: gamma, Cost: cost.DefaultParams()}
+	cfg.Store.Codec = codecName
 	if dedup {
 		cfg.Store.Mode = colstore.ModeSimilarity
 	} else {
@@ -116,7 +122,7 @@ func runLog(dir string, args []string) error {
 	seed := fs.Int64("seed", 1, "data seed")
 	fs.Parse(args)
 
-	sys, err := open(dir, *dedup, 0)
+	sys, err := open(dir, *dedup, 0, "")
 	if err != nil {
 		return err
 	}
@@ -162,7 +168,7 @@ func runQuery(dir string, args []string) error {
 
 	// Re-log to rebuild in-memory transformer state; stored chunks dedup
 	// against the existing store so this is cheap on a warm directory.
-	sys, err := open(dir, true, 0)
+	sys, err := open(dir, true, 0, "")
 	if err != nil {
 		return err
 	}
@@ -226,7 +232,7 @@ func runScan(dir string, args []string) error {
 	default:
 		return fmt.Errorf("unknown op %q", *opStr)
 	}
-	sys, err := open(dir, true, 0)
+	sys, err := open(dir, true, 0, "")
 	if err != nil {
 		return err
 	}
@@ -256,7 +262,7 @@ func runScan(dir string, args []string) error {
 }
 
 func runFsck(dir string) error {
-	sys, err := open(dir, true, 0)
+	sys, err := open(dir, true, 0, "")
 	if err != nil {
 		return err
 	}
@@ -276,8 +282,12 @@ func runFsck(dir string) error {
 	return fmt.Errorf("%d integrity problems", len(rep.Problems))
 }
 
-func runCompact(dir string) error {
-	sys, err := open(dir, true, 0)
+func runCompact(dir string, args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	codecName := fs.String("codec", "", "partition codec for the rewritten files: "+strings.Join(codec.Names(), ", ")+" (default: store default)")
+	fs.Parse(args)
+
+	sys, err := open(dir, true, 0, *codecName)
 	if err != nil {
 		return err
 	}
@@ -294,7 +304,7 @@ func runStats(dir string, args []string) error {
 	format := fs.String("format", "text", "output format: text, json, prom")
 	fs.Parse(args)
 
-	sys, err := open(dir, true, 0)
+	sys, err := open(dir, true, 0, "")
 	if err != nil {
 		return err
 	}
@@ -341,6 +351,7 @@ func runServe(dir string, args []string) error {
 	maxInFlight := fs.Int("max-in-flight", 64, "admission bound on concurrently executing queries (excess gets 429)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request context deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown bound on finishing in-flight requests")
+	codecName := fs.String("codec", "", "partition codec for new flushes: "+strings.Join(codec.Names(), ", ")+" (default: store default)")
 	fs.Parse(args)
 	if *addr == "" {
 		*addr = *metricsAddr
@@ -349,7 +360,7 @@ func runServe(dir string, args []string) error {
 		return fmt.Errorf("serve needs -addr")
 	}
 
-	sys, err := open(dir, true, 0)
+	sys, err := open(dir, true, 0, *codecName)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,342 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// TestShuffleRoundTrip: shuffle2/unshuffle2 invert each other at every
+// small length (odd lengths exercise the trailing-even-byte rule).
+func TestShuffleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 0; n <= 65; n++ {
+		src := make([]byte, n)
+		rng.Read(src)
+		sh := shuffle2(nil, src)
+		if len(sh) != n {
+			t.Fatalf("n=%d: shuffle changed length to %d", n, len(sh))
+		}
+		got := unshuffle2(nil, sh)
+		if !bytes.Equal(got, src) {
+			t.Fatalf("n=%d: unshuffle(shuffle(x)) != x", n)
+		}
+	}
+}
+
+// TestAnalyzeBlockDiscriminates: the shuffle heuristic must fire on
+// interleaved two-population data (f16-like) and stay off for uniform
+// symbol streams (kbit-like), and the compressibility probe must flag
+// uniform noise as incompressible so the encoder skips LZ+Huffman while
+// still trying on skewed data.
+func TestAnalyzeBlockDiscriminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f16 := make([]byte, 32*1024)
+	for i := 0; i < len(f16); i += 2 {
+		f16[i] = byte(rng.Intn(256)) // noisy mantissa byte
+		f16[i+1] = 0x3c | byte(rng.Intn(4))
+	}
+	if shuf, comp := analyzeBlock(f16); !shuf || !comp {
+		t.Errorf("analyzeBlock(f16) = (%v, %v), want shuffle and compressible", shuf, comp)
+	}
+	uniform := make([]byte, 32*1024)
+	rng.Read(uniform)
+	if shuf, comp := analyzeBlock(uniform); shuf || comp {
+		t.Errorf("analyzeBlock(uniform) = (%v, %v), want neither", shuf, comp)
+	}
+	if shuf, comp := analyzeBlock(uniform[:100]); shuf || !comp {
+		// Below the sampling floor: never shuffle, but let the cheap
+		// small-block attempts run.
+		t.Errorf("analyzeBlock(small) = (%v, %v), want (false, true)", shuf, comp)
+	}
+	skewed := make([]byte, 32*1024)
+	for i := range skewed {
+		skewed[i] = byte(rng.Intn(16)) // 4-bit symbols: clearly compressible
+	}
+	if _, comp := analyzeBlock(skewed); !comp {
+		t.Error("analyzeBlock flagged a 4-bit symbol stream incompressible")
+	}
+}
+
+// TestHuffRoundTrip covers the entropy coder alone: skewed, degenerate
+// single-symbol, and two-symbol alphabets, at lengths around the LUT and
+// bit-buffer edges.
+func TestHuffRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	shapes := map[string][]byte{}
+	skew := make([]byte, 20000)
+	for i := range skew {
+		skew[i] = byte(rng.Intn(8)) * byte(rng.Intn(4)) // heavy skew to 0
+	}
+	shapes["skewed"] = skew
+	shapes["single-symbol"] = bytes.Repeat([]byte{0x55}, 9001)
+	two := make([]byte, 5000)
+	for i := range two {
+		if rng.Intn(10) == 0 {
+			two[i] = 1
+		}
+	}
+	shapes["two-symbol"] = two
+	// Deep-tree stress: exponential-ish frequency ladder forces long code
+	// lengths and the 12-bit flattening loop.
+	var ladder []byte
+	for s, n := 0, 1<<15; s < 20; s, n = s+1, n/2+1 {
+		ladder = append(ladder, bytes.Repeat([]byte{byte(s)}, n)...)
+	}
+	shapes["ladder"] = ladder
+
+	for name, src := range shapes {
+		comp, ok := huffCompress(nil, src)
+		if !ok {
+			t.Fatalf("%s: huffCompress bailed on compressible data", name)
+		}
+		if len(comp) >= len(src) {
+			t.Fatalf("%s: no gain (%d -> %d)", name, len(src), len(comp))
+		}
+		got, err := huffDecompress(nil, comp, len(src))
+		if err != nil {
+			t.Fatalf("%s: decompress: %v", name, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("%s: round trip changed data", name)
+		}
+	}
+
+	// Incompressible data must bail, not expand.
+	noise := make([]byte, 8192)
+	rng.Read(noise)
+	if _, ok := huffCompress(nil, noise); ok {
+		t.Error("huffCompress claimed a win on uniform noise")
+	}
+}
+
+// TestHuffDecompressCorrupt: truncations and table corruptions of a valid
+// stream must error, never panic, never return wrong-length data.
+func TestHuffDecompressCorrupt(t *testing.T) {
+	src := bytes.Repeat([]byte("abacabad"), 2000)
+	comp, ok := huffCompress(nil, src)
+	if !ok {
+		t.Fatal("setup: huffCompress bailed")
+	}
+	for cut := 0; cut < len(comp); cut += 1 + len(comp)/50 {
+		if _, err := huffDecompress(nil, comp[:cut], len(src)); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	// Corrupt the nibble length table (it starts after the origLen
+	// uvarint). A flip that breaks the Kraft equality must be rejected; a
+	// flip that happens to produce another complete prefix code decodes —
+	// to different bytes, which the chunk CRC one layer up catches. The
+	// contract here: never a panic, never a silent identity decode.
+	_, tableOff := binary.Uvarint(comp)
+	for i := tableOff; i < tableOff+huffTableBytes; i += 7 {
+		bad := append([]byte(nil), comp...)
+		bad[i] ^= 0x11
+		got, err := huffDecompress(nil, bad, len(src))
+		if err == nil && bytes.Equal(got, src) {
+			t.Fatalf("table corruption at %d decoded back to the original", i)
+		}
+	}
+	// maxOut smaller than the real length must error instead of overrun.
+	if _, err := huffDecompress(nil, comp, len(src)/2); err == nil {
+		t.Fatal("huffDecompress ignored maxOut")
+	}
+	// A nibble can name lengths 13..15, beyond the 12-bit cap. Such a
+	// table must be rejected outright: 12-l underflows in the Kraft sum,
+	// so the bad length would otherwise slip through the equality check
+	// and run assignCodes off the end of its arrays (found by fuzzing).
+	for _, overLen := range []byte{13, 14, 15} {
+		bad := append([]byte(nil), comp...)
+		bad[tableOff] = overLen // symbol 0's low nibble
+		if _, err := huffDecompress(nil, bad, len(src)); err == nil {
+			t.Fatalf("table with length-%d code decoded cleanly", overLen)
+		}
+	}
+}
+
+// TestLZRoundTrip covers the match coder alone.
+func TestLZRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	shapes := map[string][]byte{
+		"zeros":   make([]byte, 50000),
+		"repeats": bytes.Repeat([]byte("0123456789abcdef"), 3000),
+	}
+	mixed := make([]byte, 60000)
+	for i := range mixed {
+		if i%97 < 90 {
+			mixed[i] = byte(i % 7)
+		} else {
+			mixed[i] = byte(rng.Intn(256))
+		}
+	}
+	shapes["mixed"] = mixed
+	// Overlapping short-offset matches (RLE-ish period 1, 2, 3).
+	for _, p := range []int{1, 2, 3} {
+		b := make([]byte, 10000)
+		for i := range b {
+			b[i] = byte(i % p * 37)
+		}
+		shapes["period-"+itoa(p)] = b
+	}
+
+	for name, src := range shapes {
+		comp, ok := lzCompress(nil, src)
+		if !ok {
+			t.Fatalf("%s: lzCompress bailed on compressible data", name)
+		}
+		if len(comp) >= len(src) {
+			t.Fatalf("%s: no gain", name)
+		}
+		got, err := lzDecompress(nil, comp, len(src))
+		if err != nil {
+			t.Fatalf("%s: decompress: %v", name, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("%s: round trip changed data", name)
+		}
+	}
+
+	noise := make([]byte, 8192)
+	rng.Read(noise)
+	if _, ok := lzCompress(nil, noise); ok {
+		t.Error("lzCompress claimed a win on uniform noise")
+	}
+	if _, ok := lzCompress(nil, []byte("tiny")); ok {
+		t.Error("lzCompress claimed a win on a tiny input")
+	}
+}
+
+// TestLZDecompressCorrupt: truncated streams, zero/out-of-range offsets,
+// and maxOut overruns must all error.
+func TestLZDecompressCorrupt(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdabcdabcd----"), 2000)
+	comp, ok := lzCompress(nil, src)
+	if !ok {
+		t.Fatal("setup: lzCompress bailed")
+	}
+	for cut := 0; cut < len(comp); cut += 1 + len(comp)/50 {
+		if _, err := lzDecompress(nil, comp[:cut], len(src)); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	if _, err := lzDecompress(nil, comp, len(src)-1); err == nil {
+		t.Fatal("lzDecompress ignored maxOut")
+	}
+	// Hand-built stream with a zero offset: litLen=0, match m=1 (len 4), off=0.
+	bad := binary.AppendUvarint(nil, 0)
+	bad = binary.AppendUvarint(bad, 1)
+	bad = binary.AppendUvarint(bad, 0)
+	if _, err := lzDecompress(nil, bad, 100); err == nil {
+		t.Fatal("zero offset decoded cleanly")
+	}
+	// Offset pointing before the start of the block.
+	bad = binary.AppendUvarint(nil, 4)
+	bad = append(bad, 'a', 'b', 'c', 'd')
+	bad = binary.AppendUvarint(bad, 1)
+	bad = binary.AppendUvarint(bad, 9)
+	if _, err := lzDecompress(nil, bad, 100); err == nil {
+		t.Fatal("out-of-range offset decoded cleanly")
+	}
+}
+
+// TestActzBlockBoundaries: inputs straddling the 128 KiB block size by one
+// byte either way round-trip, and multi-block inputs decode back block by
+// block.
+func TestActzBlockBoundaries(t *testing.T) {
+	c := MustByID(IDActz)
+	for _, n := range []int{actzMaxBlock - 1, actzMaxBlock, actzMaxBlock + 1, 2*actzMaxBlock + 3} {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i >> 5)
+		}
+		comp, err := c.Compress(nil, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decompress(nil, comp)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("n=%d: round trip changed data", n)
+		}
+	}
+}
+
+// TestActzDecompressCorrupt: invalid mode bytes, the forbidden
+// raw+shuffle combination, length lies, and truncations must all error.
+func TestActzDecompressCorrupt(t *testing.T) {
+	c := MustByID(IDActz)
+	src := bytes.Repeat([]byte{0, 0, 0, 1, 0, 0, 0, 2}, 8192)
+	comp, err := c.Compress(nil, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(comp); cut += 1 + len(comp)/40 {
+		if _, derr := c.Decompress(nil, comp[:cut]); derr == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+
+	frame := func(mode byte, rawLen, encLen int, payload []byte) []byte {
+		b := []byte{mode}
+		b = binary.AppendUvarint(b, uint64(rawLen))
+		b = binary.AppendUvarint(b, uint64(encLen))
+		return append(b, payload...)
+	}
+	cases := map[string][]byte{
+		"unknown-mode-bits": frame(0x40|amRaw, 4, 4, []byte("abcd")),
+		"raw-plus-shuffle":  frame(amRaw|amShuffle, 4, 4, []byte("abcd")),
+		"zero-rawlen":       frame(amRaw, 0, 0, nil),
+		"huge-rawlen":       frame(amRaw, actzMaxBlock+1, 4, []byte("abcd")),
+		"enclen-gt-rawlen":  frame(amLZ, 4, 8, []byte("abcdefgh")),
+		"raw-len-mismatch":  frame(amRaw, 8, 4, []byte("abcd")),
+		"lz-garbage":        frame(amLZ, 64, 3, []byte{0x80, 0x80, 0x80}),
+		"huff-garbage":      frame(amHuff, 64, 3, []byte{0xff, 0xff, 0xff}),
+	}
+	for name, bad := range cases {
+		if _, derr := c.Decompress(nil, bad); derr == nil {
+			t.Errorf("%s decoded cleanly", name)
+		}
+	}
+}
+
+// TestActzWinsOnStoreShapes pins the acceptance bar at the codec level:
+// actz must beat gzip(BestSpeed) on size for the threshold-like stream
+// and stay within a hair of raw for the incompressible kbit stream (the
+// raw fast path), and never expand anything by more than the framing.
+func TestActzWinsOnStoreShapes(t *testing.T) {
+	gz, ac := MustByID(IDGzip), MustByID(IDActz)
+	streams := testStreams(t)
+	gzSize := func(src []byte) int {
+		g, err := gz.Compress(nil, src, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(g)
+	}
+	acSize := func(src []byte) int {
+		a, err := ac.Compress(nil, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(a)
+	}
+	// The sparse coder must beat deflate outright on activation bitmaps.
+	if a, g := acSize(streams["threshold-sparse"]), gzSize(streams["threshold-sparse"]); a >= g {
+		t.Errorf("threshold-sparse: actz %d >= gzip %d bytes", a, g)
+	}
+	// On f16 pages parity is enough (the win there is encode speed).
+	if a, g := acSize(streams["f16-interleaved"]), gzSize(streams["f16-interleaved"]); a > g+g/100 {
+		t.Errorf("f16-interleaved: actz %d > gzip %d +1%%", a, g)
+	}
+	kbit := streams["kbit-uniform"]
+	a, err := ac.Compress(nil, kbit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) > len(kbit)+len(kbit)/1024+64 {
+		t.Errorf("kbit: actz expanded %d -> %d", len(kbit), len(a))
+	}
+}

@@ -1,0 +1,137 @@
+// Package codec implements the pluggable partition-payload compressors
+// behind MISTIQUE's column store (Sec. 4 of the paper trades footprint
+// against read cost; the codec is where the footprint half is won).
+//
+// A Codec turns one serialized partition image into compressed bytes and
+// back. Three implementations are registered at init:
+//
+//   - gzip:  stdlib deflate, the historical default. Files it writes are
+//     byte-identical to the pre-codec format (a bare gzip stream), so
+//     directories written before the codec seam existed — and by it —
+//     interoperate in both directions.
+//   - store: no compression. For incompressible LP pages it removes the
+//     deflate pass entirely from the flush path.
+//   - actz:  the activation-tuned codec. Splits the image into blocks and
+//     per block applies a stride-2 byte transpose ("shuffle") when the
+//     data looks like f16/LP pairs, a greedy LZ pass for repetitive
+//     streams (THRESHOLD bitmaps), and an order-0 canonical Huffman
+//     coder, falling back to raw bytes when a block is incompressible
+//     (KBIT quantile-bin streams are near max entropy by construction).
+//
+// Codec IDs are part of the on-disk partition container format (v3) and
+// must never be reused or renumbered.
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registered codec IDs. The ID is written into partition file headers;
+// the zero value is deliberately invalid so a zeroed header byte can
+// never alias a real codec.
+const (
+	IDGzip  byte = 1
+	IDStore byte = 2
+	IDActz  byte = 3
+)
+
+// ErrUnknown marks a lookup of a codec this binary does not know —
+// typically a partition file written by a newer version. Callers map it
+// to their own unsupported-format sentinel rather than treating the file
+// as corrupt.
+var ErrUnknown = errors.New("codec: unknown codec")
+
+// Codec compresses and decompresses byte blobs. Implementations must be
+// safe for concurrent use and must reject corrupt input from Decompress
+// with an error — never a panic, never a runaway allocation.
+type Codec interface {
+	// Name is the stable registry key ("gzip", "store", "actz").
+	Name() string
+	// ID is the one-byte on-disk identifier.
+	ID() byte
+	// Compress appends the compressed form of src to dst and returns the
+	// extended slice. level is a codec-specific effort knob (gzip levels;
+	// ignored by store and actz).
+	Compress(dst, src []byte, level int) ([]byte, error)
+	// Decompress appends the decompressed form of src to dst and returns
+	// the extended slice. Callers presize dst's capacity when they know
+	// the decoded length.
+	Decompress(dst, src []byte) ([]byte, error)
+}
+
+var (
+	regMu     sync.RWMutex
+	regByName = make(map[string]Codec)
+	regByID   = make(map[byte]Codec)
+)
+
+// Register adds a codec to the registry. It panics on a duplicate name
+// or ID: codec identity is on-disk format, and two claimants means a
+// corruption bug waiting to happen. Tests may register private codecs
+// with IDs >= 0x80.
+func Register(c Codec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if c.ID() == 0 {
+		panic("codec: Register with reserved ID 0")
+	}
+	if _, dup := regByName[c.Name()]; dup {
+		panic(fmt.Sprintf("codec: duplicate name %q", c.Name()))
+	}
+	if _, dup := regByID[c.ID()]; dup {
+		panic(fmt.Sprintf("codec: duplicate id %d", c.ID()))
+	}
+	regByName[c.Name()] = c
+	regByID[c.ID()] = c
+}
+
+// ByName resolves a codec by registry name.
+func ByName(name string) (Codec, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := regByName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknown, name, namesLocked())
+	}
+	return c, nil
+}
+
+// ByID resolves a codec by its on-disk ID byte.
+func ByID(id byte) (Codec, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := regByID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknown, id)
+	}
+	return c, nil
+}
+
+// MustByID is ByID for codecs the package itself registers; it panics on
+// a miss (a programming error, not an input error).
+func MustByID(id byte) Codec {
+	c, err := ByID(id)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Names lists the registered codec names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(regByName))
+	for n := range regByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

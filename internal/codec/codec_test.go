@@ -1,0 +1,238 @@
+package codec
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testStreams builds the byte-stream shapes the store actually writes,
+// plus adversarial shapes the codecs must survive.
+func testStreams(t testing.TB) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	streams := map[string][]byte{
+		"empty":    {},
+		"one-byte": {0x42},
+		"tiny":     []byte("hello"),
+	}
+
+	// f16-like: interleaved lo/hi halves of half-precision floats — the LP
+	// stream shape (low bytes noisy, high bytes clustered).
+	f16 := make([]byte, 64*1024)
+	for i := 0; i < len(f16); i += 2 {
+		v := uint16(math.Float32bits(float32(rng.NormFloat64())) >> 16)
+		f16[i] = byte(v)
+		f16[i+1] = byte(v >> 8)
+	}
+	streams["f16-interleaved"] = f16
+
+	// kbit-like: near-uniform 8-bit quantile bins (incompressible-ish).
+	kbit := make([]byte, 96*1024)
+	rng.Read(kbit)
+	streams["kbit-uniform"] = kbit
+
+	// threshold-like: sparse bitmap, long zero runs with rare set bits.
+	thr := make([]byte, 48*1024)
+	for i := 0; i < len(thr); i += 200 + rng.Intn(100) {
+		thr[i] = 1 << uint(rng.Intn(8))
+	}
+	streams["threshold-sparse"] = thr
+
+	// All-zero and all-same: degenerate single-symbol alphabets.
+	streams["zeros"] = make([]byte, 32*1024)
+	same := make([]byte, 32*1024)
+	for i := range same {
+		same[i] = 0xA7
+	}
+	streams["same-byte"] = same
+
+	// Text-ish: repetitive structure, good for LZ.
+	var text bytes.Buffer
+	for text.Len() < 40*1024 {
+		text.WriteString("partition_00000042.bin.gz chunk crc32c kbit threshold ")
+	}
+	streams["text"] = text.Bytes()
+
+	// Sizes that straddle the actz block boundary.
+	for _, n := range []int{1 << 17, 1<<17 - 1, 1<<17 + 1, 3 * (1 << 17), 2<<17 + 17} {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(i>>3) ^ byte(i>>11)
+		}
+		streams[atSize(n)] = b
+	}
+	return streams
+}
+
+func atSize(n int) string { return "boundary-" + itoa(n) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestRegistry checks name/ID lookup for all built-in codecs and the
+// error paths for unknown ones.
+func TestRegistry(t *testing.T) {
+	for _, want := range []struct {
+		name string
+		id   byte
+	}{{"gzip", IDGzip}, {"store", IDStore}, {"actz", IDActz}} {
+		c, err := ByName(want.name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", want.name, err)
+		}
+		if c.Name() != want.name || c.ID() != want.id {
+			t.Fatalf("ByName(%q) = (%q, %d), want (%q, %d)", want.name, c.Name(), c.ID(), want.name, want.id)
+		}
+		c2, err := ByID(want.id)
+		if err != nil {
+			t.Fatalf("ByID(%d): %v", want.id, err)
+		}
+		if c2.Name() != want.name {
+			t.Fatalf("ByID(%d).Name() = %q, want %q", want.id, c2.Name(), want.name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) succeeded")
+	}
+	if _, err := ByID(0x7f); err == nil {
+		t.Fatal("ByID(0x7f) succeeded")
+	}
+	names := Names()
+	if len(names) < 3 {
+		t.Fatalf("Names() = %v, want at least gzip/store/actz", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+// TestRoundTripAllCodecs round-trips every stream shape through every
+// registered codec, with both nil and preloaded dst slices (the append
+// contract: existing dst bytes must be preserved).
+func TestRoundTripAllCodecs(t *testing.T) {
+	streams := testStreams(t)
+	for _, name := range []string{"gzip", "store", "actz"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			for sname, src := range streams {
+				comp, err := c.Compress(nil, src, gzip.BestSpeed)
+				if err != nil {
+					t.Fatalf("%s compress: %v", sname, err)
+				}
+				got, err := c.Decompress(nil, comp)
+				if err != nil {
+					t.Fatalf("%s decompress: %v", sname, err)
+				}
+				if !bytes.Equal(got, src) {
+					t.Fatalf("%s: round trip changed data (%d -> %d bytes)", sname, len(src), len(got))
+				}
+
+				// Append contract: both directions must preserve a prefix.
+				prefix := []byte("PFX!")
+				comp2, err := c.Compress(append([]byte(nil), prefix...), src, gzip.BestSpeed)
+				if err != nil {
+					t.Fatalf("%s compress with prefix: %v", sname, err)
+				}
+				if !bytes.HasPrefix(comp2, prefix) {
+					t.Fatalf("%s: Compress clobbered dst prefix", sname)
+				}
+				got2, err := c.Decompress(append([]byte(nil), prefix...), comp2[len(prefix):])
+				if err != nil {
+					t.Fatalf("%s decompress with prefix: %v", sname, err)
+				}
+				if !bytes.HasPrefix(got2, prefix) || !bytes.Equal(got2[len(prefix):], src) {
+					t.Fatalf("%s: Decompress broke append contract", sname)
+				}
+			}
+		})
+	}
+}
+
+// TestGzipCodecByteCompat locks the gzip codec to the legacy on-disk
+// framing: output must be a bare gzip stream that a plain gzip.Reader
+// accepts, and the codec must decompress a stream written by a plain
+// gzip.Writer — both directions, so files written before the codec
+// refactor stay byte-compatible.
+func TestGzipCodecByteCompat(t *testing.T) {
+	c := MustByID(IDGzip)
+	src := testStreams(t)["text"]
+
+	comp, err := c.Compress(nil, src, gzip.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) < 2 || comp[0] != 0x1f || comp[1] != 0x8b {
+		t.Fatalf("gzip codec output is not a bare gzip stream: % x", comp[:2])
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		t.Fatalf("stdlib reader rejected codec output: %v", err)
+	}
+	plain, err := io.ReadAll(zr)
+	if err != nil || !bytes.Equal(plain, src) {
+		t.Fatalf("stdlib decode of codec output: err=%v, equal=%v", err, bytes.Equal(plain, src))
+	}
+
+	var buf bytes.Buffer
+	zw, _ := gzip.NewWriterLevel(&buf, gzip.BestCompression)
+	zw.Write(src)
+	zw.Close()
+	got, err := c.Decompress(nil, buf.Bytes())
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("codec decode of stdlib output: err=%v, equal=%v", err, bytes.Equal(got, src))
+	}
+}
+
+// TestGzipLevelValidation: the gzip codec must reject levels outside the
+// flate range instead of writing with a surprise default.
+func TestGzipLevelValidation(t *testing.T) {
+	c := MustByID(IDGzip)
+	if _, err := c.Compress(nil, []byte("x"), 42); err == nil {
+		t.Fatal("gzip Compress accepted level 42")
+	}
+	if GzipLevelValid(42) || !GzipLevelValid(gzip.BestSpeed) {
+		t.Fatal("GzipLevelValid wrong")
+	}
+}
+
+// TestDecompressGarbage feeds non-stream bytes to every codec's
+// Decompress: must error (except store, which is identity), never panic.
+func TestDecompressGarbage(t *testing.T) {
+	garbage := [][]byte{
+		{},
+		{0x00},
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		bytes.Repeat([]byte{0x80}, 1024), // unterminated uvarints
+	}
+	for _, name := range []string{"gzip", "actz"} {
+		c, _ := ByName(name)
+		for i, g := range garbage {
+			if len(g) == 0 && name == "actz" {
+				continue // zero blocks = empty payload, legal
+			}
+			if _, err := c.Decompress(nil, g); err == nil {
+				t.Errorf("%s: garbage %d decoded without error", name, i)
+			}
+		}
+	}
+}

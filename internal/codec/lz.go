@@ -1,0 +1,167 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+	"sync"
+)
+
+// Greedy byte-LZ in the snappy/S2 spirit: a 16K-entry hash table of
+// 4-byte prefixes, 8-bytes-at-a-time match extension, and skip
+// acceleration through incompressible regions. Match lengths are
+// unbounded uvarints, which is what lets THRESHOLD bitmaps (megabyte runs
+// of zero bytes) collapse to a handful of sequences — an order-0 entropy
+// coder alone caps out at 8x on those streams.
+//
+// Sequence layout, repeated until the terminator:
+//
+//	uvarint  litLen
+//	litLen B literals
+//	uvarint  m        0 terminates the stream; otherwise matchLen = m+3
+//	uvarint  offset   distance back from the current position (>=1)
+const (
+	lzMinMatch = 4
+	lzHashLog  = 14
+)
+
+var errLZCorrupt = errors.New("codec: corrupt lz stream")
+
+var lzTablePool = sync.Pool{New: func() any { return new([1 << lzHashLog]int32) }}
+
+func lzHash(v uint32) uint32 { return v * 2654435761 >> (32 - lzHashLog) }
+
+func load32(b []byte, i int) uint32 { return binary.LittleEndian.Uint32(b[i:]) }
+func load64(b []byte, i int) uint64 { return binary.LittleEndian.Uint64(b[i:]) }
+
+// lzCompress appends the LZ form of src to dst; ok=false (dst returned
+// unchanged) when src is too small or did not shrink by at least 1/16 —
+// callers then keep the uncoded bytes and skip LZ decode entirely.
+func lzCompress(dst, src []byte) ([]byte, bool) {
+	n := len(src)
+	if n < 16 {
+		return dst, false
+	}
+	budget := n - n/16
+	table := lzTablePool.Get().(*[1 << lzHashLog]int32)
+	defer lzTablePool.Put(table)
+	for i := range table {
+		table[i] = 0 // entries store candidate+1 so zero means empty
+	}
+	start := len(dst)
+	out := dst
+	s := 1
+	lit := 0
+	checked := 0
+	table[lzHash(load32(src, 0))] = 1
+	for s+8 <= n {
+		h := lzHash(load32(src, s))
+		c := int(table[h]) - 1
+		table[h] = int32(s + 1)
+		if c >= 0 && load32(src, c) == load32(src, s) {
+			mlen := lzMinMatch
+			for s+mlen+8 <= n {
+				x := load64(src, s+mlen) ^ load64(src, c+mlen)
+				if x != 0 {
+					mlen += bits.TrailingZeros64(x) >> 3
+					goto matched
+				}
+				mlen += 8
+			}
+			for s+mlen < n && src[c+mlen] == src[s+mlen] {
+				mlen++
+			}
+		matched:
+			out = binary.AppendUvarint(out, uint64(s-lit))
+			out = append(out, src[lit:s]...)
+			out = binary.AppendUvarint(out, uint64(mlen-3))
+			out = binary.AppendUvarint(out, uint64(s-c))
+			s += mlen
+			lit = s
+			checked = 0
+			if len(out)-start > budget {
+				return dst, false
+			}
+			continue
+		}
+		checked++
+		s += 1 + checked>>5
+	}
+	out = binary.AppendUvarint(out, uint64(n-lit))
+	out = append(out, src[lit:]...)
+	out = binary.AppendUvarint(out, 0)
+	if len(out)-start >= budget {
+		return dst, false
+	}
+	return out, true
+}
+
+// lzDecompress appends the decoded bytes to dst, which must decode to at
+// most maxOut bytes past its current length. Any malformed input —
+// short varints, offsets past the block start, output overrun, trailing
+// garbage — returns an error; the caller's CRC then never sees the data.
+func lzDecompress(dst, src []byte, maxOut int) ([]byte, error) {
+	base := len(dst)
+	for {
+		litLen, k := binary.Uvarint(src)
+		if k <= 0 || litLen > uint64(len(src)-k) {
+			return dst, errLZCorrupt
+		}
+		src = src[k:]
+		if int(litLen) > maxOut-(len(dst)-base) {
+			return dst, errLZCorrupt
+		}
+		dst = append(dst, src[:litLen]...)
+		src = src[litLen:]
+		m, k := binary.Uvarint(src)
+		if k <= 0 {
+			return dst, errLZCorrupt
+		}
+		src = src[k:]
+		if m == 0 {
+			if len(src) != 0 {
+				return dst, errLZCorrupt
+			}
+			return dst, nil
+		}
+		if m > uint64(maxOut) {
+			return dst, errLZCorrupt
+		}
+		mlen := int(m) + 3
+		off, k := binary.Uvarint(src)
+		if k <= 0 || off == 0 || off > uint64(len(dst)-base) {
+			return dst, errLZCorrupt
+		}
+		src = src[k:]
+		if mlen > maxOut-(len(dst)-base) {
+			return dst, errLZCorrupt
+		}
+		dst = appendCopy(dst, int(off), mlen)
+	}
+}
+
+// appendCopy appends mlen bytes starting off back from the end of dst,
+// doubling through overlap so long runs (off < mlen) cost O(log) copies
+// instead of a byte loop.
+func appendCopy(dst []byte, off, mlen int) []byte {
+	p := len(dst) - off
+	if off >= mlen {
+		return append(dst, dst[p:p+mlen]...)
+	}
+	pos := len(dst)
+	dst = grow(dst, mlen)
+	copied := copy(dst[pos:pos+mlen], dst[p:pos])
+	for copied < mlen {
+		copied += copy(dst[pos+copied:pos+mlen], dst[pos:pos+copied])
+	}
+	return dst
+}
+
+// grow extends dst's length by n, reallocating only when capacity runs
+// out.
+func grow(dst []byte, n int) []byte {
+	if len(dst)+n <= cap(dst) {
+		return dst[:len(dst)+n]
+	}
+	return append(dst, make([]byte, n)...)
+}

@@ -1,0 +1,20 @@
+package codec
+
+func init() { Register(storeCodec{}) }
+
+// storeCodec stores bytes verbatim. It exists for pages that do not
+// compress — raw LP activations are close to incompressible once the f16
+// mantissas dominate — where any compressor only burns flush CPU. The
+// partition container's whole-file CRC still covers the payload.
+type storeCodec struct{}
+
+func (storeCodec) Name() string { return "store" }
+func (storeCodec) ID() byte     { return IDStore }
+
+func (storeCodec) Compress(dst, src []byte, _ int) ([]byte, error) {
+	return append(dst, src...), nil
+}
+
+func (storeCodec) Decompress(dst, src []byte) ([]byte, error) {
+	return append(dst, src...), nil
+}

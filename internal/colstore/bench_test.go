@@ -8,13 +8,14 @@ import (
 	"path/filepath"
 	"testing"
 
+	"mistique/internal/codec"
 	"mistique/internal/faultfs"
 	"mistique/internal/quant"
 )
 
 // benchChunks builds a partition-sized snapshot: 64 LP chunks of 1024
 // noisy values each (~128 KiB encoded), the shape a DNN log flush writes.
-func benchChunks(b *testing.B) []*chunk {
+func benchChunks(b testing.TB) []*chunk {
 	rng := rand.New(rand.NewSource(11))
 	q := quant.NewLP()
 	chunks := make([]*chunk, 64)
@@ -28,13 +29,49 @@ func benchChunks(b *testing.B) []*chunk {
 	return chunks
 }
 
+// benchStreamChunks builds partition snapshots for each quantized stream
+// shape the store writes: "lp" (f16 halves), "kbit" (8-bit quantile bins,
+// near max entropy by construction), and "threshold" (1-bit activation
+// bitmaps at the 99.5th percentile — runs of zeros).
+func benchStreamChunks(b testing.TB, stream string) []*chunk {
+	rng := rand.New(rand.NewSource(23))
+	vals := make([]float32, 4096)
+	chunks := make([]*chunk, 32)
+	for i := range chunks {
+		for j := range vals {
+			vals[j] = float32(rng.NormFloat64())
+		}
+		var q *quant.Quantizer
+		var err error
+		switch stream {
+		case "lp":
+			q = quant.NewLP()
+		case "kbit":
+			q, err = quant.FitKBit(vals, 8)
+		case "threshold":
+			q, err = quant.FitThreshold(vals, 0.995)
+		default:
+			b.Fatalf("unknown stream %q", stream)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		chunks[i] = &chunk{enc: q.Encode(nil, vals), count: len(vals), q: q}
+	}
+	return chunks
+}
+
 func benchmarkPartitionWrite(b *testing.B, level int) {
 	chunks := benchChunks(b)
 	dir := b.TempDir()
 	path := filepath.Join(dir, partFileName(0, 0))
+	gz, err := codec.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, err := writePartitionFileAt(faultfs.OS(), path, chunks, level); err != nil {
+		if _, _, _, err := writePartitionFileAt(faultfs.OS(), path, chunks, gz, level); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,11 +95,78 @@ func BenchmarkPartitionWriteLevels(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionWriteCodecs measures flush cost (serialize + compress
+// + write + fsync) per codec per stream shape, with the resulting file
+// size as the "filebytes" metric — the measurement behind Config.Codec
+// guidance in DESIGN.md. The acceptance bar for this PR: actz beats
+// gzip(BestSpeed) on both axes for the kbit and threshold streams.
+func BenchmarkPartitionWriteCodecs(b *testing.B) {
+	for _, stream := range []string{"lp", "kbit", "threshold"} {
+		chunks := benchStreamChunks(b, stream)
+		for _, name := range []string{"gzip", "store", "actz"} {
+			c, err := codec.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("stream=%s/codec=%s", stream, name), func(b *testing.B) {
+				dir := b.TempDir()
+				path := filepath.Join(dir, partFileName(0, 0))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, _, err := writePartitionFileAt(faultfs.OS(), path, chunks, c, defaultCompressionLevel); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if st, err := os.Stat(path); err == nil {
+					b.ReportMetric(float64(st.Size()), "filebytes")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPartitionReadCodecs measures the cold read (open + decompress
+// + checksum-verify + parse) per codec per stream shape.
+func BenchmarkPartitionReadCodecs(b *testing.B) {
+	for _, stream := range []string{"lp", "kbit", "threshold"} {
+		chunks := benchStreamChunks(b, stream)
+		for _, name := range []string{"gzip", "store", "actz"} {
+			c, err := codec.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("stream=%s/codec=%s", stream, name), func(b *testing.B) {
+				dir := b.TempDir()
+				path := filepath.Join(dir, partFileName(0, 0))
+				_, raw, _, err := writePartitionFileAt(faultfs.OS(), path, chunks, c, defaultCompressionLevel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					got, _, _, err := readPartitionFile(path, raw)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(got) != len(chunks) {
+						b.Fatalf("read %d chunks, want %d", len(got), len(chunks))
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkPartitionRead(b *testing.B) {
 	chunks := benchChunks(b)
 	dir := b.TempDir()
 	path := filepath.Join(dir, partFileName(0, 0))
-	_, raw, _, err := writePartitionFileAt(faultfs.OS(), path, chunks, defaultCompressionLevel)
+	gz, err := codec.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, raw, _, err := writePartitionFileAt(faultfs.OS(), path, chunks, gz, defaultCompressionLevel)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -50,6 +50,7 @@ import (
 	"sync"
 	"time"
 
+	"mistique/internal/codec"
 	"mistique/internal/faultfs"
 	"mistique/internal/minhash"
 	"mistique/internal/obs"
@@ -120,8 +121,15 @@ type Config struct {
 	// showed it compresses LP-encoded partition images ~2.2x faster than
 	// gzip.DefaultCompression for under 1% of file size — see DESIGN.md
 	// "Performance"). Note that 0 therefore cannot select
-	// gzip.NoCompression.
+	// gzip.NoCompression. Only the gzip codec uses it.
 	CompressionLevel int
+	// Codec names the partition-file compressor: "gzip" (default; files
+	// byte-compatible with pre-codec stores), "store" (raw bytes, for
+	// incompressible data), or "actz" (the activation-tuned
+	// shuffle+LZ+Huffman codec — see DESIGN.md "Performance"). The choice
+	// only affects new writes: reads dispatch on each file's own header,
+	// so a store written under one codec reopens cleanly under another.
+	Codec string
 	// FS overrides the filesystem used for durable writes (nil = real OS).
 	// Fault-injection tests substitute a faultfs.Injector to tear writes,
 	// fail fsyncs and simulate crashes at arbitrary points.
@@ -160,6 +168,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompressionLevel == 0 {
 		c.CompressionLevel = defaultCompressionLevel
+	}
+	if c.Codec == "" {
+		c.Codec = "gzip"
 	}
 	return c
 }
@@ -262,6 +273,11 @@ type Stats struct {
 	// FsyncCount counts fsyncs issued on partition/manifest files and
 	// their directory — the price of the durability guarantees.
 	FsyncCount int64
+	// UnsupportedPartitions counts partitions whose file uses a format or
+	// codec this binary cannot read (written by a newer version). Unlike
+	// corrupt files they are NOT quarantined — the file stays in place for
+	// a binary that understands it; its chunks answer ErrUnavailable.
+	UnsupportedPartitions int64
 }
 
 // storeObs holds the store's instruments. All fields are nil (no-op) when
@@ -276,19 +292,29 @@ type storeObs struct {
 	flushes           *obs.Counter
 	compactions       *obs.Counter
 	quarantines       *obs.Counter
+	// codecRawBytes/codecFileBytes accumulate uncompressed-image and
+	// on-disk bytes written under the configured codec; the ratio of the
+	// two counters is the codec's achieved compression ratio. The codec
+	// name is embedded in the metric name (the registry has no labels).
+	codecRawBytes  *obs.Counter
+	codecFileBytes *obs.Counter
 }
 
-func newStoreObs(reg *obs.Registry) storeObs {
+func newStoreObs(reg *obs.Registry, codecName string) storeObs {
 	return storeObs{
 		putEncodeSeconds:  reg.Histogram("mistique_store_put_encode_seconds", "PutColumn value-codec encode time per chunk"),
 		putHashSeconds:    reg.Histogram("mistique_store_put_hash_seconds", "PutColumn content-hash and MinHash signing time per chunk"),
 		putAppendSeconds:  reg.Histogram("mistique_store_put_append_seconds", "PutColumn index/partition append time per chunk (under the index lock)"),
 		chunkReadSeconds:  reg.Histogram("mistique_store_chunk_read_seconds", "chunk fetch+decode time per read"),
-		pageInSeconds:     reg.Histogram("mistique_store_pagein_seconds", "cold partition page-in time (open+gunzip+verify)"),
+		pageInSeconds:     reg.Histogram("mistique_store_pagein_seconds", "cold partition page-in time (open+decompress+verify)"),
 		flushWriteSeconds: reg.Histogram("mistique_flush_partition_write_seconds", "per-partition compress+write+fsync time during flush/compaction"),
 		flushes:           reg.Counter("mistique_store_flushes_total", "Flush calls"),
 		compactions:       reg.Counter("mistique_store_compactions_total", "Compact calls"),
 		quarantines:       reg.Counter("mistique_store_quarantines_total", "partitions quarantined after a failed read or verification"),
+		codecRawBytes: reg.Counter("mistique_store_codec_"+codecName+"_raw_bytes_total",
+			"uncompressed partition-image bytes handed to the "+codecName+" codec"),
+		codecFileBytes: reg.Counter("mistique_store_codec_"+codecName+"_file_bytes_total",
+			"partition-file bytes written by the "+codecName+" codec (file/raw = compression ratio)"),
 	}
 }
 
@@ -301,6 +327,9 @@ type Store struct {
 	mu  sync.Mutex
 	cfg Config
 	dir string
+	// codec is the resolved Config.Codec, used for every partition write
+	// (reads dispatch on each file's own header).
+	codec codec.Codec
 	// fs is the injectable write-side filesystem (faultfs.OS in prod).
 	fs faultfs.FS
 	// generation is the manifest generation, bumped on every write; a
@@ -358,6 +387,10 @@ func Open(dir string, cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("colstore: compression level %d out of range [%d, %d]",
 			cfg.CompressionLevel, gzip.HuffmanOnly, gzip.BestCompression)
 	}
+	cdc, err := codec.ByName(cfg.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
 	if err := mkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("colstore: open %s: %w", dir, err)
 	}
@@ -369,6 +402,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 	s := &Store{
 		cfg:        cfg,
 		dir:        dir,
+		codec:      cdc,
 		fs:         fs,
 		parts:      make(map[int64]*partition),
 		current:    -1,
@@ -379,7 +413,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 		columns:    make(map[ColumnKey]ChunkID),
 		zones:      make(map[ChunkID]zone),
 		lostChunks: make(map[ChunkID]struct{}),
-		om:         newStoreObs(cfg.Obs),
+		om:         newStoreObs(cfg.Obs, cfg.Codec),
 	}
 	manifestCorrupt := false
 	if err := s.loadManifest(); err != nil {
@@ -880,8 +914,10 @@ func (s *Store) writeSnapshot(t flushTask) error {
 // image, then updates the partition's state under mu.
 func (s *Store) writeSnapshotImage(t flushTask, img []byte) error {
 	t0 := time.Now()
-	size, fsyncs, err := writeImageFileAt(s.fs, t.path, img, s.cfg.CompressionLevel)
+	size, fsyncs, err := writeImageFileAt(s.fs, t.path, img, s.codec, s.cfg.CompressionLevel)
 	s.om.flushWriteSeconds.ObserveSince(t0)
+	s.om.codecRawBytes.Add(int64(len(img)))
+	s.om.codecFileBytes.Add(size)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.FsyncCount += fsyncs

@@ -112,12 +112,15 @@ func (s *Store) partitionChunksLocked(pid int64, p *partition) ([]*chunk, error)
 }
 
 // Compact rewrites every partition containing unreferenced chunks,
-// dropping them and remapping the surviving chunks' ids. Returns the
-// number of chunks dropped and encoded bytes reclaimed. Partitions that
-// become empty are deleted outright. The manifest is rewritten, so the
-// store stays reopenable. The index surgery happens under the index lock;
-// the rewritten partition files are then gzip-compressed and written
-// concurrently (bounded by Config.Workers), like Flush.
+// dropping them and remapping the surviving chunks' ids, and every
+// partition whose on-disk file was written by a different codec than the
+// store is configured with — so compaction doubles as the codec
+// migration tool. Returns the number of chunks dropped and encoded bytes
+// reclaimed. Partitions that become empty are deleted outright. The
+// manifest is rewritten, so the store stays reopenable. The index
+// surgery happens under the index lock; the rewritten partition files
+// are then codec-compressed and written concurrently (bounded by
+// Config.Workers), like Flush.
 //
 // Compaction is crash-safe: a rewrite remaps chunk indices, so it goes to
 // a NEW file generation, and the manifest write flips old→new atomically.
@@ -177,7 +180,17 @@ func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 			}
 		}
 		if !hasGarbage {
-			continue
+			// Fully live — but if the on-disk file was written by a
+			// different codec than the store is configured with, rewrite
+			// it anyway (identity remap): compaction doubles as the codec
+			// migration tool. Unsniffable files are recovery's problem,
+			// not compaction's — leave them alone.
+			if !p.onDisk {
+				continue
+			}
+			if id, err := fileCodecID(s.partPathGen(pid, p.gen)); err != nil || id == s.codec.ID() {
+				continue
+			}
 		}
 
 		// Build the surviving chunk list and the old->new index map.

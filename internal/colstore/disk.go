@@ -1,10 +1,8 @@
 package colstore
 
 import (
-	"bufio"
-	"bytes"
-	"compress/gzip"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -13,11 +11,12 @@ import (
 	"sync"
 	"time"
 
+	"mistique/internal/codec"
 	"mistique/internal/faultfs"
 	"mistique/internal/quant"
 )
 
-// Partition file layout (after gzip):
+// Partition image layout (inside the compressed payload):
 //
 //	magic   [4]byte "MQPT"
 //	version uint16
@@ -33,10 +32,37 @@ import (
 // readable. Every read verifies both levels: a bit flip, truncation or
 // torn write yields an error — never silently wrong values — and the
 // store quarantines the file and falls back to re-running the model.
+//
+// On disk the image is wrapped by a codec. Two framings exist:
+//
+//	v1/v2: a bare gzip stream (no extra header). The gzip codec still
+//	       writes this, so its files are byte-identical to pre-codec
+//	       stores and readable by old binaries.
+//	v3:    "MQPC" | version uint16 (=3) | codec ID byte | codec payload.
+//	       Written for every non-gzip codec; the reader dispatches on the
+//	       ID. The codec ID must sit OUTSIDE the compressed image —
+//	       it is what tells the reader how to decompress.
+//
+// The reader sniffs the first bytes: gzip magic -> legacy framing, MQPC
+// -> v3 container. A v3 container with an unknown codec ID or a future
+// version fails with ErrUnsupportedFormat — typed, so recovery can keep
+// the (perfectly intact) file for a newer binary instead of deleting it
+// as corrupt.
 const (
 	partMagic   = "MQPT"
 	partVersion = 2
+
+	contMagic   = "MQPC"
+	contVersion = 3
+	contHdrLen  = 7 // magic + version uint16 + codec ID byte
 )
+
+// ErrUnsupportedFormat marks a partition file written in a format (or by
+// a codec) this binary does not understand — a forward-compatibility
+// rejection, not corruption. The partition's chunks answer
+// ErrUnavailable, but the file itself is left in place: a newer binary
+// can still read it.
+var ErrUnsupportedFormat = errors.New("colstore: unsupported partition file format")
 
 // castagnoli is the CRC32-C polynomial table (hardware-accelerated on
 // amd64/arm64), shared by partition files and the metadata envelope.
@@ -50,18 +76,12 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // become the partition's resident memory and die with it).
 var (
 	// imgBufPool recycles the uncompressed partition images the flush
-	// pipeline serializes (capacity converges on PartitionTargetBytes) and
-	// the compressed-file read buffers.
+	// pipeline serializes (capacity converges on PartitionTargetBytes),
+	// the compressed images produced by the codecs, and the
+	// compressed-file read buffers. The gzip writer/reader pools — per
+	// compression level, since Reset keeps a writer's level — live in
+	// internal/codec, shared with the manifest writer.
 	imgBufPool sync.Pool
-	// bwPool recycles the bufio.Writer between the gzip writer and the
-	// partition file.
-	bwPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, 64<<10) }}
-	// gzwPools recycles gzip writers, one pool per compression level
-	// (indexed level-gzip.HuffmanOnly); a gzip.Writer embeds its whole
-	// deflate state (~1.3 MB), by far the largest per-flush allocation.
-	gzwPools [gzip.BestCompression - gzip.HuffmanOnly + 1]sync.Pool
-	// gzrPool recycles gzip readers (huffman tables + window).
-	gzrPool sync.Pool
 )
 
 func grabBuf() []byte {
@@ -77,37 +97,6 @@ func releaseBuf(b []byte) {
 	}
 	b = b[:0]
 	imgBufPool.Put(&b)
-}
-
-func grabGzipWriter(w io.Writer, level int) (*gzip.Writer, error) {
-	if level < gzip.HuffmanOnly || level > gzip.BestCompression {
-		return nil, fmt.Errorf("colstore: invalid compression level %d", level)
-	}
-	pool := &gzwPools[level-gzip.HuffmanOnly]
-	if zw, ok := pool.Get().(*gzip.Writer); ok {
-		zw.Reset(w)
-		return zw, nil
-	}
-	return gzip.NewWriterLevel(w, level)
-}
-
-func releaseGzipWriter(zw *gzip.Writer, level int) {
-	gzwPools[level-gzip.HuffmanOnly].Put(zw)
-}
-
-func grabGzipReader(r io.Reader) (*gzip.Reader, error) {
-	if zr, ok := gzrPool.Get().(*gzip.Reader); ok {
-		if err := zr.Reset(r); err != nil {
-			gzrPool.Put(zr)
-			return nil, err
-		}
-		return zr, nil
-	}
-	return gzip.NewReader(r)
-}
-
-func releaseGzipReader(zr *gzip.Reader) {
-	gzrPool.Put(zr)
 }
 
 // partFileName is the on-disk name of one partition generation. Gen 0
@@ -137,7 +126,14 @@ func serializePartition(dst []byte, chunks []*chunk) []byte {
 		need += 16 + c.q.MarshaledSize() + len(c.enc)
 	}
 	if cap(dst)-len(dst) < need {
-		dst = append(make([]byte, 0, len(dst)+need), dst...)
+		// Grow with +25% headroom, not to the exact size: the flush path
+		// feeds pooled buffers here, and partitions grow monotonically
+		// until sealed — an exact-size grow would reallocate on every
+		// flush of a slightly larger partition and the pool would never
+		// converge.
+		newCap := len(dst) + need
+		newCap += newCap / 4
+		dst = append(make([]byte, 0, newCap), dst...)
 	}
 	dst = append(dst, partMagic...)
 	dst = binary.LittleEndian.AppendUint16(dst, partVersion)
@@ -164,33 +160,79 @@ func writePartitionTo(w io.Writer, chunks []*chunk) (int64, error) {
 	return int64(n), err
 }
 
-// writeImageFileAt gzip-compresses a serialized partition image and writes
-// it at path, atomically and durably: unique temp file, fsync the file,
-// rename, fsync the parent directory — so a concurrent reader of the same
-// path always sees a complete file and a crash at any point leaves either
-// the old file or the new one, never a prefix. Returns the compressed file
-// size and the number of fsyncs issued.
-func writeImageFileAt(fs faultfs.FS, path string, img []byte, level int) (size, fsyncs int64, err error) {
+// encodePartitionImage appends the on-disk form of a serialized partition
+// image to dst: the bare stream for gzip (legacy framing, byte-identical
+// to pre-codec files), the v3 container for everything else.
+func encodePartitionImage(dst, img []byte, c codec.Codec, level int) ([]byte, error) {
+	if c.ID() != codec.IDGzip {
+		dst = append(dst, contMagic...)
+		dst = binary.LittleEndian.AppendUint16(dst, contVersion)
+		dst = append(dst, c.ID())
+	}
+	return c.Compress(dst, img, level)
+}
+
+// decodePartitionImage decodes one on-disk partition blob (either
+// framing) into a fresh arena sized by rawHint. The arena is deliberately
+// NOT pooled — parsePartition subslices it into chunk payloads.
+func decodePartitionImage(comp []byte, rawHint int) ([]byte, error) {
+	hint := rawHint
+	if hint <= 0 {
+		hint = 64 << 10
+	}
+	switch {
+	case len(comp) >= 2 && comp[0] == 0x1f && comp[1] == 0x8b:
+		// Legacy framing: a bare gzip stream (v1/v2 files, and everything
+		// the gzip codec writes today).
+		return codec.MustByID(codec.IDGzip).Decompress(make([]byte, 0, hint), comp)
+	case len(comp) >= contHdrLen && string(comp[:4]) == contMagic:
+		version := binary.LittleEndian.Uint16(comp[4:])
+		if version != contVersion {
+			return nil, fmt.Errorf("%w: container version %d", ErrUnsupportedFormat, version)
+		}
+		c, err := codec.ByID(comp[6])
+		if err != nil {
+			return nil, fmt.Errorf("%w: codec id %d", ErrUnsupportedFormat, comp[6])
+		}
+		img, err := c.Decompress(make([]byte, 0, hint), comp[contHdrLen:])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Name(), err)
+		}
+		return img, nil
+	case len(comp) >= 4 && string(comp[:4]) == contMagic:
+		return nil, fmt.Errorf("%w: truncated container header", ErrUnsupportedFormat)
+	default:
+		return nil, fmt.Errorf("not a partition file (bad leading bytes)")
+	}
+}
+
+// writeImageFileAt codec-compresses a serialized partition image and
+// writes it at path, atomically and durably: unique temp file, fsync the
+// file, rename, fsync the parent directory — so a concurrent reader of
+// the same path always sees a complete file and a crash at any point
+// leaves either the old file or the new one, never a prefix. Returns the
+// compressed file size and the number of fsyncs issued.
+//
+// Failures after the rename report success: the file is durably published
+// (the data and the rename's dirent both hit the disk no later than the
+// manifest write that follows, which fsyncs the same directory), and
+// treating them as write failures left the partition dirty forever —
+// re-flushed on every Flush with DiskWrites/FsyncCount double-counting
+// the same bytes.
+func writeImageFileAt(fs faultfs.FS, path string, img []byte, c codec.Codec, level int) (size, fsyncs int64, err error) {
+	comp, err := encodePartitionImage(grabBuf(), img, c, level)
+	if err != nil {
+		releaseBuf(comp)
+		return 0, 0, fmt.Errorf("colstore: compress partition %s: %w", path, err)
+	}
+	defer releaseBuf(comp)
 	dir := filepath.Dir(path)
 	f, err := fs.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return 0, 0, fmt.Errorf("colstore: create temp for %s: %w", path, err)
 	}
 	tmp := f.Name()
-	bw := bwPool.Get().(*bufio.Writer)
-	bw.Reset(f)
-	zw, err := grabGzipWriter(bw, level)
-	if err == nil {
-		_, err = zw.Write(img)
-		if cerr := zw.Close(); err == nil {
-			err = cerr
-		}
-		releaseGzipWriter(zw, level)
-	}
-	if err == nil {
-		err = bw.Flush()
-	}
-	bwPool.Put(bw)
+	_, err = f.Write(comp)
 	if err == nil {
 		// The write barrier: the data must be on the platter before the
 		// rename publishes the name.
@@ -210,15 +252,13 @@ func writeImageFileAt(fs faultfs.FS, path string, img []byte, level int) (size, 
 		fs.Remove(tmp)
 		return 0, fsyncs, fmt.Errorf("colstore: rename %s: %w", tmp, err)
 	}
-	if err := fs.SyncDir(dir); err != nil {
-		return 0, fsyncs, fmt.Errorf("colstore: sync dir %s: %w", dir, err)
+	if err := fs.SyncDir(dir); err == nil {
+		fsyncs++
 	}
-	fsyncs++
-	st, err := os.Stat(path)
-	if err != nil {
-		return 0, fsyncs, err
-	}
-	return st.Size(), fsyncs, nil
+	// Post-publish: the rename succeeded, so the write succeeded. A failed
+	// directory fsync costs durability-until-the-manifest-write, not
+	// correctness, and is not this partition's error to report.
+	return int64(len(comp)), fsyncs, nil
 }
 
 // writePartitionFileAt serializes a chunk snapshot and writes it at path
@@ -227,9 +267,9 @@ func writeImageFileAt(fs faultfs.FS, path string, img []byte, level int) (size, 
 // size its decode arena exactly. Holds no Store locks: chunks are
 // immutable, so the snapshot can be serialized concurrently with puts
 // appending to the live partition.
-func writePartitionFileAt(fs faultfs.FS, path string, chunks []*chunk, level int) (size, raw, fsyncs int64, err error) {
+func writePartitionFileAt(fs faultfs.FS, path string, chunks []*chunk, c codec.Codec, level int) (size, raw, fsyncs int64, err error) {
 	img := serializePartition(grabBuf(), chunks)
-	size, fsyncs, err = writeImageFileAt(fs, path, img, level)
+	size, fsyncs, err = writeImageFileAt(fs, path, img, c, level)
 	raw = int64(len(img))
 	releaseBuf(img)
 	return size, raw, fsyncs, err
@@ -240,7 +280,7 @@ func writePartitionFileAt(fs faultfs.FS, path string, chunks []*chunk, level int
 // Flush path uses writeSnapshot instead).
 func (s *Store) writePartitionLocked(p *partition) error {
 	t0 := time.Now()
-	size, raw, fsyncs, err := writePartitionFileAt(s.fs, s.partPathGen(p.id, p.gen), p.chunks, s.cfg.CompressionLevel)
+	size, raw, fsyncs, err := writePartitionFileAt(s.fs, s.partPathGen(p.id, p.gen), p.chunks, s.codec, s.cfg.CompressionLevel)
 	s.om.flushWriteSeconds.ObserveSince(t0)
 	s.stats.FsyncCount += fsyncs
 	if err != nil {
@@ -252,14 +292,43 @@ func (s *Store) writePartitionLocked(p *partition) error {
 	p.raw = raw
 	s.stats.DiskWrites++
 	s.stats.DiskWriteBytes += size
+	s.om.codecRawBytes.Add(raw)
+	s.om.codecFileBytes.Add(size)
 	return nil
 }
 
-// readPartitionFile opens, gunzips, decodes and checksum-verifies one
-// partition file. rawHint, when positive, is the manifest's record of the
-// uncompressed image size: the decode arena is allocated at exactly that
-// size up front (a stale hint just costs a regrow). Holds no Store locks;
-// safe to run concurrently with writers thanks to the atomic
+// fileCodecID sniffs which codec wrote the partition file at path by
+// reading only the framing header. Gzip magic — which covers v1/v2
+// legacy files as well as everything the gzip codec writes today — maps
+// to IDGzip; a v3 container names its codec directly. Unknown leading
+// bytes are an error, never a guess.
+func fileCodecID(path string) (byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [contHdrLen]byte
+	n, err := io.ReadFull(f, hdr[:])
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return 0, err
+	}
+	b := hdr[:n]
+	switch {
+	case len(b) >= 2 && b[0] == 0x1f && b[1] == 0x8b:
+		return codec.IDGzip, nil
+	case len(b) >= contHdrLen && string(b[:4]) == contMagic:
+		return b[6], nil
+	default:
+		return 0, fmt.Errorf("not a partition file (bad leading bytes)")
+	}
+}
+
+// readPartitionFile opens, decompresses, decodes and checksum-verifies
+// one partition file. rawHint, when positive, is the manifest's record of
+// the uncompressed image size: the decode arena is allocated at exactly
+// that size up front (a stale hint just costs a regrow). Holds no Store
+// locks; safe to run concurrently with writers thanks to the atomic
 // temp-and-rename write protocol.
 func readPartitionFile(path string, rawHint int64) (chunks []*chunk, payload, fileBytes int64, err error) {
 	f, err := os.Open(path)
@@ -285,19 +354,10 @@ func readPartitionFile(path string, rawHint int64) (chunks []*chunk, payload, fi
 		releaseBuf(comp)
 		return nil, 0, 0, fmt.Errorf("read %s: %w", path, err)
 	}
-	zr, err := grabGzipReader(bytes.NewReader(comp))
-	if err != nil {
-		releaseBuf(comp)
-		return nil, 0, 0, fmt.Errorf("gunzip: %w", err)
-	}
-	img, err := readAllSized(zr, int(rawHint))
-	if cerr := zr.Close(); err == nil && cerr != nil {
-		err = fmt.Errorf("gunzip: %w", cerr)
-	}
-	releaseGzipReader(zr)
+	img, err := decodePartitionImage(comp, int(rawHint))
 	releaseBuf(comp)
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("gunzip: %w", err)
+		return nil, 0, 0, err
 	}
 	chunks, payload, err = parsePartition(img)
 	if err != nil {
@@ -329,13 +389,24 @@ func readAllSized(r io.Reader, hint int) ([]byte, error) {
 	}
 }
 
-// readPartitionFrom reads an uncompressed partition image from r (test
-// seam for the partition-file fuzzer; the production path is
-// readPartitionFile).
+// readPartitionFrom reads a partition from r (test seam for the
+// partition-file fuzzer; the production path is readPartitionFile). A
+// stream starting with a codec framing — gzip magic or the v3 container
+// — is decompressed first; anything else is treated as a bare image, the
+// historical contract of this seam. Unknown container versions or codec
+// IDs fail with ErrUnsupportedFormat, exactly like the file path.
 func readPartitionFrom(r io.Reader) ([]*chunk, int64, error) {
 	img, err := readAllSized(r, 0)
 	if err != nil {
 		return nil, 0, err
+	}
+	framed := (len(img) >= 2 && img[0] == 0x1f && img[1] == 0x8b) ||
+		(len(img) >= 4 && string(img[:4]) == contMagic)
+	if framed {
+		img, err = decodePartitionImage(img, 0)
+		if err != nil {
+			return nil, 0, err
+		}
 	}
 	return parsePartition(img)
 }
@@ -416,7 +487,9 @@ func parsePartition(img []byte) ([]*chunk, int64, error) {
 	}
 	version := binary.LittleEndian.Uint16(hdr[4:])
 	if version != 1 && version != partVersion {
-		return nil, 0, fmt.Errorf("unsupported version %d", version)
+		// A future image version is a forward-compat rejection, not
+		// corruption: the bytes are presumed intact, just unreadable here.
+		return nil, 0, fmt.Errorf("%w: image version %d", ErrUnsupportedFormat, version)
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[6:]))
 	prealloc := n

@@ -10,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"mistique/internal/codec"
 )
 
 // The manifest persists the store's logical state — the column→chunk map
@@ -106,13 +108,13 @@ func (s *Store) writeManifestLocked() error {
 	// The manifest is small and rewritten on every flush: compress it at
 	// BestSpeed through the shared pooled writers (the level only affects
 	// the file on disk, readers are level-agnostic).
-	zw, err := grabGzipWriter(buf, gzip.BestSpeed)
+	zw, err := codec.GrabGzipWriter(buf, gzip.BestSpeed)
 	if err != nil {
 		return fmt.Errorf("colstore: compress manifest: %w", err)
 	}
 	_, werr := zw.Write(blob)
 	cerr := zw.Close()
-	releaseGzipWriter(zw, gzip.BestSpeed)
+	codec.ReleaseGzipWriter(zw, gzip.BestSpeed)
 	if werr == nil {
 		werr = cerr
 	}

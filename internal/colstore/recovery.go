@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -44,6 +45,11 @@ type RecoveryReport struct {
 	// CorruptPartitions lists partitions whose file failed verification
 	// and was quarantined.
 	CorruptPartitions []int64
+	// UnsupportedPartitions lists partitions whose file uses a format or
+	// codec from a newer binary. They are marked lost for this session but
+	// their files are left in place — NOT moved to corrupt/ — so a binary
+	// that understands the format can still read them.
+	UnsupportedPartitions []int64
 	// LostChunks lists every referenced chunk that is no longer readable
 	// (its columns recover via the engine's rerun fallback).
 	LostChunks []ChunkID
@@ -54,7 +60,7 @@ func (r *RecoveryReport) Clean() bool {
 	return r != nil && !r.ManifestQuarantined &&
 		len(r.OrphanTempsRemoved) == 0 && len(r.ExtraFilesQuarantined) == 0 &&
 		len(r.MissingPartitions) == 0 && len(r.CorruptPartitions) == 0 &&
-		len(r.LostChunks) == 0
+		len(r.UnsupportedPartitions) == 0 && len(r.LostChunks) == 0
 }
 
 // LastRecovery returns the report of the Open-time recovery sweep.
@@ -85,6 +91,11 @@ func (s *Store) moveToCorrupt(name string) {
 // dropped so no future put maps a fresh column to dead data. Zone maps
 // stay — they still describe the (rerun-recoverable) values, which keeps
 // predicate skipping sound. Caller holds s.mu.
+//
+// A cause of ErrUnsupportedFormat is the exception: the file is intact,
+// just written by a newer binary, so it stays where it is (deleting or
+// quarantining it would destroy data a future binary could serve) and is
+// counted separately from corruption.
 func (s *Store) quarantineLocked(p *partition, cause error) {
 	if p.lost {
 		return
@@ -98,15 +109,18 @@ func (s *Store) quarantineLocked(p *partition, cause error) {
 		p.chunks = nil
 	}
 	p.dirty = false
-	s.stats.CorruptPartitions++
+	if errors.Is(cause, ErrUnsupportedFormat) {
+		s.stats.UnsupportedPartitions++
+	} else {
+		s.stats.CorruptPartitions++
+		s.moveToCorrupt(partFileName(p.id, p.gen))
+	}
 	s.om.quarantines.Inc()
-	s.moveToCorrupt(partFileName(p.id, p.gen))
 	for h, id := range s.hashes {
 		if id.Partition == p.id {
 			delete(s.hashes, h)
 		}
 	}
-	_ = cause // recorded by callers in their wrapped error
 }
 
 // recoverOnOpen runs the three-step sweep above. It executes before the
@@ -151,9 +165,10 @@ func (s *Store) recoverOnOpen(manifestCorrupt bool) error {
 	}
 	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 	type verdict struct {
-		missing bool
-		corrupt bool
-		chunks  int
+		missing     bool
+		corrupt     bool
+		unsupported bool
+		chunks      int
 	}
 	verdicts := make([]verdict, len(pids))
 	if !s.cfg.SkipRecoveryScan {
@@ -165,11 +180,14 @@ func (s *Store) recoverOnOpen(manifestCorrupt bool) error {
 				return nil
 			}
 			chunks, _, _, err := readPartitionFile(path, p.raw)
-			if err != nil {
+			switch {
+			case errors.Is(err, ErrUnsupportedFormat):
+				verdicts[i].unsupported = true
+			case err != nil:
 				verdicts[i].corrupt = true
-				return nil
+			default:
+				verdicts[i].chunks = len(chunks)
 			}
-			verdicts[i].chunks = len(chunks)
 			return nil
 		})
 		for i, pid := range pids {
@@ -188,6 +206,14 @@ func (s *Store) recoverOnOpen(manifestCorrupt bool) error {
 				s.om.quarantines.Inc()
 				s.moveToCorrupt(partFileName(pid, p.gen))
 				rep.CorruptPartitions = append(rep.CorruptPartitions, pid)
+			case v.unsupported:
+				// Forward-compat: the file is from a newer binary. Mark the
+				// partition lost (reads answer ErrUnavailable, the engine
+				// reruns) but leave the file untouched for a binary that can
+				// read it.
+				p.lost = true
+				s.stats.UnsupportedPartitions++
+				rep.UnsupportedPartitions = append(rep.UnsupportedPartitions, pid)
 			default:
 				p.diskChunks = v.chunks
 			}

@@ -2,6 +2,7 @@ package colstore
 
 import (
 	"compress/gzip"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"syscall"
 	"testing"
 
+	"mistique/internal/codec"
 	"mistique/internal/faultfs"
 )
 
@@ -112,47 +114,54 @@ func crashPoints() []faultPoint {
 	return pts
 }
 
+// crashCodecs are the codec configs every crash matrix runs under: the
+// recovery invariants must hold regardless of how partition bytes are
+// framed on disk.
+var crashCodecs = []string{"gzip", "store", "actz"}
+
 // TestCrashMatrixFirstFlush kills the very first flush at every injection
-// point. The committed state is "nothing": reopening must yield a working
-// (possibly empty) store with no wrong values, and re-logging the data
-// must fully heal it.
+// point, under every codec. The committed state is "nothing": reopening
+// must yield a working (possibly empty) store with no wrong values, and
+// re-logging the data must fully heal it.
 func TestCrashMatrixFirstFlush(t *testing.T) {
-	for _, fp := range crashPoints() {
-		fp := fp
-		t.Run(fp.name, func(t *testing.T) {
-			dir := t.TempDir()
-			inj := faultfs.NewInjector(nil)
-			s, err := Open(dir, Config{FS: inj, Workers: 1})
-			if err != nil {
-				t.Fatal(err)
-			}
-			data := fillStore(t, s, "m", 6, 1000)
-			inj.Arm(fp.fault)
-			if err := s.Flush(); err == nil {
-				t.Fatalf("flush survived a crash at %s", fp.name)
-			}
-			if !inj.Fired() {
-				t.Fatalf("fault %s never fired", fp.name)
-			}
+	for _, cdc := range crashCodecs {
+		for _, fp := range crashPoints() {
+			cdc, fp := cdc, fp
+			t.Run(cdc+"/"+fp.name, func(t *testing.T) {
+				dir := t.TempDir()
+				inj := faultfs.NewInjector(nil)
+				s, err := Open(dir, Config{FS: inj, Workers: 1, Codec: cdc})
+				if err != nil {
+					t.Fatal(err)
+				}
+				data := fillStore(t, s, "m", 6, 1000)
+				inj.Arm(fp.fault)
+				if err := s.Flush(); err == nil {
+					t.Fatalf("flush survived a crash at %s", fp.name)
+				}
+				if !inj.Fired() {
+					t.Fatalf("fault %s never fired", fp.name)
+				}
 
-			// "Reboot": reopen the directory with a clean filesystem.
-			s2, err := Open(dir, Config{})
-			if err != nil {
-				t.Fatalf("reopen after crash at %s: %v", fp.name, err)
-			}
-			verifyNoWrongValues(t, s2, data)
-			relog(t, s2, data)
-			if err := s2.Flush(); err != nil {
-				t.Fatalf("flush after recovery: %v", err)
-			}
+				// "Reboot": reopen the directory with a clean filesystem.
+				s2, err := Open(dir, Config{Codec: cdc})
+				if err != nil {
+					t.Fatalf("reopen after crash at %s: %v", fp.name, err)
+				}
+				verifyNoWrongValues(t, s2, data)
+				relog(t, s2, data)
+				if err := s2.Flush(); err != nil {
+					t.Fatalf("flush after recovery: %v", err)
+				}
 
-			// And the healed state survives another reopen.
-			s3, err := Open(dir, Config{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			mustReadExact(t, s3, data)
-		})
+				// And the healed state survives another reopen.
+				s3, err := Open(dir, Config{Codec: cdc})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustReadExact(t, s3, data)
+			})
+		}
 	}
 }
 
@@ -161,36 +170,38 @@ func TestCrashMatrixFirstFlush(t *testing.T) {
 // after the crash, at every point — the durability half of the contract.
 // The uncommitted second batch may read exactly or be gone, never wrong.
 func TestCrashMatrixSecondFlush(t *testing.T) {
-	for _, fp := range crashPoints() {
-		fp := fp
-		t.Run(fp.name, func(t *testing.T) {
-			dir := t.TempDir()
-			inj := faultfs.NewInjector(nil)
-			s, err := Open(dir, Config{FS: inj, Workers: 1})
-			if err != nil {
-				t.Fatal(err)
-			}
-			committed := fillStore(t, s, "old", 4, 1000)
-			if err := s.Flush(); err != nil {
-				t.Fatal(err)
-			}
-			fresh := fillStore(t, s, "new", 4, 5000)
-			inj.Arm(fp.fault)
-			if err := s.Flush(); err == nil {
-				t.Fatalf("flush survived a crash at %s", fp.name)
-			}
-			if !inj.Fired() {
-				t.Fatalf("fault %s never fired", fp.name)
-			}
+	for _, cdc := range crashCodecs {
+		for _, fp := range crashPoints() {
+			cdc, fp := cdc, fp
+			t.Run(cdc+"/"+fp.name, func(t *testing.T) {
+				dir := t.TempDir()
+				inj := faultfs.NewInjector(nil)
+				s, err := Open(dir, Config{FS: inj, Workers: 1, Codec: cdc})
+				if err != nil {
+					t.Fatal(err)
+				}
+				committed := fillStore(t, s, "old", 4, 1000)
+				if err := s.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				fresh := fillStore(t, s, "new", 4, 5000)
+				inj.Arm(fp.fault)
+				if err := s.Flush(); err == nil {
+					t.Fatalf("flush survived a crash at %s", fp.name)
+				}
+				if !inj.Fired() {
+					t.Fatalf("fault %s never fired", fp.name)
+				}
 
-			s2, err := Open(dir, Config{})
-			if err != nil {
-				t.Fatalf("reopen after crash at %s: %v", fp.name, err)
-			}
-			mustReadExact(t, s2, committed)
-			verifyNoWrongValues(t, s2, fresh)
-			relog(t, s2, fresh)
-		})
+				s2, err := Open(dir, Config{Codec: cdc})
+				if err != nil {
+					t.Fatalf("reopen after crash at %s: %v", fp.name, err)
+				}
+				mustReadExact(t, s2, committed)
+				verifyNoWrongValues(t, s2, fresh)
+				relog(t, s2, fresh)
+			})
+		}
 	}
 }
 
@@ -203,72 +214,74 @@ func TestCrashMatrixCompact(t *testing.T) {
 	pts := append(crashPoints(),
 		faultPoint{"old-gen-remove", faultfs.Fault{Op: faultfs.OpRemove, PathContains: "partition_", Crash: true}},
 	)
-	for _, fp := range pts {
-		fp := fp
-		t.Run(fp.name, func(t *testing.T) {
-			dir := t.TempDir()
-			inj := faultfs.NewInjector(nil)
-			s, err := Open(dir, Config{FS: inj, Workers: 1})
-			if err != nil {
-				t.Fatal(err)
-			}
-			// Interleave keep/drop columns so every partition holds garbage
-			// after the delete and compaction rewrites (not removes) it.
-			keep := make(map[ColumnKey][]float32)
-			for j := 0; j < 4; j++ {
-				kk := key("keep", "i", fmt.Sprintf("c%d", j), 0)
-				kv := randCol(256, int64(2000+j))
-				if _, err := s.PutColumn(kk, kv, nil); err != nil {
+	for _, cdc := range crashCodecs {
+		for _, fp := range pts {
+			cdc, fp := cdc, fp
+			t.Run(cdc+"/"+fp.name, func(t *testing.T) {
+				dir := t.TempDir()
+				inj := faultfs.NewInjector(nil)
+				s, err := Open(dir, Config{FS: inj, Workers: 1, Codec: cdc})
+				if err != nil {
 					t.Fatal(err)
 				}
-				keep[kk] = kv
-				dk := key("drop", "i", fmt.Sprintf("c%d", j), 0)
-				if _, err := s.PutColumn(dk, randCol(256, int64(3000+j)), nil); err != nil {
-					t.Fatal(err)
-				}
-			}
-			if err := s.Flush(); err != nil {
-				t.Fatal(err)
-			}
-			if n := s.DeleteModel("drop"); n != 4 {
-				t.Fatalf("deleted %d columns, want 4", n)
-			}
-
-			inj.Arm(fp.fault)
-			_, _, cerr := s.Compact()
-			if !inj.Fired() {
-				t.Skipf("fault %s not reached by this compaction", fp.name)
-			}
-			if cerr == nil && fp.fault.Op != faultfs.OpRemove {
-				t.Fatalf("compact survived a crash at %s", fp.name)
-			}
-
-			s2, err := Open(dir, Config{})
-			if err != nil {
-				t.Fatalf("reopen after crash at %s: %v", fp.name, err)
-			}
-			mustReadExact(t, s2, keep)
-			for j := 0; j < 4; j++ {
-				if s2.Has(key("drop", "i", fmt.Sprintf("c%d", j), 0)) {
-					// The old manifest may legitimately still hold the dropped
-					// columns (the delete never committed); they must at least
-					// read without error or answer a recoverable sentinel.
-					if _, err := s2.GetColumn(key("drop", "i", fmt.Sprintf("c%d", j), 0)); err != nil &&
-						!errors.Is(err, ErrUnavailable) && !errors.Is(err, ErrNotStored) {
-						t.Fatalf("dropped column read failed hard: %v", err)
+				// Interleave keep/drop columns so every partition holds garbage
+				// after the delete and compaction rewrites (not removes) it.
+				keep := make(map[ColumnKey][]float32)
+				for j := 0; j < 4; j++ {
+					kk := key("keep", "i", fmt.Sprintf("c%d", j), 0)
+					kv := randCol(256, int64(2000+j))
+					if _, err := s.PutColumn(kk, kv, nil); err != nil {
+						t.Fatal(err)
+					}
+					keep[kk] = kv
+					dk := key("drop", "i", fmt.Sprintf("c%d", j), 0)
+					if _, err := s.PutColumn(dk, randCol(256, int64(3000+j)), nil); err != nil {
+						t.Fatal(err)
 					}
 				}
-			}
-			// A clean compaction must succeed now and keep the data intact.
-			if n := s2.DeleteModel("drop"); n > 0 {
-				// old manifest survived; redo the delete before compacting
-				_ = n
-			}
-			if _, _, err := s2.Compact(); err != nil {
-				t.Fatalf("compact after recovery: %v", err)
-			}
-			mustReadExact(t, s2, keep)
-		})
+				if err := s.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				if n := s.DeleteModel("drop"); n != 4 {
+					t.Fatalf("deleted %d columns, want 4", n)
+				}
+
+				inj.Arm(fp.fault)
+				_, _, cerr := s.Compact()
+				if !inj.Fired() {
+					t.Skipf("fault %s not reached by this compaction", fp.name)
+				}
+				if cerr == nil && fp.fault.Op != faultfs.OpRemove {
+					t.Fatalf("compact survived a crash at %s", fp.name)
+				}
+
+				s2, err := Open(dir, Config{})
+				if err != nil {
+					t.Fatalf("reopen after crash at %s: %v", fp.name, err)
+				}
+				mustReadExact(t, s2, keep)
+				for j := 0; j < 4; j++ {
+					if s2.Has(key("drop", "i", fmt.Sprintf("c%d", j), 0)) {
+						// The old manifest may legitimately still hold the dropped
+						// columns (the delete never committed); they must at least
+						// read without error or answer a recoverable sentinel.
+						if _, err := s2.GetColumn(key("drop", "i", fmt.Sprintf("c%d", j), 0)); err != nil &&
+							!errors.Is(err, ErrUnavailable) && !errors.Is(err, ErrNotStored) {
+							t.Fatalf("dropped column read failed hard: %v", err)
+						}
+					}
+				}
+				// A clean compaction must succeed now and keep the data intact.
+				if n := s2.DeleteModel("drop"); n > 0 {
+					// old manifest survived; redo the delete before compacting
+					_ = n
+				}
+				if _, _, err := s2.Compact(); err != nil {
+					t.Fatalf("compact after recovery: %v", err)
+				}
+				mustReadExact(t, s2, keep)
+			})
+		}
 	}
 }
 
@@ -510,7 +523,7 @@ func TestTornTailPartition(t *testing.T) {
 	if err != nil || len(chunks) != 2 {
 		t.Fatalf("expected 2 chunks in one partition, got %d (%v)", len(chunks), err)
 	}
-	if _, _, _, err := writePartitionFileAt(faultfs.OS(), path, chunks[:1], gzip.BestSpeed); err != nil {
+	if _, _, _, err := writePartitionFileAt(faultfs.OS(), path, chunks[:1], codec.MustByID(codec.IDGzip), gzip.BestSpeed); err != nil {
 		t.Fatal(err)
 	}
 
@@ -809,4 +822,174 @@ func TestQuarantineTombstoneLifecycle(t *testing.T) {
 		t.Fatalf("reopen after tombstone drop not clean: %+v", s3.LastRecovery())
 	}
 	mustReadExact(t, s3, data)
+}
+
+// serializeV1Image hand-builds a version-1 partition image (no chunk
+// CRCs, no footer) from decoded chunks — the format of pre-checksum
+// stores, which must stay readable forever.
+func serializeV1Image(chunks []*chunk) []byte {
+	img := []byte(partMagic)
+	img = binary.LittleEndian.AppendUint16(img, 1)
+	img = binary.LittleEndian.AppendUint32(img, uint32(len(chunks)))
+	for _, c := range chunks {
+		img = binary.LittleEndian.AppendUint32(img, uint32(c.count))
+		img = binary.LittleEndian.AppendUint32(img, uint32(c.q.MarshaledSize()))
+		img = binary.LittleEndian.AppendUint32(img, uint32(len(c.enc)))
+		img = c.q.AppendBinary(img)
+		img = append(img, c.enc...)
+	}
+	return img
+}
+
+// TestMixedVersionDirectory builds a directory holding every on-disk
+// vintage at once — a v1 gzip file (pre-checksum binary), a v2 gzip file
+// (pre-codec binary), a v3 actz container (this binary), and a file
+// stamped with a future container version (a NEWER binary) — then
+// reopens it. The three readable vintages must serve bit-exact; the
+// future file is marked lost with ErrUnsupportedFormat semantics: its
+// columns answer ErrUnavailable, the file is NOT deleted or moved to
+// corrupt/, and re-logging heals without touching it.
+func TestMixedVersionDirectory(t *testing.T) {
+	dir := t.TempDir()
+
+	// Partition 0: gzip legacy framing (v2 image).
+	s, err := Open(dir, Config{Codec: "gzip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchA := fillStore(t, s, "a", 2, 1000)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partitions 1-3 under actz: v3 containers.
+	s, err = Open(dir, Config{Codec: "actz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchB := fillStore(t, s, "b", 2, 2000)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	batchC := fillStore(t, s, "c", 2, 3000)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	batchD := fillStore(t, s, "d", 2, 4000)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite partition 2 as a v1 image under bare gzip — byte-for-byte
+	// what a pre-checksum binary would have left behind.
+	p2 := filepath.Join(dir, partFileName(2, 0))
+	chunks, _, _, err := readPartitionFile(p2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1blob, err := codec.MustByID(codec.IDGzip).Compress(nil, serializeV1Image(chunks), gzip.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p2, v1blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stamp partition 3's container with a future version.
+	p3 := filepath.Join(dir, partFileName(3, 0))
+	blob, err := os.ReadFile(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[4] = contVersion + 6
+	if err := os.WriteFile(p3, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("open on mixed-version directory: %v", err)
+	}
+	rep := s2.LastRecovery()
+	if len(rep.UnsupportedPartitions) != 1 || rep.UnsupportedPartitions[0] != 3 {
+		t.Fatalf("unsupported partitions %v, want [3]", rep.UnsupportedPartitions)
+	}
+	if len(rep.CorruptPartitions) != 0 || len(rep.MissingPartitions) != 0 {
+		t.Fatalf("mixed vintages misread as damage: %+v", rep)
+	}
+	if st := s2.Stats(); st.UnsupportedPartitions != 1 || st.CorruptPartitions != 0 {
+		t.Fatalf("stats: unsupported=%d corrupt=%d, want 1/0", st.UnsupportedPartitions, st.CorruptPartitions)
+	}
+	mustReadExact(t, s2, batchA)
+	mustReadExact(t, s2, batchB)
+	mustReadExact(t, s2, batchC)
+	for k := range batchD {
+		if _, err := s2.GetColumn(k); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("future-format column %s: %v, want ErrUnavailable", k, err)
+		}
+	}
+	// The future file must survive in place — not deleted, not moved.
+	if _, err := os.Stat(p3); err != nil {
+		t.Fatalf("future-format file was removed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, corruptDirName, partFileName(3, 0))); !os.IsNotExist(err) {
+		t.Fatal("future-format file was quarantined into corrupt/")
+	}
+	// Healing via re-log leaves the file alone and serves everything.
+	relog(t, s2, batchD)
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(p3); err != nil {
+		t.Fatalf("future-format file removed by heal: %v", err)
+	}
+	s3, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []map[ColumnKey][]float32{batchA, batchB, batchC, batchD} {
+		mustReadExact(t, s3, batch)
+	}
+}
+
+// TestPostPublishSyncDirReturnsSuccess is the regression test for the
+// post-publish error-accounting bug: once the rename has published the
+// partition file, a failing directory fsync must NOT fail the flush (the
+// manifest write that follows fsyncs the same directory). Before the fix
+// the partition stayed dirty forever and every later Flush rewrote and
+// re-counted the same bytes.
+func TestPostPublishSyncDirReturnsSuccess(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(nil)
+	s, err := Open(dir, Config{FS: inj, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := fillStore(t, s, "m", 4, 1000)
+	// One-shot fault: the first SyncDir — the one right after the
+	// partition rename — fails; the manifest's SyncDir succeeds.
+	inj.Arm(faultfs.Fault{Op: faultfs.OpSyncDir, Countdown: 0, Err: faultfs.ErrInjected})
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush failed on post-publish SyncDir error: %v", err)
+	}
+	if !inj.Fired() {
+		t.Fatal("SyncDir fault never fired")
+	}
+	writes := s.Stats().DiskWrites
+	// The partition is clean: an idle Flush must not rewrite it.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().DiskWrites; got != writes {
+		t.Fatalf("clean partition re-flushed: DiskWrites %d -> %d", writes, got)
+	}
+	// And the published file is real: a clean reopen serves it from disk.
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.LastRecovery().Clean() {
+		t.Fatalf("recovery not clean: %+v", s2.LastRecovery())
+	}
+	mustReadExact(t, s2, data)
 }
