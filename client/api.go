@@ -114,6 +114,35 @@ type ModelsResponse struct {
 	Models []ModelInfo `json:"models"`
 }
 
+// LineageEntry is one model version in a training-run lineage chain
+// (GET /api/v1/models/{model}/lineage), newest first.
+type LineageEntry struct {
+	Model string `json:"model"`
+	// Parent is the version this one was logged as a delta against; ""
+	// marks the root of the chain.
+	Parent        string `json:"parent,omitempty"`
+	Kind          string `json:"kind"`
+	Intermediates int    `json:"intermediates"`
+	StoredBytes   int64  `json:"stored_bytes"`
+	// MaxDeltaDepth is the deepest delta chain any of this version's
+	// columns sits on; cold reads page in depth+1 generations.
+	MaxDeltaDepth int `json:"max_delta_depth"`
+	// WeightBytes is the logical size of this version's weight snapshot
+	// (0 when none); WeightNewBytes is how much of it was new to the
+	// content-addressed chunk table; WeightDepth its delta-chain depth.
+	WeightBytes    int64 `json:"weight_bytes,omitempty"`
+	WeightNewBytes int64 `json:"weight_new_bytes,omitempty"`
+	WeightDepth    int   `json:"weight_depth,omitempty"`
+}
+
+// LineageResponse is the version chain of one model, newest first: the
+// queried version, its parent, the parent's parent, up to the root (or
+// the first version no longer in the catalog).
+type LineageResponse struct {
+	Model    string         `json:"model"`
+	Versions []LineageEntry `json:"versions"`
+}
+
 // QueryRequest asks for an intermediate (POST /api/v1/query). An empty
 // Cols fetches every column; NEx <= 0 fetches all rows. Strategy "" lets
 // the cost model choose; "READ" or "RERUN" forces one side (the server

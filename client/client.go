@@ -293,6 +293,18 @@ func (c *Client) Intermediate(ctx context.Context, model, interm string) (*Inter
 	return &out, nil
 }
 
+// Lineage fetches the version chain of a model, newest first: the model
+// itself, the parent version it was logged as a delta against, and so on
+// to the root of the training run.
+func (c *Client) Lineage(ctx context.Context, model string) (*LineageResponse, error) {
+	var out LineageResponse
+	path := "/api/v1/models/" + url.PathEscape(model) + "/lineage"
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // GetIntermediate fetches cols x nEx of an intermediate, letting the
 // server's cost model choose read vs. rerun. nil cols fetches every
 // column; nEx <= 0 every row.

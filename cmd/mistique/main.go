@@ -62,6 +62,8 @@ func main() {
 		err = runCluster(args)
 	case "catalog":
 		err = runCatalog(*dir)
+	case "lineage":
+		err = runLineage(*dir, args)
 	case "scan":
 		err = runScan(*dir, args)
 	case "fsck":
@@ -94,7 +96,8 @@ commands:
            [-replication N] [-block-rows N]   (no -dir: talks to running shards)
   fsck                                                  verify store integrity
   compact  [-codec gzip|store|actz]                     reclaim garbage chunks
-  catalog                                               list logged models`)
+  catalog                                               list logged models
+  lineage  -model M                                     walk a model's version chain`)
 }
 
 // open builds the system. codecName selects the partition codec for new
@@ -419,6 +422,43 @@ func runServe(dir string, args []string) error {
 		return err
 	}
 	fmt.Println("drained and flushed; bye")
+	return nil
+}
+
+// runLineage walks a model's version chain (LogDNN Parent links), newest
+// first, printing each version's storage footprint and deepest delta
+// chain. Opens the store read-mostly: delta depths live in its manifest.
+func runLineage(dir string, args []string) error {
+	fs := flag.NewFlagSet("lineage", flag.ExitOnError)
+	model := fs.String("model", "", "model version to start from")
+	fs.Parse(args)
+	if *model == "" {
+		return fmt.Errorf("lineage needs -model")
+	}
+	sys, err := open(dir, true, 0, "")
+	if err != nil {
+		return err
+	}
+	chain, err := sys.Lineage(*model)
+	if err != nil {
+		return err
+	}
+	for i, e := range chain {
+		arrow := "└─"
+		if i == 0 {
+			arrow = "  "
+		}
+		parent := e.Parent
+		if parent == "" {
+			parent = "(root)"
+		}
+		fmt.Printf("%s %-20s kind=%-4s parent=%-20s interms=%3d stored=%10d B max_delta_depth=%d",
+			arrow, e.Model, e.Kind, parent, e.Intermediates, e.StoredBytes, e.MaxDeltaDepth)
+		if e.WeightBytes > 0 {
+			fmt.Printf(" weights=%d B (new %d B, depth %d)", e.WeightBytes, e.WeightNewBytes, e.WeightDepth)
+		}
+		fmt.Println()
+	}
 	return nil
 }
 

@@ -198,3 +198,21 @@ func TestServeGracefulSIGTERM(t *testing.T) {
 		t.Fatalf("reopened store returned %d rows", res.Data.Rows)
 	}
 }
+
+// TestLineageCommand drives `mistique lineage` end-to-end over a logged
+// workload: the chain of a pipeline model is a single root entry.
+func TestLineageCommand(t *testing.T) {
+	dir := t.TempDir()
+	captureStdout(t, func() error {
+		return runLog(dir, []string{"-pipelines", "1"})
+	})
+	out := captureStdout(t, func() error {
+		return runLineage(dir, []string{"-model", "p1_v0"})
+	})
+	if !strings.Contains(out, "p1_v0") || !strings.Contains(out, "parent=(root)") {
+		t.Fatalf("lineage output = %q", out)
+	}
+	if err := runLineage(dir, []string{"-model", "missing"}); err == nil {
+		t.Fatal("lineage of unknown model succeeded")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mistique/internal/cas"
 	"mistique/internal/colstore"
 	"mistique/internal/cost"
 	"mistique/internal/frame"
@@ -117,6 +118,10 @@ type System struct {
 	// nidx manages the lazy per-column diagnostic indexes (nil when
 	// Config.Index.Disable is set; every query path then full-scans).
 	nidx *nindex.Manager
+	// weights is the content-addressed object store holding one weight
+	// snapshot per logged DNN version; fine-tuned checkpoints dedup at
+	// CDC-chunk granularity and store as deltas along Parent links.
+	weights *cas.Store
 
 	// metrics is the system-wide observability registry (never nil); the
 	// store and catalog register their instruments in the same registry at
@@ -215,12 +220,20 @@ func Open(dir string, cfg Config) (*System, error) {
 			return nil, fmt.Errorf("mistique: %w", err)
 		}
 	}
+	// Weight snapshots live in a content-addressed store next to the
+	// partition files (a subdirectory, so the colstore recovery sweep
+	// never mistakes its files for partitions).
+	weights, err := cas.OpenStore(filepath.Join(dir, "data", "cas"), cas.Config{FS: cfg.Store.FS})
+	if err != nil {
+		return nil, fmt.Errorf("mistique: open weight store: %w", err)
+	}
 	return &System{
 		cfg:       cfg,
 		dir:       dir,
 		store:     st,
 		meta:      meta,
 		nidx:      nidx,
+		weights:   weights,
 		metrics:   metrics,
 		pipelines: make(map[string]*pipelineModel),
 		networks:  make(map[string]*dnnModel),
@@ -242,6 +255,9 @@ func (s *System) Store() *colstore.Store { return s.store }
 // Config.Workers) and persists the catalog.
 func (s *System) Flush() error {
 	if err := s.store.Flush(); err != nil {
+		return err
+	}
+	if err := s.weights.Flush(); err != nil {
 		return err
 	}
 	return s.meta.Save(filepath.Join(s.dir, "metadata.json"))
@@ -327,8 +343,16 @@ type LogReport struct {
 	Intermediates int
 	ColumnsStored int64
 	ColumnsDedup  int64
-	StoredBytes   int64
-	LogicalBytes  int64
+	// ColumnsDelta counts column chunks stored as delta generations
+	// against the parent version (LogDNN's Parent option).
+	ColumnsDelta int64
+	StoredBytes  int64
+	LogicalBytes int64
+	// WeightBytes is the logical size of this version's weight snapshot;
+	// WeightNewBytes is how much of it was new to the content-addressed
+	// chunk table (the cross-version dedup win is the difference).
+	WeightBytes    int64
+	WeightNewBytes int64
 	// Skipped counts intermediates deferred by adaptive materialization.
 	Skipped int
 }
@@ -405,6 +429,13 @@ func (s *System) DropModel(name string) error {
 	delete(s.pipelines, name)
 	delete(s.networks, name)
 	s.store.DeleteModel(name)
+	// Pipelines have no weight snapshot; dependents of a deleted version
+	// are collapsed a level shallower by the store, never orphaned.
+	if _, ok := s.weights.Info(name); ok {
+		if err := s.weights.Delete(name); err != nil {
+			return err
+		}
+	}
 	if s.nidx != nil {
 		s.nidx.InvalidateModel(name)
 	}
@@ -412,11 +443,20 @@ func (s *System) DropModel(name string) error {
 }
 
 // CompactStore rewrites partitions to drop chunks no longer referenced by
-// any model, returning the reclaimed encoded bytes.
+// any model, returning the reclaimed encoded bytes. The weight snapshot
+// store compacts alongside: over-deep delta chains collapse and its chunk
+// table garbage-collects.
 func (s *System) CompactStore() (int64, error) {
 	_, reclaimed, err := s.store.Compact()
-	return reclaimed, err
+	if err != nil {
+		return reclaimed, err
+	}
+	return reclaimed, s.weights.Compact(0)
 }
+
+// WeightStore exposes the content-addressed weight snapshot store (one
+// object per logged DNN version; used by tools and tests).
+func (s *System) WeightStore() *cas.Store { return s.weights }
 
 // Calibrate measures the store's effective read rate (rho_d in Eq. 4) by
 // timing cold reads of materialized intermediates, and updates the cost

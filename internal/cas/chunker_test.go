@@ -1,0 +1,120 @@
+package cas
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randBytes(t testing.TB, n int, seed int64) []byte {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestBoundariesInvariants(t *testing.T) {
+	cfg := ChunkerConfig{Min: 256, Avg: 1024, Max: 4096}
+	for _, n := range []int{0, 1, 100, 255, 256, 257, 5000, 1 << 17} {
+		data := randBytes(t, n, int64(n))
+		cuts := Boundaries(data, cfg)
+		if n == 0 {
+			if len(cuts) != 0 {
+				t.Fatalf("empty input produced %d cuts", len(cuts))
+			}
+			continue
+		}
+		if cuts[len(cuts)-1] != n {
+			t.Fatalf("n=%d: final boundary %d != len", n, cuts[len(cuts)-1])
+		}
+		prev := 0
+		for i, c := range cuts {
+			size := c - prev
+			if size <= 0 {
+				t.Fatalf("n=%d: non-increasing boundary at %d", n, i)
+			}
+			if size > cfg.Max {
+				t.Fatalf("n=%d: chunk %d bytes exceeds max %d", n, size, cfg.Max)
+			}
+			if i < len(cuts)-1 && size < cfg.Min {
+				t.Fatalf("n=%d: interior chunk %d below min %d", n, size, cfg.Min)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestBoundariesDeterministic(t *testing.T) {
+	data := randBytes(t, 1<<16, 7)
+	a := Boundaries(data, ChunkerConfig{})
+	b := Boundaries(data, ChunkerConfig{})
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic cut count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cut %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSplitConcatenationInvariance(t *testing.T) {
+	data := randBytes(t, 100_000, 42)
+	chunks := Split(data, ChunkerConfig{Min: 128, Avg: 512, Max: 2048})
+	var joined []byte
+	for _, c := range chunks {
+		joined = append(joined, c...)
+	}
+	if !bytes.Equal(joined, data) {
+		t.Fatal("concatenated chunks differ from input")
+	}
+}
+
+// A local edit must not move boundaries far downstream: after the
+// cutter resynchronises, the suffix chunks of the edited blob are
+// byte-identical to the original's — that is the property cross-version
+// dedup depends on.
+func TestBoundariesLocality(t *testing.T) {
+	cfg := ChunkerConfig{Min: 256, Avg: 1024, Max: 4096}
+	orig := randBytes(t, 1<<17, 3)
+	edited := append([]byte(nil), orig...)
+	for i := 1000; i < 1100; i++ {
+		edited[i] ^= 0xff
+	}
+	origSet := map[[32]byte]struct{}{}
+	for _, c := range Split(orig, cfg) {
+		origSet[KeyOf(c)] = struct{}{}
+	}
+	shared := 0
+	chunks := Split(edited, cfg)
+	for _, c := range chunks {
+		if _, ok := origSet[KeyOf(c)]; ok {
+			shared++
+		}
+	}
+	if shared < len(chunks)*3/4 {
+		t.Fatalf("local edit destroyed chunk sharing: %d/%d chunks shared", shared, len(chunks))
+	}
+}
+
+func TestChunkerBadConfigFallsBack(t *testing.T) {
+	data := randBytes(t, 40_000, 9)
+	bad := Boundaries(data, ChunkerConfig{Min: 1 << 20, Avg: 10, Max: 1})
+	def := Boundaries(data, ChunkerConfig{})
+	if len(bad) != len(def) {
+		t.Fatalf("invalid config did not fall back to defaults: %d vs %d cuts", len(bad), len(def))
+	}
+}
+
+func TestChunkerConfigValidate(t *testing.T) {
+	if err := (ChunkerConfig{Min: 1, Avg: 2, Max: 3}).validate(); err == nil {
+		t.Fatal("tiny min accepted")
+	}
+	if err := (ChunkerConfig{Min: 128, Avg: 64, Max: 256}).validate(); err == nil {
+		t.Fatal("avg < min accepted")
+	}
+	if err := (ChunkerConfig{}).withDefaults().validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+}

@@ -1,0 +1,581 @@
+package cas
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"mistique/internal/faultfs"
+)
+
+const (
+	objMagic   = "MQCO"
+	objVersion = 1
+	objName    = "OBJECTS.bin"
+
+	maxObjects     = 1 << 20
+	maxObjectName  = 1 << 12
+	maxObjectChunk = 1 << 22
+
+	// objFlagCompressed marks a delta object whose stored residual is
+	// deflate-compressed (see object.comp).
+	objFlagCompressed uint16 = 1 << 0
+)
+
+// Config holds the object-store knobs.
+type Config struct {
+	// Chunker sets the content-defined-chunking window; zero fields
+	// take the package defaults.
+	Chunker ChunkerConfig
+	// MaxDepth bounds delta chains: an object at depth MaxDepth is
+	// stored full even if PutDelta is asked for a delta. Zero means
+	// DefaultMaxDepth.
+	MaxDepth int
+	// FS is the write-side filesystem, swappable for fault injection.
+	FS faultfs.FS
+}
+
+// DefaultMaxDepth bounds delta chains when Config.MaxDepth is zero.
+// Reading a depth-d object touches d+1 generations, so this is a read
+// amplification bound as much as a durability one.
+const DefaultMaxDepth = 4
+
+// ObjectInfo describes one stored object (typically one model
+// version's weight snapshot).
+type ObjectInfo struct {
+	Name     string
+	Size     int64  // logical payload size
+	Chunks   int    // chunks in this object's recipe
+	Depth    int    // delta-chain depth; 0 = stored full
+	Base     string // parent object when delta-encoded
+	CRC      uint32 // crc32c of the fully reconstructed payload
+	NewBytes int64  // payload bytes not already present in the table at Put time
+}
+
+type object struct {
+	chunks   []Key
+	size     int64
+	depth    int
+	base     string
+	crc      uint32
+	newBytes int64
+	// comp marks a delta whose stored residual is deflate-compressed.
+	// An XOR residual between adjacent checkpoints is zero everywhere
+	// the versions agree, and a zero run defeats content-defined
+	// chunking (no content, no cut points, no boundary resync across
+	// epochs). Deflating the residual first collapses those runs so the
+	// table stores kilobytes per generation instead of re-storing
+	// misaligned mostly-zero chunks.
+	comp bool
+}
+
+// Store layers named, optionally delta-encoded objects over a chunk
+// Table. A delta object's chunks encode the XOR residual against its
+// base; reconstruction walks the chain down to a full object and is
+// verified against a whole-object CRC, so a flipped bit in any
+// generation surfaces as ErrCorrupt rather than wrong bytes.
+type Store struct {
+	dir string
+	cfg Config
+	t   *Table
+
+	mu      sync.Mutex
+	objects map[string]*object
+	deps    map[string]int // base name -> number of direct dependents
+	dirty   bool
+}
+
+// OpenStore opens (or creates) an object store in dir. Chunk refcounts
+// are re-derived from the object manifest, so the manifest and index
+// never need to agree transactionally: chunks published without a
+// referencing object are unreachable and reclaimed by the next GC.
+func OpenStore(dir string, cfg Config) (*Store, error) {
+	if cfg.FS == nil {
+		cfg.FS = faultfs.OS()
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = DefaultMaxDepth
+	}
+	t, err := OpenTable(dir, cfg.FS)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, cfg: cfg, t: t, objects: map[string]*object{}, deps: map[string]int{}}
+	raw, rerr := os.ReadFile(filepath.Join(dir, objName))
+	if rerr == nil {
+		objs, perr := parseObjects(raw)
+		if perr != nil {
+			return nil, fmt.Errorf("cas: %s: %w", objName, perr)
+		}
+		for name, o := range objs {
+			for _, k := range o.chunks {
+				if aerr := s.t.AddRef(k); aerr != nil {
+					// An object referencing an unpublished chunk means the
+					// manifest outran the index, which the publish order
+					// forbids — treat as corruption.
+					return nil, fmt.Errorf("cas: object %q references missing chunk: %w", name, ErrCorrupt)
+				}
+			}
+		}
+		s.objects = objs
+		for _, o := range objs {
+			if o.base != "" {
+				s.deps[o.base]++
+			}
+		}
+	} else if !os.IsNotExist(rerr) {
+		return nil, rerr
+	}
+	return s, nil
+}
+
+// Table exposes the underlying chunk table (read-mostly: stats and
+// direct chunk access for tests).
+func (s *Store) Table() *Table { return s.t }
+
+// Put stores data as a full (non-delta) object named name, replacing
+// any previous version of the name.
+func (s *Store) Put(name string, data []byte) (ObjectInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := checkName(name); err != nil {
+		return ObjectInfo{}, err
+	}
+	o := s.ingestLocked(data, 0, "", crc32.Checksum(data, castagnoli))
+	s.replaceLocked(name, o)
+	return s.infoLocked(name), nil
+}
+
+// PutDelta stores data as an XOR residual against the named base
+// object. It falls back to a full store when the base is missing or
+// its chain is already MaxDepth deep, so callers can use it
+// unconditionally for "this version descends from that one".
+func (s *Store) PutDelta(name, base string, data []byte) (ObjectInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := checkName(name); err != nil {
+		return ObjectInfo{}, err
+	}
+	crc := crc32.Checksum(data, castagnoli)
+	bo, ok := s.objects[base]
+	if name == base {
+		ok = false
+	}
+	if !ok || bo.depth+1 > s.cfg.MaxDepth {
+		o := s.ingestLocked(data, 0, "", crc)
+		s.replaceLocked(name, o)
+		return s.infoLocked(name), nil
+	}
+	baseData, err := s.getLocked(base, 0)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	residual := xorBytes(data, baseData)
+	stored, comp := residual, false
+	if packed := deflateBytes(residual); len(packed) < len(residual) {
+		stored, comp = packed, true
+	}
+	o := s.ingestLocked(stored, bo.depth+1, base, crc)
+	o.size = int64(len(data))
+	o.comp = comp
+	s.replaceLocked(name, o)
+	return s.infoLocked(name), nil
+}
+
+// deflateBytes compresses b at the fastest deflate level. Residuals are
+// dominated by zero runs, where any level wins by orders of magnitude.
+func deflateBytes(b []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return b
+	}
+	if _, err := w.Write(b); err != nil || w.Close() != nil {
+		return b
+	}
+	return buf.Bytes()
+}
+
+// inflateBytes decompresses a deflate stream that must expand to exactly
+// want bytes (the residual is as long as the payload it encodes).
+func inflateBytes(b []byte, want int64) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(b))
+	defer r.Close()
+	out := make([]byte, 0, want)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if int64(len(out)) > want {
+			return nil, fmt.Errorf("%w: residual inflates past its object size", ErrCorrupt)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: residual inflate: %v", ErrCorrupt, err)
+		}
+	}
+	if int64(len(out)) != want {
+		return nil, fmt.Errorf("%w: residual inflates to %d bytes, want %d", ErrCorrupt, len(out), want)
+	}
+	return out, nil
+}
+
+// ingestLocked chunks a payload into the table and builds the recipe.
+func (s *Store) ingestLocked(payload []byte, depth int, base string, crc uint32) *object {
+	o := &object{size: int64(len(payload)), depth: depth, base: base, crc: crc}
+	for _, c := range Split(payload, s.cfg.Chunker) {
+		if !s.t.Has(KeyOf(c)) {
+			o.newBytes += int64(len(c))
+		}
+		o.chunks = append(o.chunks, s.t.Put(c))
+	}
+	return o
+}
+
+func (s *Store) replaceLocked(name string, o *object) {
+	s.dropLocked(name)
+	s.objects[name] = o
+	if o.base != "" {
+		s.deps[o.base]++
+	}
+	s.dirty = true
+}
+
+func (s *Store) dropLocked(name string) {
+	old, ok := s.objects[name]
+	if !ok {
+		return
+	}
+	for _, k := range old.chunks {
+		s.t.Release(k)
+	}
+	if old.base != "" {
+		if s.deps[old.base]--; s.deps[old.base] <= 0 {
+			delete(s.deps, old.base)
+		}
+	}
+	delete(s.objects, name)
+	s.dirty = true
+}
+
+// Delete removes an object. Objects that other deltas depend on are
+// collapsed out of the chain first (dependents are rewritten one level
+// shallower), so no dependent ever loses its base.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[name]; !ok {
+		return fmt.Errorf("%w: object %q", ErrNotFound, name)
+	}
+	if s.deps[name] > 0 {
+		for dep, o := range s.objects {
+			if o.base == name {
+				if err := s.collapseLocked(dep); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	s.dropLocked(name)
+	return nil
+}
+
+// Get reconstructs the object's payload, walking the delta chain and
+// verifying the whole-object CRC.
+func (s *Store) Get(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(name, 0)
+}
+
+func (s *Store) getLocked(name string, hop int) ([]byte, error) {
+	o, ok := s.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: object %q", ErrNotFound, name)
+	}
+	if hop > s.cfg.MaxDepth+1 {
+		return nil, fmt.Errorf("%w: delta chain at %q exceeds max depth", ErrCorrupt, name)
+	}
+	payload := make([]byte, 0, o.size)
+	for _, k := range o.chunks {
+		c, err := s.t.Get(k)
+		if err != nil {
+			return nil, fmt.Errorf("object %q: %w", name, err)
+		}
+		payload = append(payload, c...)
+	}
+	if o.base != "" {
+		if o.comp {
+			raw, err := inflateBytes(payload, o.size)
+			if err != nil {
+				return nil, fmt.Errorf("object %q: %w", name, err)
+			}
+			payload = raw
+		}
+		baseData, err := s.getLocked(o.base, hop+1)
+		if err != nil {
+			return nil, err
+		}
+		payload = xorBytes(payload, baseData)
+	}
+	return verifyPayload(payload, o.crc, name)
+}
+
+func verifyPayload(payload []byte, want uint32, name string) ([]byte, error) {
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, fmt.Errorf("%w: object %q reconstruction crc mismatch", ErrCorrupt, name)
+	}
+	return payload, nil
+}
+
+// xorBytes returns a XOR b over the common prefix with a's tail kept
+// raw: applying it twice with the same b is the identity, so the same
+// function both creates and applies residuals.
+func xorBytes(a, b []byte) []byte {
+	out := make([]byte, len(a))
+	copy(out, a)
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		out[i] ^= b[i]
+	}
+	return out
+}
+
+// Info returns the descriptor of one object.
+func (s *Store) Info(name string) (ObjectInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[name]; !ok {
+		return ObjectInfo{}, false
+	}
+	return s.infoLocked(name), true
+}
+
+func (s *Store) infoLocked(name string) ObjectInfo {
+	o := s.objects[name]
+	return ObjectInfo{Name: name, Size: o.size, Chunks: len(o.chunks), Depth: o.depth, Base: o.base, CRC: o.crc, NewBytes: o.newBytes}
+}
+
+// Objects lists every stored object, sorted by name.
+func (s *Store) Objects() []ObjectInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ObjectInfo, 0, len(s.objects))
+	for name := range s.objects {
+		out = append(out, s.infoLocked(name))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// collapseLocked rewrites a delta object as a full object.
+func (s *Store) collapseLocked(name string) error {
+	payload, err := s.getLocked(name, 0)
+	if err != nil {
+		return err
+	}
+	o := s.ingestLocked(payload, 0, "", crc32.Checksum(payload, castagnoli))
+	s.replaceLocked(name, o)
+	return nil
+}
+
+// Compact collapses delta chains deeper than maxDepth (0 keeps the
+// configured bound) and garbage-collects the chunk table. It persists
+// the result, so a crash afterwards reopens in the compacted state.
+func (s *Store) Compact(maxDepth int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if maxDepth <= 0 {
+		maxDepth = s.cfg.MaxDepth
+	}
+	var deep []string
+	for name, o := range s.objects {
+		if o.depth > maxDepth {
+			deep = append(deep, name)
+		}
+	}
+	sort.Strings(deep)
+	for _, name := range deep {
+		if err := s.collapseLocked(name); err != nil {
+			return err
+		}
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	_, _, err := s.t.GC()
+	if err != nil {
+		return err
+	}
+	// GC may have republished the index; keep the manifest fresh too.
+	return s.flushLocked()
+}
+
+// Flush persists the chunk table (segments + index) and then the
+// object manifest. Publish order matters: the manifest must only ever
+// reference chunks that are already durable.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if err := s.t.Flush(); err != nil {
+		return err
+	}
+	if !s.dirty {
+		return nil
+	}
+	if err := s.t.publishLocked("objects-*.tmp", objName, func(f faultfs.File) error {
+		_, err := f.Write(marshalObjects(s.objects))
+		return err
+	}); err != nil {
+		return err
+	}
+	s.dirty = false
+	return nil
+}
+
+func checkName(name string) error {
+	if name == "" || len(name) > maxObjectName {
+		return fmt.Errorf("cas: invalid object name %q", name)
+	}
+	return nil
+}
+
+func marshalObjects(objs map[string]*object) []byte {
+	names := make([]string, 0, len(objs))
+	for n := range objs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf := []byte(objMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, objVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(names)))
+	for _, n := range names {
+		o := objs[n]
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n)))
+		buf = append(buf, n...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(o.size))
+		buf = binary.LittleEndian.AppendUint32(buf, o.crc)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(o.depth))
+		var flags uint16
+		if o.comp {
+			flags |= objFlagCompressed
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, flags)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(o.base)))
+		buf = append(buf, o.base...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(o.newBytes))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(o.chunks)))
+		for _, k := range o.chunks {
+			buf = append(buf, k[:]...)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// parseObjects decodes an object manifest. Pure and fuzz-friendly:
+// hostile bytes yield ErrCorrupt/ErrUnsupported, never a panic.
+func parseObjects(raw []byte) (map[string]*object, error) {
+	fail := func(msg string) (map[string]*object, error) {
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, msg)
+	}
+	if len(raw) < 4+2+4+4 {
+		return fail("short object manifest")
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return fail("object manifest crc mismatch")
+	}
+	if string(body[:4]) != objMagic {
+		return fail("bad magic")
+	}
+	if v := binary.LittleEndian.Uint16(body[4:]); v != objVersion {
+		return nil, fmt.Errorf("%w: object manifest version %d", ErrUnsupported, v)
+	}
+	p := 6
+	need := func(n int) bool { return len(body)-p >= n }
+	if !need(4) {
+		return fail("truncated object count")
+	}
+	n := int(binary.LittleEndian.Uint32(body[p:]))
+	p += 4
+	if n > maxObjects {
+		return fail("object count too large")
+	}
+	objs := make(map[string]*object, n)
+	for i := 0; i < n; i++ {
+		if !need(2) {
+			return fail("truncated name length")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(body[p:]))
+		p += 2
+		if nameLen == 0 || nameLen > maxObjectName || !need(nameLen) {
+			return fail("bad name length")
+		}
+		name := string(body[p : p+nameLen])
+		p += nameLen
+		if !need(8 + 4 + 2 + 2 + 2) {
+			return fail("truncated object header")
+		}
+		o := &object{
+			size:  int64(binary.LittleEndian.Uint64(body[p:])),
+			crc:   binary.LittleEndian.Uint32(body[p+8:]),
+			depth: int(binary.LittleEndian.Uint16(body[p+12:])),
+		}
+		flags := binary.LittleEndian.Uint16(body[p+14:])
+		baseLen := int(binary.LittleEndian.Uint16(body[p+16:]))
+		p += 18
+		if flags&^objFlagCompressed != 0 {
+			return fail("unknown object flags")
+		}
+		o.comp = flags&objFlagCompressed != 0
+		if baseLen > maxObjectName || !need(baseLen) {
+			return fail("bad base length")
+		}
+		o.base = string(body[p : p+baseLen])
+		p += baseLen
+		if o.size < 0 || (o.depth == 0) != (o.base == "") {
+			return fail("inconsistent depth/base")
+		}
+		if o.comp && o.base == "" {
+			return fail("compressed residual without a base")
+		}
+		if !need(12) {
+			return fail("truncated chunk list header")
+		}
+		o.newBytes = int64(binary.LittleEndian.Uint64(body[p:]))
+		nChunks := int(binary.LittleEndian.Uint32(body[p+8:]))
+		p += 12
+		if nChunks > maxObjectChunk || !need(nChunks*32) {
+			return fail("bad chunk count")
+		}
+		o.chunks = make([]Key, nChunks)
+		for j := range o.chunks {
+			copy(o.chunks[j][:], body[p:])
+			p += 32
+		}
+		if _, dup := objs[name]; dup {
+			return fail("duplicate object name")
+		}
+		objs[name] = o
+	}
+	if p != len(body) {
+		return fail("trailing bytes")
+	}
+	return objs, nil
+}

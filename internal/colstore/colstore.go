@@ -47,6 +47,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"time"
 
@@ -112,6 +113,12 @@ type Config struct {
 	// MinHashBucket is the discretization width for similarity hashing
 	// (default 0.01).
 	MinHashBucket float64
+	// DeltaMaxDepth bounds the delta-generation chain length accepted by
+	// PutColumnDelta: a chunk at this depth becomes the base of no further
+	// deltas (the next generation restarts full), so a cold read never
+	// chases more than DeltaMaxDepth bases. Default 4; negative disables
+	// delta storage entirely (every versioned put stores full).
+	DeltaMaxDepth int
 	// Workers bounds the goroutines used by Flush and Compact to compress
 	// and write partitions (0 = GOMAXPROCS, 1 = serial).
 	Workers int
@@ -166,6 +173,12 @@ func (c Config) withDefaults() Config {
 	if c.MinHashBucket <= 0 {
 		c.MinHashBucket = 0.01
 	}
+	if c.DeltaMaxDepth == 0 {
+		c.DeltaMaxDepth = 4
+	}
+	if c.DeltaMaxDepth < 0 {
+		c.DeltaMaxDepth = 0 // disabled: PutColumnDelta always stores full
+	}
 	if c.CompressionLevel == 0 {
 		c.CompressionLevel = defaultCompressionLevel
 	}
@@ -199,11 +212,33 @@ func (k ColumnKey) String() string {
 }
 
 // chunk is the in-memory form of a ColumnChunk: encoded payload plus the
-// codec needed to reconstruct values. Immutable once created.
+// codec needed to reconstruct values. Immutable once created, with one
+// exception: Compact's chain-collapse (under flushMu+mu) clears the delta
+// fields — never enc/count/q, which readers touch without locks.
 type chunk struct {
 	enc   []byte
 	count int
 	q     *quant.Quantizer
+	// Delta-generation fields (zero for a full chunk). A delta chunk is
+	// stored on disk as the XOR residual against an earlier generation's
+	// chunk; in memory enc always holds the fully reconstructed payload, so
+	// the read path is identical for both kinds. delta keeps the residual so
+	// re-serialization (eviction, compaction rewrite) needs no base access.
+	delta   []byte  // XOR residual, len(delta) == len(enc)
+	base    ChunkID // the chunk the residual applies against
+	depth   int     // chain length: base.depth + 1
+	fullCRC uint32  // CRC32-C of the reconstructed enc, verified on page-in
+}
+
+// isDelta reports whether the chunk is stored as a delta generation.
+func (c *chunk) isDelta() bool { return c.delta != nil }
+
+// deltaRef is the resident registry entry for one delta chunk: enough to
+// know chain shape (for cost estimates and lost-base propagation) without
+// paging the partition in. Persisted in the manifest.
+type deltaRef struct {
+	Base  ChunkID
+	Depth int
 }
 
 // partition is a cluster of chunks; the unit of compression and disk IO.
@@ -249,6 +284,10 @@ type PutResult struct {
 	CoLocated bool
 	// EncodedBytes is the encoded payload size (0 when Deduped).
 	EncodedBytes int64
+	// Delta is true when the chunk was stored as an XOR residual against a
+	// parent generation; Depth is its chain depth (0 for full chunks).
+	Delta bool
+	Depth int
 }
 
 // Stats summarizes store contents and activity.
@@ -278,6 +317,14 @@ type Stats struct {
 	// corrupt files they are NOT quarantined — the file stays in place for
 	// a binary that understands it; its chunks answer ErrUnavailable.
 	UnsupportedPartitions int64
+	// DeltaChunks counts chunks currently stored as delta generations;
+	// DeltaBytes is the residual bytes they hold in place of full payloads
+	// (the cross-version dedup win, before compression). DeltaCollapsed
+	// counts chunks Compact rewrote back to full form (depth bound exceeded
+	// after a config change, or the base was lost).
+	DeltaChunks    int64
+	DeltaBytes     int64
+	DeltaCollapsed int64
 }
 
 // storeObs holds the store's instruments. All fields are nil (no-op) when
@@ -366,6 +413,10 @@ type Store struct {
 	columns map[ColumnKey]ChunkID
 	// zones holds per-chunk min/max summaries for predicate scans.
 	zones map[ChunkID]zone
+	// deltas registers every delta-generation chunk (id -> base + depth).
+	// Always resident — manifest-persisted — so chain depth is known for
+	// cost estimates and lost-base propagation without paging anything in.
+	deltas map[ChunkID]deltaRef
 
 	stats Stats
 	om    storeObs
@@ -412,6 +463,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 		sigPart:    make(map[int]int64),
 		columns:    make(map[ColumnKey]ChunkID),
 		zones:      make(map[ChunkID]zone),
+		deltas:     make(map[ChunkID]deltaRef),
 		lostChunks: make(map[ChunkID]struct{}),
 		om:         newStoreObs(cfg.Obs, cfg.Codec),
 	}
@@ -440,6 +492,34 @@ func (s *Store) RowBlockRows() int { return s.cfg.RowBlockRows }
 // identical chunk exists it is deduplicated; if a similar chunk exists (in
 // ModeSimilarity) the new chunk joins its partition.
 func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (PutResult, error) {
+	return s.putColumn(key, vals, q, nil)
+}
+
+// PutColumnDelta stores one ColumnChunk of a new model version, trying to
+// encode it as a delta generation against the parent version's chunk: if
+// the parent column exists, its chain is shorter than DeltaMaxDepth, and
+// the two columns' MinHash signatures estimate Jaccard similarity at or
+// above SimilarityThreshold, only the XOR residual is kept (sparse for
+// fine-tune-style updates, so the partition compressor collapses it).
+// Every fallback condition — missing or lost parent, depth bound, low
+// similarity, a parent stored after this chunk's partition — degrades to a
+// plain full store, never to an error: delta encoding is an optimization,
+// not a correctness requirement.
+func (s *Store) PutColumnDelta(key ColumnKey, vals []float32, q *quant.Quantizer, parent ColumnKey) (PutResult, error) {
+	return s.putColumn(key, vals, q, &parent)
+}
+
+// deltaSpec carries a prepared (pre-lock) delta encoding into the put's
+// critical section, where it is re-validated before use.
+type deltaSpec struct {
+	parent   ColumnKey
+	base     ChunkID
+	depth    int
+	residual []byte
+	fullCRC  uint32
+}
+
+func (s *Store) putColumn(key ColumnKey, vals []float32, q *quant.Quantizer, parent *ColumnKey) (PutResult, error) {
 	if q == nil {
 		q = quant.NewFull()
 	}
@@ -475,6 +555,14 @@ func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (Pu
 		sig = s.hasher.SignFloats(vals, s.cfg.MinHashBucket)
 	}
 	s.om.putHashSeconds.ObserveSince(t0)
+
+	// Delta preparation — base lookup, similarity probe, residual XOR —
+	// also runs outside mu; the spec is re-validated under the lock (a
+	// concurrent Compact may have remapped the base chunk's id meanwhile).
+	var spec *deltaSpec
+	if parent != nil && *parent != key {
+		spec = s.prepareDelta(*parent, vals, enc, sig)
+	}
 
 	appendDone := s.om.putAppendSeconds.Time()
 	defer appendDone()
@@ -518,12 +606,41 @@ func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (Pu
 		}
 	}
 
+	// Re-validate the prepared delta now that the index is locked: the
+	// parent mapping must still name the same chunk (Compact remaps ids)
+	// and the base must still be readable.
+	if spec != nil {
+		if id, ok := s.columns[spec.parent]; !ok || id != spec.base {
+			spec = nil
+		} else if _, bad := s.lostChunks[spec.base]; bad {
+			spec = nil
+		} else if bp, ok := s.parts[spec.base.Partition]; !ok || bp.lost {
+			spec = nil
+		}
+	}
+
 	p, coLocated := s.pickPartition(sig)
+	// A delta chunk's base must live strictly earlier in partition order
+	// (earlier partition, or earlier index of the same one — appends
+	// guarantee the latter), so recursive page-in resolves bases by walking
+	// ids downward and can never cycle or deadlock. A parent logged into a
+	// later partition is rare; store full rather than reorder partitions.
+	if spec != nil && p.id < spec.base.Partition {
+		spec = nil
+	}
 	c := &chunk{enc: enc, count: len(vals), q: q}
+	residentBytes := int64(len(enc))
+	if spec != nil {
+		c.delta = spec.residual
+		c.base = spec.base
+		c.depth = spec.depth
+		c.fullCRC = spec.fullCRC
+		residentBytes += int64(len(spec.residual))
+	}
 	p.chunks = append(p.chunks, c)
-	p.bytes += int64(len(enc))
+	p.bytes += residentBytes
 	p.dirty = true
-	s.memBytes += int64(len(enc))
+	s.memBytes += residentBytes
 	if p.bytes >= s.cfg.PartitionTargetBytes {
 		p.sealed = true
 		if s.current == p.id {
@@ -543,11 +660,179 @@ func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (Pu
 	}
 	s.stats.ChunksStored++
 	s.stats.StoredBytes += int64(len(enc))
+	res := PutResult{ID: id, CoLocated: coLocated, EncodedBytes: int64(len(enc))}
+	if spec != nil {
+		s.deltas[id] = deltaRef{Base: spec.base, Depth: spec.depth}
+		s.stats.DeltaChunks++
+		s.stats.DeltaBytes += int64(len(spec.residual))
+		res.Delta = true
+		res.Depth = spec.depth
+	}
 	s.touchLocked(p.id)
 	if err := s.evictIfNeededLocked(); err != nil {
 		return PutResult{}, err
 	}
-	return PutResult{ID: id, CoLocated: coLocated, EncodedBytes: int64(len(enc))}, nil
+	return res, nil
+}
+
+// prepareDelta builds a deltaSpec for storing key's chunk as a residual
+// against the parent column's chunk, or nil when any precondition fails
+// (the caller then stores full). Runs without locks held: the base chunk
+// is paged in via the concurrent read path, decoded, and similarity-probed
+// here so the index lock only pays for a map re-check. sig is the new
+// chunk's MinHash signature when the put path already computed one.
+func (s *Store) prepareDelta(parent ColumnKey, vals []float32, enc []byte, sig []uint64) *deltaSpec {
+	if s.cfg.DeltaMaxDepth <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	baseID, ok := s.columns[parent]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	bc, err := s.chunkRef(baseID)
+	if err != nil || len(bc.enc) == 0 {
+		return nil
+	}
+	if bc.depth+1 > s.cfg.DeltaMaxDepth {
+		return nil // chain bound: this generation restarts full
+	}
+	// Similarity gate: delta-encode only when the two generations' value
+	// distributions actually overlap (MinHash estimate of Jaccard >= tau),
+	// otherwise the residual is as large and as incompressible as the
+	// payload itself and the chain read amplification buys nothing.
+	baseVals, err := bc.q.Decode(grabF32(bc.count), bc.enc, bc.count)
+	if err != nil {
+		return nil
+	}
+	baseSig := s.hasher.SignFloats(baseVals, s.cfg.MinHashBucket)
+	releaseF32(baseVals)
+	if sig == nil {
+		sig = s.hasher.SignFloats(vals, s.cfg.MinHashBucket)
+	}
+	if minhash.EstimateJaccard(sig, baseSig) < s.cfg.SimilarityThreshold {
+		return nil
+	}
+	return &deltaSpec{
+		parent:   parent,
+		base:     baseID,
+		depth:    bc.depth + 1,
+		residual: xorEnc(enc, bc.enc),
+		fullCRC:  crc32.Checksum(enc, castagnoli),
+	}
+}
+
+// xorEnc XORs the common prefix of a and b and copies a's tail verbatim —
+// the self-inverse residual transform: xorEnc(xorEnc(a, b), b) == a for
+// any lengths. The result always has len(a).
+func xorEnc(a, b []byte) []byte {
+	out := make([]byte, len(a))
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = a[i] ^ b[i]
+	}
+	copy(out[n:], a[n:])
+	return out
+}
+
+// resolveDeltaChunks reconstructs the full payload of every delta chunk in
+// a freshly parsed partition. Same-partition bases are served from the
+// already-resolved prefix (the put path guarantees base index < chunk
+// index); cross-partition bases — always in a strictly earlier partition —
+// go through lookup, which the two page-in paths bind to their respective
+// locking discipline. Returns the reconstructed bytes added (for memory
+// accounting) and whether any chunk stayed unresolved because its base is
+// unavailable (lost-but-healable; the caller marks those chunks lost and
+// installs the rest). Reconstruction is verified against the chunk's
+// stored CRC32-C, so a wrong base version or corrupt residual surfaces as
+// a hard error, never as silently wrong values.
+func resolveDeltaChunks(pid int64, chunks []*chunk, lookup func(ChunkID) (*chunk, error)) (added int64, lost bool, err error) {
+	for i, c := range chunks {
+		if !c.isDelta() || c.enc != nil {
+			continue
+		}
+		var bc *chunk
+		switch {
+		case c.base.Partition == pid:
+			if c.base.Index < 0 || c.base.Index >= i {
+				return added, lost, fmt.Errorf("chunk %d delta base %d/%d not earlier in partition", i, c.base.Partition, c.base.Index)
+			}
+			bc = chunks[c.base.Index]
+			if bc.enc == nil {
+				lost = true // base itself unresolved: the chain is down together
+				continue
+			}
+		case c.base.Partition > pid:
+			return added, lost, fmt.Errorf("chunk %d delta base %d/%d in later partition", i, c.base.Partition, c.base.Index)
+		default:
+			var lerr error
+			bc, lerr = lookup(c.base)
+			if errors.Is(lerr, ErrUnavailable) {
+				lost = true
+				continue
+			}
+			if lerr != nil {
+				return added, lost, fmt.Errorf("chunk %d delta base %d/%d: %w", i, c.base.Partition, c.base.Index, lerr)
+			}
+			if bc.enc == nil {
+				lost = true // base resident but itself unreconstructed
+				continue
+			}
+		}
+		enc := xorEnc(c.delta, bc.enc)
+		if got := crc32.Checksum(enc, castagnoli); got != c.fullCRC {
+			return added, lost, fmt.Errorf("chunk %d delta reconstruction checksum mismatch: want %08x, got %08x", i, c.fullCRC, got)
+		}
+		c.enc = enc
+		added += int64(len(enc))
+	}
+	return added, lost, nil
+}
+
+// markUnresolvedLostLocked registers every still-unresolved delta chunk of
+// a partition as lost (base missing or quarantined — lost-but-healable,
+// not corrupt: the partition file itself is intact and its resolved chunks
+// stay readable). Caller holds mu.
+func (s *Store) markUnresolvedLostLocked(pid int64, chunks []*chunk) {
+	for i, c := range chunks {
+		if c.isDelta() && c.enc == nil {
+			s.lostChunks[ChunkID{Partition: pid, Index: i}] = struct{}{}
+		}
+	}
+}
+
+// DeltaDepth returns the delta-chain depth of a stored column (0 = stored
+// full or not stored). Resident metadata only — no page-in.
+func (s *Store) DeltaDepth(key ColumnKey) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.columns[key]
+	if !ok {
+		return 0
+	}
+	return s.deltas[id].Depth
+}
+
+// MaxDeltaDepth returns the deepest delta chain backing any column of one
+// intermediate — the read-amplification factor the cost model charges a
+// cold READ of it. Resident metadata only — no page-in.
+func (s *Store) MaxDeltaDepth(model, interm string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	maxDepth := 0
+	for k, id := range s.columns {
+		if k.Model != model || k.Intermediate != interm {
+			continue
+		}
+		if d, ok := s.deltas[id]; ok && d.Depth > maxDepth {
+			maxDepth = d.Depth
+		}
+	}
+	return maxDepth
 }
 
 // chunkMatchesLocked reports whether the stored chunk's encoded payload
@@ -791,8 +1076,31 @@ func (s *Store) chunkRef(id ChunkID) (*chunk, error) {
 		return nil, fmt.Errorf("colstore: read partition %d: %v: %w", id.Partition, err, ErrUnavailable)
 	}
 
+	// Reconstruct delta generations before the partition becomes visible.
+	// Bases live strictly earlier in partition order, so the recursive
+	// page-in acquires loadMu locks in strictly decreasing id order — no
+	// deadlock, no cycle — while this partition's loadMu is held.
+	added, deltaLost, derr := resolveDeltaChunks(id.Partition, chunks, func(bid ChunkID) (*chunk, error) {
+		return s.chunkRef(bid)
+	})
+	if derr != nil {
+		// A failed reconstruction (wrong base generation, corrupt residual)
+		// is indistinguishable from file corruption: quarantine.
+		s.mu.Lock()
+		s.quarantineLocked(p, derr)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("colstore: read partition %d: %v: %w", id.Partition, derr, ErrUnavailable)
+	}
+	payload += added
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if deltaLost {
+		// One or more bases are gone but this partition's file is intact:
+		// keep it, install the resolved chunks, and mark the unresolved
+		// ones lost-but-healable (re-logging the version repairs them).
+		s.markUnresolvedLostLocked(id.Partition, chunks)
+	}
 	if p.chunks == nil {
 		p.chunks = chunks
 		p.bytes = payload
@@ -810,6 +1118,9 @@ func (s *Store) chunkRef(id ChunkID) (*chunk, error) {
 			p.chunks = chunks
 			s.memBytes += payload
 		}
+	}
+	if _, bad := s.lostChunks[id]; bad {
+		return nil, fmt.Errorf("colstore: chunk %d/%d: %w", id.Partition, id.Index, ErrUnavailable)
 	}
 	return chunkAtLocked(p, id)
 }

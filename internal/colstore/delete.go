@@ -3,6 +3,7 @@ package colstore
 import (
 	"fmt"
 	"os"
+	"sort"
 
 	"mistique/internal/parallel"
 )
@@ -13,15 +14,97 @@ import (
 // their unreferenced chunks. This is the lifecycle piece a real deployment
 // needs once old model versions age out.
 
-// refCount returns how many logical columns reference each chunk.
-// Computed on demand: deletes are rare relative to puts and the columns
-// map is the single source of truth.
+// refCount returns how many references each chunk has: logical columns
+// plus delta generations using the chunk as their base. Computed on
+// demand: deletes are rare relative to puts and the columns and delta
+// maps are the single sources of truth. Counting base references keeps
+// Compact from dropping a chunk some later generation still reconstructs
+// through, even after every column naming the base itself was deleted.
 func (s *Store) refCountLocked() map[ChunkID]int {
 	refs := make(map[ChunkID]int, len(s.columns))
 	for _, id := range s.columns {
 		refs[id]++
 	}
+	for _, d := range s.deltas {
+		refs[d.Base]++
+	}
 	return refs
+}
+
+// baseGoneLocked reports whether a delta base chunk is unreadable: lost,
+// in a quarantined or vanished partition, or past a torn file's tail.
+func (s *Store) baseGoneLocked(id ChunkID) bool {
+	if _, bad := s.lostChunks[id]; bad {
+		return true
+	}
+	p, ok := s.parts[id.Partition]
+	if !ok || p.lost {
+		return true
+	}
+	return p.chunks == nil && p.diskChunks >= 0 && id.Index >= p.diskChunks
+}
+
+// collapseChainsLocked rewrites delta chunks back to full form when their
+// recorded chain depth exceeds the configured bound (possible after a
+// DeltaMaxDepth change) or their base chunk is gone. Collapse needs the
+// reconstructed payload, which is already resident or restored by page-in;
+// a chunk whose base vanished before it was ever reconstructed stays lost
+// until the version is re-logged. Caller holds flushMu and mu.
+func (s *Store) collapseChainsLocked() {
+	if len(s.deltas) == 0 {
+		return
+	}
+	var ids []ChunkID
+	for id, d := range s.deltas {
+		if d.Depth > s.cfg.DeltaMaxDepth || s.baseGoneLocked(d.Base) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Partition != ids[j].Partition {
+			return ids[i].Partition < ids[j].Partition
+		}
+		return ids[i].Index < ids[j].Index
+	})
+	for _, id := range ids {
+		if _, bad := s.lostChunks[id]; bad {
+			continue // unreconstructable until healed by re-logging
+		}
+		p, ok := s.parts[id.Partition]
+		if !ok || p.lost {
+			continue
+		}
+		chunks, err := s.partitionChunksLocked(id.Partition, p)
+		if err != nil {
+			continue // quarantined by the failed load; chunks now lost
+		}
+		if id.Index < 0 || id.Index >= len(chunks) {
+			continue
+		}
+		c := chunks[id.Index]
+		if !c.isDelta() {
+			delete(s.deltas, id)
+			continue
+		}
+		if c.enc == nil {
+			continue // base gone before reconstruction: marked lost by the load
+		}
+		freed := int64(len(c.delta))
+		// Clearing only the delta fields is safe for concurrent readers:
+		// they touch enc/count/q, which stay untouched (see chunk docs).
+		// Dependents of this chunk keep reconstructing: their residuals
+		// apply against enc, which is byte-identical before and after.
+		c.delta, c.base, c.depth, c.fullCRC = nil, ChunkID{}, 0, 0
+		delete(s.deltas, id)
+		p.dirty = true
+		p.bytes -= freed
+		if p.chunks != nil {
+			s.memBytes -= freed
+		}
+		s.stats.DeltaChunks--
+		s.stats.DeltaBytes -= freed
+		s.stats.DeltaCollapsed++
+	}
 }
 
 // DeleteModel drops every column mapping belonging to a model. Returns the
@@ -127,11 +210,21 @@ func (s *Store) partitionChunksLocked(pid int64, p *partition) ([]*chunk, error)
 // Old-generation files are removed only after the manifest is durable; a
 // crash at any point leaves a manifest whose referenced files are intact
 // (stale leftovers are quarantined by the next Open's recovery sweep).
+//
+// Compact is also the delta-chain maintenance pass: chains deeper than
+// DeltaMaxDepth (possible after a config change) or whose base is gone are
+// collapsed back to full chunks first, and partitions hosting chunks that
+// other partitions' deltas reconstruct through are pinned — no index
+// remap — so cold dependents' on-disk base references stay valid.
 func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
 	s.om.compactions.Inc()
 	s.mu.Lock()
+	// Collapse over-deep and orphaned delta chains first: collapsing frees
+	// base references, so chunks kept alive only by a now-collapsed chain
+	// become garbage this same pass can reclaim.
+	s.collapseChainsLocked()
 	refs := s.refCountLocked()
 	var rewrites []flushTask
 	// removals collects files to delete after the manifest commits: old
@@ -142,6 +235,21 @@ func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 	byPart := make(map[int64][]ColumnKey)
 	for k, id := range s.columns {
 		byPart[id.Partition] = append(byPart[id.Partition], k)
+	}
+
+	// Partitions hosting a chunk that some OTHER partition's delta
+	// reconstructs through are pinned: dropping any chunk there would shift
+	// the indices the dependents' on-disk base references name, and those
+	// dependents may be cold (their files cannot be fixed up without
+	// rewriting them too). Pinned partitions keep all their chunks this
+	// round; the garbage is reclaimed once the dependent chains collapse or
+	// age out. Same-partition references are not pinning — chunk and base
+	// remap through the same table below.
+	pinned := make(map[int64]bool)
+	for id, d := range s.deltas {
+		if d.Base.Partition != id.Partition {
+			pinned[d.Base.Partition] = true
+		}
 	}
 
 	for pid, p := range s.parts {
@@ -162,6 +270,11 @@ func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 						delete(s.zones, id)
 					}
 				}
+				for id := range s.deltas {
+					if id.Partition == pid {
+						delete(s.deltas, id)
+					}
+				}
 				delete(s.parts, pid)
 				s.stats.Partitions--
 			}
@@ -173,23 +286,29 @@ func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 			return droppedChunks, reclaimed, err
 		}
 		hasGarbage := false
-		for i := range chunks {
-			if refs[ChunkID{Partition: pid, Index: i}] == 0 {
-				hasGarbage = true
-				break
+		if !pinned[pid] {
+			for i := range chunks {
+				if refs[ChunkID{Partition: pid, Index: i}] == 0 {
+					hasGarbage = true
+					break
+				}
 			}
 		}
 		if !hasGarbage {
-			// Fully live — but if the on-disk file was written by a
-			// different codec than the store is configured with, rewrite
-			// it anyway (identity remap): compaction doubles as the codec
-			// migration tool. Unsniffable files are recovery's problem,
-			// not compaction's — leave them alone.
+			// Fully live (or pinned) — but still rewrite, identity-remapped,
+			// when the on-disk file was written by a different codec than
+			// the store is configured with (compaction doubles as the codec
+			// migration tool) or when a chain collapse above dirtied it (the
+			// collapse must reach disk before the manifest forgets the
+			// chain). Unsniffable files are recovery's problem, not
+			// compaction's — leave them alone.
 			if !p.onDisk {
 				continue
 			}
-			if id, err := fileCodecID(s.partPathGen(pid, p.gen)); err != nil || id == s.codec.ID() {
-				continue
+			if !p.dirty {
+				if id, err := fileCodecID(s.partPathGen(pid, p.gen)); err != nil || id == s.codec.ID() {
+					continue
+				}
 			}
 		}
 
@@ -199,14 +318,19 @@ func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 		var liveBytes int64
 		for i, c := range chunks {
 			id := ChunkID{Partition: pid, Index: i}
-			if refs[id] == 0 {
+			if refs[id] == 0 && !pinned[pid] {
 				droppedChunks++
 				reclaimed += int64(len(c.enc))
+				if c.isDelta() {
+					s.stats.DeltaChunks--
+					s.stats.DeltaBytes -= int64(len(c.delta))
+					delete(s.deltas, id)
+				}
 				continue
 			}
 			remap[i] = len(live)
 			live = append(live, c)
-			liveBytes += int64(len(c.enc))
+			liveBytes += int64(len(c.enc) + len(c.delta))
 		}
 
 		// Remap every referencing structure.
@@ -237,6 +361,43 @@ func (s *Store) Compact() (droppedChunks int, reclaimed int64, err error) {
 					continue
 				}
 				s.hashes[h] = ChunkID{Partition: pid, Index: ni}
+			}
+		}
+		// Remap the delta registry: entries keyed in this partition move to
+		// their new index (dropped chunks' entries were deleted above), and
+		// same-partition base links follow the same table. Cross-partition
+		// base links into pid cannot exist off the identity — pinning keeps
+		// every externally-referenced partition unremapped. Collect first,
+		// then apply: inserting while ranging a map is undefined-order.
+		type deltaEdit struct {
+			old, new ChunkID
+			d        deltaRef
+		}
+		var deltaEdits []deltaEdit
+		for id, d := range s.deltas {
+			nid, nd, touched := id, d, false
+			if id.Partition == pid {
+				nid = ChunkID{Partition: pid, Index: remap[id.Index]}
+				touched = touched || nid != id
+			}
+			if d.Base.Partition == pid {
+				// Base chunks carry a reference, so the remap kept them.
+				nd.Base = ChunkID{Partition: pid, Index: remap[d.Base.Index]}
+				touched = touched || nd.Base != d.Base
+			}
+			if touched {
+				deltaEdits = append(deltaEdits, deltaEdit{old: id, new: nid, d: nd})
+			}
+		}
+		for _, e := range deltaEdits {
+			delete(s.deltas, e.old)
+		}
+		for _, e := range deltaEdits {
+			s.deltas[e.new] = e.d
+		}
+		for _, c := range live {
+			if c.isDelta() && c.base.Partition == pid {
+				c.base = ChunkID{Partition: pid, Index: remap[c.base.Index]}
 			}
 		}
 
@@ -349,6 +510,11 @@ func (s *Store) Verify() (*VerifyReport, error) {
 		for i, c := range chunks {
 			rep.Chunks++
 			id := ChunkID{Partition: pid, Index: i}
+			if _, bad := s.lostChunks[id]; bad {
+				rep.Problems = append(rep.Problems,
+					fmt.Sprintf("chunk %v unavailable (lost base or torn tail): heal by re-logging or re-run", id))
+				continue
+			}
 			vals, err := c.q.Decode(make([]float32, 0, c.count), c.enc, c.count)
 			if err != nil {
 				rep.Problems = append(rep.Problems, fmt.Sprintf("chunk %v undecodable: %v", id, err))

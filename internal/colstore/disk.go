@@ -22,16 +22,27 @@ import (
 //	version uint16
 //	nchunks uint32
 //	per chunk:
+//	  flags   byte (v3 only: 0 = full, 1 = delta generation)
 //	  count   uint32 (number of values)
 //	  qlen    uint32, quantizer blob
-//	  elen    uint32, encoded payload
-//	  crc32c  uint32 over the chunk's meta+quantizer+payload (v2)
-//	crc32c  uint32 over every preceding byte (v2 whole-file footer)
+//	  elen    uint32, payload (encoded values; the XOR residual for deltas)
+//	  delta extras (v3, flags==1 only):
+//	    basePart int64, baseIdx uint32, depth uint16, fullCRC uint32
+//	  crc32c  uint32 over the chunk's flags+meta+quantizer+payload (v2+)
+//	crc32c  uint32 over every preceding byte (v2+ whole-file footer)
 //
 // Version 2 adds the CRC32-C checksums; v1 files (no checksums) remain
 // readable. Every read verifies both levels: a bit flip, truncation or
 // torn write yields an error — never silently wrong values — and the
 // store quarantines the file and falls back to re-running the model.
+//
+// Version 3 adds delta-generation chunks: the payload is the XOR residual
+// against an earlier chunk (named by basePart/baseIdx, always strictly
+// earlier in partition order) and fullCRC checks the reconstruction. A
+// partition containing no delta chunks is still written as v2, byte-
+// identical to pre-delta stores; v3 appears only when needed, so old
+// binaries reject exactly the files they cannot read (ErrUnsupportedFormat
+// leaves them in place for a newer binary).
 //
 // On disk the image is wrapped by a codec. Two framings exist:
 //
@@ -49,8 +60,12 @@ import (
 // the (perfectly intact) file for a newer binary instead of deleting it
 // as corrupt.
 const (
-	partMagic   = "MQPT"
-	partVersion = 2
+	partMagic = "MQPT"
+	// partVersion is the format written for all-full partitions;
+	// partVersionDelta is written only when a partition holds at least one
+	// delta-generation chunk.
+	partVersion      = 2
+	partVersionDelta = 3
 
 	contMagic   = "MQPC"
 	contVersion = 3
@@ -121,9 +136,17 @@ func (s *Store) partPathGen(pid int64, gen int) string {
 // whole-file footer is one Checksum over the finished image. Cannot fail —
 // every input is in memory.
 func serializePartition(dst []byte, chunks []*chunk) []byte {
+	version := uint16(partVersion)
 	need := 14 // header + file footer
 	for _, c := range chunks {
 		need += 16 + c.q.MarshaledSize() + len(c.enc)
+		if c.isDelta() {
+			version = partVersionDelta
+			need += 1 + 18 // flags byte + delta extras (every chunk pays the flags byte)
+		}
+	}
+	if version == partVersionDelta {
+		need += len(chunks) // flags byte on full chunks too
 	}
 	if cap(dst)-len(dst) < need {
 		// Grow with +25% headroom, not to the exact size: the flush path
@@ -136,15 +159,30 @@ func serializePartition(dst []byte, chunks []*chunk) []byte {
 		dst = append(make([]byte, 0, newCap), dst...)
 	}
 	dst = append(dst, partMagic...)
-	dst = binary.LittleEndian.AppendUint16(dst, partVersion)
+	dst = binary.LittleEndian.AppendUint16(dst, version)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(chunks)))
 	for _, c := range chunks {
 		start := len(dst)
+		payload := c.enc
+		if version == partVersionDelta {
+			if c.isDelta() {
+				dst = append(dst, 1)
+				payload = c.delta // the residual is what goes to disk
+			} else {
+				dst = append(dst, 0)
+			}
+		}
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(c.count))
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(c.q.MarshaledSize()))
-		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(c.enc)))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+		if c.isDelta() {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(c.base.Partition))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(c.base.Index))
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(c.depth))
+			dst = binary.LittleEndian.AppendUint32(dst, c.fullCRC)
+		}
 		dst = c.q.AppendBinary(dst)
-		dst = append(dst, c.enc...)
+		dst = append(dst, payload...)
 		chunkCRC := crc32.Checksum(dst[start:], castagnoli)
 		dst = binary.LittleEndian.AppendUint32(dst, chunkCRC)
 	}
@@ -418,7 +456,11 @@ func readPartitionFrom(r io.Reader) ([]*chunk, int64, error) {
 func (s *Store) loadPartitionLocked(pid int64) (*partition, error) {
 	p, ok := s.parts[pid]
 	if !ok {
-		return nil, fmt.Errorf("colstore: unknown partition %d", pid)
+		// Unavailable, not corrupt — mirrors chunkRef: a vanished partition
+		// (e.g. a dead tombstone Compact already dropped) must read as a
+		// recoverable loss, so delta resolution marks dependents lost instead
+		// of quarantining their intact files.
+		return nil, fmt.Errorf("colstore: unknown partition %d: %w", pid, ErrUnavailable)
 	}
 	if p.lost {
 		return nil, fmt.Errorf("colstore: partition %d: %w", pid, ErrUnavailable)
@@ -431,6 +473,27 @@ func (s *Store) loadPartitionLocked(pid int64) (*partition, error) {
 	if err != nil {
 		s.quarantineLocked(p, err)
 		return nil, fmt.Errorf("colstore: read partition %d: %v: %w", pid, err, ErrUnavailable)
+	}
+	// Resolve delta generations while still holding mu: bases live in
+	// strictly earlier partitions, so the recursion terminates, and mu is
+	// already held so the recursive load uses this same slow path.
+	added, deltaLost, derr := resolveDeltaChunks(pid, chunks, func(bid ChunkID) (*chunk, error) {
+		if _, bad := s.lostChunks[bid]; bad {
+			return nil, fmt.Errorf("colstore: chunk %d/%d: %w", bid.Partition, bid.Index, ErrUnavailable)
+		}
+		bp, err := s.loadPartitionLocked(bid.Partition)
+		if err != nil {
+			return nil, err
+		}
+		return chunkAtLocked(bp, bid)
+	})
+	if derr != nil {
+		s.quarantineLocked(p, derr)
+		return nil, fmt.Errorf("colstore: read partition %d: %v: %w", pid, derr, ErrUnavailable)
+	}
+	payload += added
+	if deltaLost {
+		s.markUnresolvedLostLocked(pid, chunks)
 	}
 	p.chunks = chunks
 	p.bytes = payload
@@ -486,7 +549,7 @@ func parsePartition(img []byte) ([]*chunk, int64, error) {
 		return nil, 0, fmt.Errorf("bad magic %q", hdr[:4])
 	}
 	version := binary.LittleEndian.Uint16(hdr[4:])
-	if version != 1 && version != partVersion {
+	if version != 1 && version != partVersion && version != partVersionDelta {
 		// A future image version is a forward-compat rejection, not
 		// corruption: the bytes are presumed intact, just unreadable here.
 		return nil, 0, fmt.Errorf("%w: image version %d", ErrUnsupportedFormat, version)
@@ -506,6 +569,20 @@ func parsePartition(img []byte) ([]*chunk, int64, error) {
 	var payload int64
 	for i := 0; i < n; i++ {
 		metaStart := pos
+		isDelta := false
+		if version >= partVersionDelta {
+			fb, err := take(1)
+			if err != nil {
+				return nil, 0, fmt.Errorf("chunk %d flags: %w", i, err)
+			}
+			switch fb[0] {
+			case 0:
+			case 1:
+				isDelta = true
+			default:
+				return nil, 0, fmt.Errorf("chunk %d unknown flags %#x", i, fb[0])
+			}
+		}
 		meta, err := take(12)
 		if err != nil {
 			return nil, 0, fmt.Errorf("chunk %d header: %w", i, err)
@@ -516,6 +593,22 @@ func parsePartition(img []byte) ([]*chunk, int64, error) {
 		if qlen > maxChunkBlob || elen > maxChunkBlob {
 			return nil, 0, fmt.Errorf("chunk %d implausible sizes q=%d e=%d", i, qlen, elen)
 		}
+		var base ChunkID
+		var depth int
+		var fullCRC uint32
+		if isDelta {
+			ext, err := take(18)
+			if err != nil {
+				return nil, 0, fmt.Errorf("chunk %d delta extras: %w", i, err)
+			}
+			base.Partition = int64(binary.LittleEndian.Uint64(ext))
+			base.Index = int(binary.LittleEndian.Uint32(ext[8:]))
+			depth = int(binary.LittleEndian.Uint16(ext[12:]))
+			fullCRC = binary.LittleEndian.Uint32(ext[14:])
+			if base.Partition < 0 || depth < 1 {
+				return nil, 0, fmt.Errorf("chunk %d implausible delta base %d/%d depth %d", i, base.Partition, base.Index, depth)
+			}
+		}
 		qb, err := take(qlen)
 		if err != nil {
 			return nil, 0, fmt.Errorf("chunk %d quantizer: %w", i, err)
@@ -525,14 +618,14 @@ func parsePartition(img []byte) ([]*chunk, int64, error) {
 			return nil, 0, fmt.Errorf("chunk %d payload: %w", i, err)
 		}
 		if version >= 2 {
+			// flags, meta, delta extras, quantizer and payload are
+			// contiguous in the image: one Checksum covers them all.
+			got := crc32.Checksum(img[metaStart:pos], castagnoli)
 			crcBuf, err := take(4)
 			if err != nil {
 				return nil, 0, fmt.Errorf("chunk %d checksum: %w", i, err)
 			}
-			want := binary.LittleEndian.Uint32(crcBuf)
-			// meta, quantizer and payload are contiguous in the image: one
-			// Checksum covers all three.
-			if got := crc32.Checksum(img[metaStart:metaStart+12+qlen+elen], castagnoli); got != want {
+			if want := binary.LittleEndian.Uint32(crcBuf); got != want {
 				return nil, 0, fmt.Errorf("chunk %d checksum mismatch: file says %08x, data hashes to %08x", i, want, got)
 			}
 		}
@@ -546,12 +639,19 @@ func parsePartition(img []byte) ([]*chunk, int64, error) {
 		if err := q.UnmarshalBinary(qb); err != nil {
 			return nil, 0, fmt.Errorf("chunk %d quantizer: %w", i, err)
 		}
+		nc := chunk{enc: enc, count: count, q: q}
+		if isDelta {
+			// The payload is the residual; enc stays nil until the caller
+			// resolves the base chain (resolveDeltaChunks).
+			nc = chunk{count: count, q: q, delta: enc, base: base, depth: depth, fullCRC: fullCRC}
+		}
 		var c *chunk
 		if len(chunkSlab) < cap(chunkSlab) {
-			chunkSlab = append(chunkSlab, chunk{enc: enc, count: count, q: q})
+			chunkSlab = append(chunkSlab, nc)
 			c = &chunkSlab[len(chunkSlab)-1]
 		} else {
-			c = &chunk{enc: enc, count: count, q: q}
+			c = &chunk{}
+			*c = nc
 		}
 		chunks = append(chunks, c)
 		payload += int64(elen)

@@ -187,7 +187,7 @@ func TestFutureContainerVersionUnsupported(t *testing.T) {
 func TestFutureImageVersionUnsupported(t *testing.T) {
 	chunks := testChunks(t, 2)
 	img := serializePartition(nil, chunks)
-	img[4] = partVersion + 1
+	img[4] = partVersionDelta + 1
 	_, _, err := parsePartition(img)
 	if !errors.Is(err, ErrUnsupportedFormat) {
 		t.Fatalf("future image version: got %v, want ErrUnsupportedFormat", err)

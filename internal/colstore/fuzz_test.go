@@ -3,6 +3,7 @@ package colstore
 import (
 	"bytes"
 	"compress/gzip"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -66,6 +67,33 @@ func containerFramed(t testing.TB, c codec.Codec, raw []byte) []byte {
 	return framed
 }
 
+// validDeltaImage serializes a partition holding a delta-generation chunk
+// (image v3): a full base plus a chunk stored as XOR residual against it.
+func validDeltaImage(t testing.TB) []byte {
+	t.Helper()
+	full := quant.NewFull()
+	base := []float32{0, 1.5, -2.25, 3, 4, 5.5, -6, 7}
+	child := []float32{0, 1.5, -2.25, 3.5, 4, 5.5, -6, 7.25}
+	baseEnc := full.Encode(nil, base)
+	childEnc := full.Encode(nil, child)
+	chunks := []*chunk{
+		{enc: baseEnc, count: len(base), q: full},
+		{
+			count:   len(child),
+			q:       full,
+			delta:   xorEnc(childEnc, baseEnc),
+			base:    ChunkID{Partition: 0, Index: 0},
+			depth:   1,
+			fullCRC: crc32.Checksum(childEnc, castagnoli),
+		},
+	}
+	var raw bytes.Buffer
+	if _, err := writePartitionTo(&raw, chunks); err != nil {
+		t.Fatal(err)
+	}
+	return raw.Bytes()
+}
+
 // FuzzPartitionFile feeds arbitrary bytes through the partition read path
 // (decompress -> header parse -> chunk decode). A corrupt or truncated file
 // must produce an error — never a panic, never a runaway allocation — and
@@ -103,6 +131,15 @@ func FuzzPartitionFile(f *testing.F) {
 		f.Add(framed[:len(framed)/2])
 		f.Add(framed[:contHdrLen+1])
 	}
+	// Image v3 (delta generations): intact, truncated mid-extras, bad
+	// flags byte, and a lying base-partition field.
+	raw3 := validDeltaImage(f)
+	f.Add(gzipped(f, raw3))
+	f.Add(gzipped(f, raw3[:len(raw3)-7]))
+	badFlags := append([]byte(nil), raw3...)
+	badFlags[10] = 0x40 // first chunk's flags byte: neither full nor delta
+	f.Add(gzipped(f, badFlags))
+	f.Add(containerFramed(f, codec.MustByID(codec.IDActz), raw3))
 	unknownID := containerFramed(f, codec.MustByID(codec.IDStore), raw)
 	unknownID[6] = 0x7f
 	f.Add(unknownID)

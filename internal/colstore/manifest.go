@@ -64,6 +64,16 @@ type manifestPartition struct {
 	Lost bool `json:"lost,omitempty"`
 }
 
+// manifestDelta records one delta-generation chunk's chain link. Persisted
+// so a reopened store knows every chain's shape without paging partitions
+// in: recovery propagates lost bases to their dependents, and the cost
+// model charges chain reads their amplification, both from this registry.
+type manifestDelta struct {
+	Chunk ChunkID `json:"chunk"`
+	Base  ChunkID `json:"base"`
+	Depth int     `json:"depth"`
+}
+
 type manifest struct {
 	Version    int                 `json:"version"`
 	Generation int64               `json:"generation,omitempty"`
@@ -71,6 +81,7 @@ type manifest struct {
 	Columns    []manifestColumn    `json:"columns"`
 	Partitions []manifestPartition `json:"partitions"`
 	Zones      []manifestZone      `json:"zones,omitempty"`
+	Deltas     []manifestDelta     `json:"deltas,omitempty"`
 	Stats      Stats               `json:"stats"`
 }
 
@@ -86,6 +97,9 @@ func (s *Store) writeManifestLocked() error {
 	}
 	for id, z := range s.zones {
 		m.Zones = append(m.Zones, manifestZone{Chunk: id, Min: z.min, Max: z.max, Count: z.count})
+	}
+	for id, d := range s.deltas {
+		m.Deltas = append(m.Deltas, manifestDelta{Chunk: id, Base: d.Base, Depth: d.Depth})
 	}
 	for _, p := range s.parts {
 		m.Partitions = append(m.Partitions, manifestPartition{
@@ -191,6 +205,9 @@ func (s *Store) loadManifest() error {
 	}
 	for _, mz := range m.Zones {
 		s.zones[mz.Chunk] = zone{min: mz.Min, max: mz.Max, count: mz.Count}
+	}
+	for _, md := range m.Deltas {
+		s.deltas[md.Chunk] = deltaRef{Base: md.Base, Depth: md.Depth}
 	}
 	for _, mp := range m.Partitions {
 		s.parts[mp.ID] = &partition{

@@ -233,6 +233,33 @@ func (s *Store) recoverOnOpen(manifestCorrupt bool) error {
 			s.lostChunks[id] = struct{}{}
 		}
 	}
+	// Delta chunks depend on their base chunk: a lost base makes every
+	// dependent generation unreconstructable too (lost-but-healable — the
+	// dependents' own files are intact, re-logging the lost version heals
+	// the chain). Propagate to a fixpoint so whole chains go down together,
+	// however deep.
+	chunkGone := func(id ChunkID) bool {
+		if _, bad := s.lostChunks[id]; bad {
+			return true
+		}
+		p, ok := s.parts[id.Partition]
+		if !ok || p.lost {
+			return true
+		}
+		return p.diskChunks >= 0 && id.Index >= p.diskChunks
+	}
+	for changed := true; changed; {
+		changed = false
+		for id, d := range s.deltas {
+			if _, bad := s.lostChunks[id]; bad {
+				continue
+			}
+			if chunkGone(d.Base) {
+				s.lostChunks[id] = struct{}{}
+				changed = true
+			}
+		}
+	}
 	for id := range s.lostChunks {
 		rep.LostChunks = append(rep.LostChunks, id)
 	}

@@ -1,0 +1,90 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests pinning the delta-chain read cost model. The contract the
+// engine's READ-vs-RERUN decision leans on: ChainReadSeconds degenerates
+// to ReadSeconds at depth 0, is strictly monotone in chain depth, and
+// grows without bound — so for any finite rerun cost there is a depth past
+// which Choose falls back to RERUN.
+
+func TestChainReadSecondsDepthZeroIsReadSeconds(t *testing.T) {
+	p := Params{ReadBytesPerSec: 100e6}
+	if got, want := ChainReadSeconds(1000, 5000, 0, p), ReadSeconds(1000, 5000, p); got != want {
+		t.Fatalf("depth 0: %g, want ReadSeconds %g", got, want)
+	}
+	// Negative depth (unknown / not a delta) clamps to 0, not a discount.
+	if got, want := ChainReadSeconds(1000, 5000, -3, p), ReadSeconds(1000, 5000, p); got != want {
+		t.Fatalf("negative depth: %g, want %g", got, want)
+	}
+}
+
+func TestChainReadSecondsMonotoneInDepth(t *testing.T) {
+	// Quick-checked over random widths, row counts and rates: deeper chains
+	// never estimate cheaper, and strictly cost more whenever the base read
+	// is non-free.
+	prop := func(bytesPerRow uint16, nEx uint16, rateMB uint16, depth uint8) bool {
+		p := Params{ReadBytesPerSec: float64(rateMB%1000+1) * 1e6}
+		b, n := int64(bytesPerRow), int(nEx)
+		d := int(depth % 16)
+		cur := ChainReadSeconds(b, n, d, p)
+		next := ChainReadSeconds(b, n, d+1, p)
+		if math.IsNaN(cur) || math.IsInf(cur, 0) {
+			return false
+		}
+		if next < cur {
+			return false
+		}
+		if b > 0 && n > 0 && next <= cur {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainAmplificationFlipsChooseToRerun(t *testing.T) {
+	// A READ that beats RERUN at depth 0 must lose once amplification
+	// pushes it past the rerun estimate — and the crossover is exactly
+	// where the arithmetic says: depth d reads (d+1)x the stored bytes.
+	p := Params{ReadBytesPerSec: 100e6, InputBytesPerSec: 1e9, InputBytesPerExample: 100}
+	m := model()
+	tRerun, err := RerunSeconds(m, 2, 1000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytesPerRow = 1 << 20 // 1 MiB rows: base read ~10.5s vs rerun ~13.3s
+	base := ChainReadSeconds(bytesPerRow, 1000, 0, p)
+	if Choose(tRerun, base) != Read {
+		t.Fatalf("test premise broken: depth-0 read (%.2fs) should beat rerun (%.2fs)", base, tRerun)
+	}
+	flipped := false
+	for d := 1; d <= 8; d++ {
+		amp := ChainReadSeconds(bytesPerRow, 1000, d, p)
+		want := base * float64(d+1)
+		if math.Abs(amp-want) > 1e-9*want {
+			t.Fatalf("depth %d: %g, want exactly %g", d, amp, want)
+		}
+		if Choose(tRerun, amp) == Rerun {
+			flipped = true
+			// The flip must be where amplification first exceeds rerun.
+			if amp < tRerun {
+				t.Fatalf("flipped to RERUN at depth %d while read (%.2fs) still beats rerun (%.2fs)", d, amp, tRerun)
+			}
+			break
+		}
+		if amp > tRerun {
+			t.Fatalf("depth %d read (%.2fs) exceeds rerun (%.2fs) but Choose kept READ", d, amp, tRerun)
+		}
+	}
+	if !flipped {
+		t.Fatal("8 levels of amplification never flipped the choice; model is not charging chains")
+	}
+}

@@ -69,6 +69,21 @@ func ReadSeconds(bytesPerRow int64, nEx int, p Params) float64 {
 	return float64(nEx) * float64(bytesPerRow) / p.ReadBytesPerSec
 }
 
+// ChainReadSeconds estimates t_read for an intermediate whose newest
+// generation is stored as a delta chain of the given depth: reconstructing
+// one chunk pages in its base, the base's base, and so on — depth+1
+// generations of stored bytes in the worst (cold) case. depth 0 is a full
+// chunk and degenerates to ReadSeconds exactly; the estimate is strictly
+// monotone in depth (for positive bytes and rate), which is what lets
+// Choose fall back to RERUN once chain amplification outweighs re-running
+// the model.
+func ChainReadSeconds(bytesPerRow int64, nEx int, depth int, p Params) float64 {
+	if depth < 0 {
+		depth = 0
+	}
+	return ReadSeconds(bytesPerRow, nEx, p) * float64(depth+1)
+}
+
 // Strategy is the execution choice for a query.
 type Strategy int
 

@@ -53,9 +53,14 @@ type Stage struct {
 
 // Model is one logged model (pipeline or network).
 type Model struct {
-	Name          string    `json:"name"`
-	Kind          ModelKind `json:"kind"`
-	TotalExamples int       `json:"total_examples"`
+	Name string    `json:"name"`
+	Kind ModelKind `json:"kind"`
+	// Parent names the model version this one was logged as a delta
+	// against (LogDNN's Parent option): the previous checkpoint of the
+	// same training run. Empty for root versions. The catalog's lineage
+	// view walks this chain.
+	Parent        string `json:"parent,omitempty"`
+	TotalExamples int    `json:"total_examples"`
 	ModelLoadSecs float64   `json:"model_load_secs"`
 	Stages        []Stage   `json:"stages"`
 	Intermediates []*Interm `json:"intermediates"`

@@ -106,6 +106,29 @@ func (s *Server) handleModel(r *http.Request) (any, error) {
 	return modelInfo(m, db.IntermSnapshots(name)), nil
 }
 
+func (s *Server) handleLineage(r *http.Request) (any, error) {
+	name := r.PathValue("model")
+	chain, err := s.sys.Lineage(name)
+	if err != nil {
+		return nil, err
+	}
+	resp := client.LineageResponse{Model: name, Versions: []client.LineageEntry{}}
+	for _, e := range chain {
+		resp.Versions = append(resp.Versions, client.LineageEntry{
+			Model:          e.Model,
+			Parent:         e.Parent,
+			Kind:           e.Kind,
+			Intermediates:  e.Intermediates,
+			StoredBytes:    e.StoredBytes,
+			MaxDeltaDepth:  e.MaxDeltaDepth,
+			WeightBytes:    e.WeightBytes,
+			WeightNewBytes: e.WeightNewBytes,
+			WeightDepth:    e.WeightDepth,
+		})
+	}
+	return resp, nil
+}
+
 func (s *Server) handleIntermediate(r *http.Request) (any, error) {
 	model, interm := r.PathValue("model"), r.PathValue("interm")
 	db := s.sys.Metadata()

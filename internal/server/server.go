@@ -137,6 +137,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/api/v1/models", s.plain(http.MethodGet, s.handleModels))
 	s.mux.HandleFunc("/api/v1/models/{model}", s.plain(http.MethodGet, s.handleModel))
 	s.mux.HandleFunc("/api/v1/models/{model}/intermediates/{interm}", s.plain(http.MethodGet, s.handleIntermediate))
+	s.mux.HandleFunc("/api/v1/models/{model}/lineage", s.plain(http.MethodGet, s.handleLineage))
 	s.mux.HandleFunc("/api/v1/estimate", s.plain(http.MethodGet, s.handleEstimate))
 
 	// Ops surface.

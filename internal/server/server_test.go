@@ -15,6 +15,8 @@ import (
 	"mistique"
 	"mistique/client"
 	"mistique/internal/colstore"
+	"mistique/internal/data"
+	"mistique/internal/nn"
 	"mistique/internal/pipeline"
 	"mistique/internal/zillow"
 )
@@ -635,5 +637,51 @@ func TestClientRetries429(t *testing.T) {
 	_, err = c2.Health(context.Background())
 	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("saturated server err = %v", err)
+	}
+}
+
+// TestLineageEndpoint walks a two-version DNN chain over the wire: the
+// response must list newest-first with Parent links and surface the
+// weight-snapshot accounting; an unknown model must 404.
+func TestLineageEndpoint(t *testing.T) {
+	sys, c := newService(t, mistique.Config{}, Config{})
+	ctx := context.Background()
+
+	net := nn.SimpleCNN("cnn", 4, 1)
+	imgs, _ := data.Images(8, 4, 1)
+	opts := mistique.DNNLogOptions{Scheme: mistique.SchemeFull, Layers: []int{11, 13}}
+	if _, err := sys.LogDNN("cnn@e0", net, imgs, opts); err != nil {
+		t.Fatal(err)
+	}
+	opts.Parent = "cnn@e0"
+	if _, err := sys.LogDNN("cnn@e1", net, imgs, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.Lineage(ctx, "cnn@e1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "cnn@e1" || len(resp.Versions) != 2 {
+		t.Fatalf("lineage = %+v", resp)
+	}
+	head, root := resp.Versions[0], resp.Versions[1]
+	if head.Model != "cnn@e1" || head.Parent != "cnn@e0" || head.Kind != "dnn" {
+		t.Fatalf("head = %+v", head)
+	}
+	if root.Model != "cnn@e0" || root.Parent != "" {
+		t.Fatalf("root = %+v", root)
+	}
+	// e1 logged the same activations as e0, so every column exact-dedups
+	// and its post-dedup footprint is legitimately zero; the root paid.
+	if head.Intermediates != 2 || root.StoredBytes <= 0 {
+		t.Fatalf("accounting: head=%+v root=%+v", head, root)
+	}
+	if head.WeightBytes <= 0 || root.WeightBytes <= 0 {
+		t.Fatalf("weight snapshots missing: head=%+v root=%+v", head, root)
+	}
+
+	if _, err := c.Lineage(ctx, "nope"); !client.IsNotFound(err) {
+		t.Fatalf("unknown model: %v", err)
 	}
 }

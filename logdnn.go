@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mistique/internal/cas"
 	"mistique/internal/colstore"
 	"mistique/internal/metadata"
 	"mistique/internal/nn"
@@ -24,6 +25,14 @@ type DNNLogOptions struct {
 	// CalibRows is the sample size used to fit KBIT/THRESHOLD quantile
 	// tables (default 256).
 	CalibRows int
+	// Parent names a previously logged model version (e.g. the prior
+	// training epoch). Each stored column is then offered to the store as
+	// a delta generation against the parent's column of the same layer,
+	// name and block: byte-identical chunks dedup exactly, similar chunks
+	// (MinHash-gated) store as XOR residuals against the parent, and
+	// dissimilar ones fall back to full storage. The catalog records the
+	// link, so Lineage can walk the version chain.
+	Parent string
 	// Layers restricts logging to these layer indices (nil = all layers).
 	Layers []int
 	// PoolAgg selects the POOL_QT aggregation (quant.Avg, the paper's
@@ -120,8 +129,11 @@ func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNN
 		}
 	}
 
+	if opts.Parent == name {
+		return nil, fmt.Errorf("mistique: model %q cannot be its own parent", name)
+	}
 	dm := &dnnModel{net: net, input: input, opts: opts, layerOf: make(map[string]int)}
-	model := &metadata.Model{Name: name, Kind: metadata.DNN, TotalExamples: input.N}
+	model := &metadata.Model{Name: name, Kind: metadata.DNN, Parent: opts.Parent, TotalExamples: input.N}
 	interms := make([]*metadata.Interm, net.NumLayers())
 	layerSecs := make([]float64, net.NumLayers())
 
@@ -179,7 +191,18 @@ func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNN
 				m := s.transformActivation(act, opts.Scheme, opts.PoolAgg).Flatten()
 				for j, cname := range it.Columns {
 					key := colKey(name, it.Name, cname, block)
-					res, err := s.store.PutColumn(key, m.Col(j), quantFor(opts.Scheme, q))
+					var res colstore.PutResult
+					var err error
+					if opts.Parent != "" {
+						// Delta generation against the parent version's
+						// matching column; the store degrades to exact dedup
+						// or a full chunk when the parent column is missing
+						// or dissimilar, so this path never loses data.
+						res, err = s.store.PutColumnDelta(key, m.Col(j), quantFor(opts.Scheme, q),
+							colKey(opts.Parent, it.Name, cname, block))
+					} else {
+						res, err = s.store.PutColumn(key, m.Col(j), quantFor(opts.Scheme, q))
+					}
 					if err != nil {
 						return fmt.Errorf("mistique: store %s: %w", key, err)
 					}
@@ -224,6 +247,23 @@ func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNN
 	if err := s.meta.RegisterModel(model); err != nil {
 		return nil, err
 	}
+	// Snapshot the weights into the content-addressed store: identical
+	// pages across versions dedup at CDC-chunk granularity, and a Parent
+	// link stores this version as an XOR delta against the previous
+	// checkpoint (falling back to full when the parent has no snapshot).
+	wblob := net.SaveWeights()
+	var winfo cas.ObjectInfo
+	var werr error
+	if opts.Parent != "" {
+		winfo, werr = s.weights.PutDelta(name, opts.Parent, wblob)
+	} else {
+		winfo, werr = s.weights.Put(name, wblob)
+	}
+	if werr != nil {
+		return nil, fmt.Errorf("mistique: snapshot weights for %s: %w", name, werr)
+	}
+	report.WeightBytes = winfo.Size
+	report.WeightNewBytes = winfo.NewBytes
 	done = dm // install in s.networks via the deferred endLogging
 
 	report.Seconds = time.Since(start).Seconds()
@@ -232,6 +272,7 @@ func (s *System) LogDNN(name string, net *nn.Network, input *tensor.T4, opts DNN
 	after := s.store.Stats()
 	report.ColumnsStored = after.ChunksStored - before.ChunksStored
 	report.ColumnsDedup = after.ChunksDeduped - before.ChunksDeduped
+	report.ColumnsDelta = after.DeltaChunks - before.DeltaChunks
 	report.StoredBytes = after.StoredBytes - before.StoredBytes
 	report.LogicalBytes = after.LogicalBytes - before.LogicalBytes
 	return report, nil

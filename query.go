@@ -118,9 +118,12 @@ func (s *System) GetIntermediateCtx(ctx context.Context, model, interm string, c
 	res := &Result{Model: model, Intermediate: interm, Cols: cols}
 
 	// Cost the two strategies against a stable snapshot of the constants.
+	// READ is charged its delta-chain amplification: reconstructing a chunk
+	// stored as a generation-d residual pages in d+1 generations cold, so a
+	// deep chain tips the choice back to RERUN exactly when it should.
 	costP := s.CostParams()
 	bytesPerRow := s.bytesPerRow(m, &it)
-	res.EstReadSecs = cost.ReadSeconds(bytesPerRow, nEx, costP)
+	res.EstReadSecs = cost.ChainReadSeconds(bytesPerRow, nEx, s.store.MaxDeltaDepth(model, interm), costP)
 	res.EstRerunSecs, err = cost.RerunSeconds(m, it.StageIndex, nEx, costP)
 	if err != nil {
 		return nil, err
@@ -228,7 +231,7 @@ func (s *System) FetchCtx(ctx context.Context, model, interm string, cols []stri
 	// so Result carries the trade-off the cost model would have seen (and
 	// the evaluation harness can compare forced measurements against it).
 	costP := s.CostParams()
-	res.EstReadSecs = cost.ReadSeconds(s.bytesPerRow(m, &it), nEx, costP)
+	res.EstReadSecs = cost.ChainReadSeconds(s.bytesPerRow(m, &it), nEx, s.store.MaxDeltaDepth(model, interm), costP)
 	if est, eerr := cost.RerunSeconds(m, it.StageIndex, nEx, costP); eerr == nil {
 		res.EstRerunSecs = est
 	}
@@ -275,7 +278,7 @@ func (s *System) Estimate(model, interm string, nEx int) (readSecs, rerunSecs fl
 		nEx = it.Rows
 	}
 	costP := s.CostParams()
-	readSecs = cost.ReadSeconds(s.bytesPerRow(m, &it), nEx, costP)
+	readSecs = cost.ChainReadSeconds(s.bytesPerRow(m, &it), nEx, s.store.MaxDeltaDepth(model, interm), costP)
 	rerunSecs, err = cost.RerunSeconds(m, it.StageIndex, nEx, costP)
 	return readSecs, rerunSecs, err
 }
