@@ -319,3 +319,152 @@ type ReadyResponse struct {
 	// Reasons lists, in prose, why Status is "degraded".
 	Reasons []string `json:"reasons,omitempty"`
 }
+
+// IngestRequest carries one streaming-ingest batch
+// (POST /api/v1/ingest/{model}/{interm}). Every row must have
+// len(Columns) values, and Columns must match the stream's columns on
+// every batch.
+type IngestRequest struct {
+	Columns []string `json:"columns"`
+	Rows    [][]F32  `json:"rows"`
+}
+
+// IngestResponse acknowledges a batch: when it arrives, the rows are
+// durable (fsynced WAL or flushed partitions) and survive any crash.
+type IngestResponse struct {
+	Model        string `json:"model"`
+	Intermediate string `json:"intermediate"`
+	Rows         int64  `json:"rows"`
+	FlushedRows  int64  `json:"flushed_rows"`
+	WALBytes     int64  `json:"wal_bytes"`
+}
+
+// ColDistRequest asks for a column's distribution
+// (POST /api/v1/approx/coldist). MaxError is the acceptable mean error as
+// a fraction of the column's value range; 0 accepts whatever bound the
+// sample delivers, and a bound tighter than deliverable falls back to the
+// exact read path server-side.
+type ColDistRequest struct {
+	Model        string  `json:"model"`
+	Intermediate string  `json:"intermediate"`
+	Column       string  `json:"column"`
+	MaxError     float64 `json:"max_error,omitempty"`
+}
+
+// ColDistResponse mirrors mistique.ColDist: exact counts and extrema,
+// estimated moments with their error bounds, and the strategy that
+// answered (SAMPLE or an exact READ/RERUN fallback).
+type ColDistResponse struct {
+	Model        string `json:"model"`
+	Intermediate string `json:"intermediate"`
+	Column       string `json:"column"`
+
+	Rows   int64 `json:"rows"`
+	Finite int64 `json:"finite"`
+	NaN    int64 `json:"nan"`
+	PosInf int64 `json:"pos_inf"`
+	NegInf int64 `json:"neg_inf"`
+
+	Min F32 `json:"min"`
+	Max F32 `json:"max"`
+
+	Mean         float64 `json:"mean"`
+	MeanBound    float64 `json:"mean_bound"`
+	Std          float64 `json:"std"`
+	P50          F32     `json:"p50"`
+	P50RankBound float64 `json:"p50_rank_bound"`
+
+	SampleRows   int64   `json:"sample_rows"`
+	Strategy     string  `json:"strategy"`
+	FetchSeconds float64 `json:"fetch_seconds"`
+}
+
+// ApproxTopKRequest ranks a column's top K rows
+// (POST /api/v1/approx/topk). MaxError bounds the acceptable rank error
+// as a fraction of the row count; tighter than deliverable runs the exact
+// index-backed ranking instead.
+type ApproxTopKRequest struct {
+	Model        string  `json:"model"`
+	Intermediate string  `json:"intermediate"`
+	Column       string  `json:"column"`
+	K            int     `json:"k"`
+	MaxError     float64 `json:"max_error,omitempty"`
+}
+
+// ApproxTopKEntry is one ranked row with its real population row id.
+type ApproxTopKEntry struct {
+	Row   int64 `json:"row"`
+	Value F32   `json:"value"`
+}
+
+// ApproxTopKResponse lists the ranked rows plus the rank-fraction bound
+// (0 when the answer is exact).
+type ApproxTopKResponse struct {
+	Model        string            `json:"model"`
+	Intermediate string            `json:"intermediate"`
+	Column       string            `json:"column"`
+	Entries      []ApproxTopKEntry `json:"entries"`
+	RankBound    float64           `json:"rank_bound"`
+	Rows         int64             `json:"rows"`
+	SampleRows   int64             `json:"sample_rows"`
+	Strategy     string            `json:"strategy"`
+	FetchSeconds float64           `json:"fetch_seconds"`
+}
+
+// ConfusionRequest asks for a label-vs-prediction confusion matrix
+// (POST /api/v1/approx/confusion). MaxError bounds each cell's count
+// error as a fraction of the row count.
+type ConfusionRequest struct {
+	Model        string  `json:"model"`
+	Intermediate string  `json:"intermediate"`
+	LabelCol     string  `json:"label_col"`
+	PredCol      string  `json:"pred_col"`
+	MaxError     float64 `json:"max_error,omitempty"`
+}
+
+// ConfusionCell is one (label, predicted) cell with its estimated row
+// count and count bound (both exact when Strategy is not SAMPLE).
+type ConfusionCell struct {
+	Label F32     `json:"label"`
+	Pred  F32     `json:"pred"`
+	Count float64 `json:"count"`
+	Bound float64 `json:"bound"`
+}
+
+// ConfusionResponse is the (sparse) confusion matrix, populated cells
+// only, labels ascending then predictions ascending.
+type ConfusionResponse struct {
+	Model        string          `json:"model"`
+	Intermediate string          `json:"intermediate"`
+	LabelCol     string          `json:"label_col"`
+	PredCol      string          `json:"pred_col"`
+	Cells        []ConfusionCell `json:"cells"`
+	Rows         int64           `json:"rows"`
+	Stratified   bool            `json:"stratified"`
+	MaxBound     float64         `json:"max_bound"`
+	SampleRows   int64           `json:"sample_rows"`
+	Strategy     string          `json:"strategy"`
+	FetchSeconds float64         `json:"fetch_seconds"`
+}
+
+// SampleRowsRequest reads up to MaxRows uniformly sampled rows
+// (POST /api/v1/approx/rows). MaxRows <= 0 returns the whole reservoir.
+type SampleRowsRequest struct {
+	Model        string   `json:"model"`
+	Intermediate string   `json:"intermediate"`
+	Cols         []string `json:"cols,omitempty"`
+	MaxRows      int      `json:"max_rows,omitempty"`
+}
+
+// SampleRowsResponse carries the sampled rows with their real population
+// row ids, ascending.
+type SampleRowsResponse struct {
+	Model        string   `json:"model"`
+	Intermediate string   `json:"intermediate"`
+	Cols         []string `json:"cols"`
+	RowIDs       []int64  `json:"row_ids"`
+	Data         [][]F32  `json:"data"`
+	Rows         int64    `json:"rows"`
+	Strategy     string   `json:"strategy"`
+	FetchSeconds float64  `json:"fetch_seconds"`
+}

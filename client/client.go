@@ -59,6 +59,7 @@ type Client struct {
 	maxRetries int
 	backoff    time.Duration
 	timeout    time.Duration
+	tenant     string
 }
 
 // Option configures a Client.
@@ -78,6 +79,11 @@ func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = 
 // WithTimeout sets the per-request deadline applied to every attempt's
 // context (default 30s; 0 leaves only the caller's context bound).
 func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
+
+// WithTenant names the tenant sent as X-Mistique-Tenant on every request.
+// The server's streaming-ingest admission quotas (in-flight and rows/sec)
+// are accounted per tenant; empty shares the "default" bucket.
+func WithTenant(name string) Option { return func(c *Client) { c.tenant = name } }
 
 // New returns a Client for the service at baseURL (e.g.
 // "http://127.0.0.1:7420").
@@ -179,6 +185,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.tenant != "" {
+		req.Header.Set("X-Mistique-Tenant", c.tenant)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -42,8 +42,9 @@ func main() {
 	}
 	cmd := flag.Arg(0)
 	args := flag.Args()[1:]
-	// cluster talks to running shards over HTTP; it has no store of its own.
-	if *dir == "" && cmd != "cluster" {
+	// cluster, ingest and coldist (in -addr mode) talk to running servers
+	// over HTTP; they need no store of their own.
+	if *dir == "" && cmd != "cluster" && cmd != "ingest" && cmd != "coldist" {
 		usage()
 		os.Exit(2)
 	}
@@ -70,6 +71,10 @@ func main() {
 		err = runFsck(*dir)
 	case "compact":
 		err = runCompact(*dir, args)
+	case "ingest":
+		err = runIngest(args)
+	case "coldist":
+		err = runColDist(*dir, args)
 	default:
 		usage()
 		os.Exit(2)
@@ -91,6 +96,11 @@ commands:
   serve    -addr HOST:PORT [-pipelines N] [-shard NAME]  HTTP query service
            [-max-in-flight N] [-request-timeout D] [-drain-timeout D]
            [-codec gzip|store|actz]  partition codec for new flushes
+           [-tenant-max-in-flight N] [-tenant-rows-per-sec N]  ingest quotas
+  ingest   -addr URL -model M -interm I -cols A,B,C      stream rows from stdin
+           [-batch N] [-tenant T]   (no -dir: talks to a running server)
+  coldist  -model M -interm I -col C [-max-error F]      sampled column stats
+           [-addr URL]   (remote against a server, or local against -dir)
   cluster  -shards URL,URL,... -model M -interm I -col C  scatter-gather query
            [-op topk|filter] [-k N] [-pred gt|ge|lt|le] [-bound V]
            [-replication N] [-block-rows N]   (no -dir: talks to running shards)
@@ -352,6 +362,8 @@ func runServe(dir string, args []string) error {
 	seed := fs.Int64("seed", 1, "data seed")
 	shard := fs.String("shard", "", "shard name reported by /readyz when this node serves in a cluster")
 	maxInFlight := fs.Int("max-in-flight", 64, "admission bound on concurrently executing queries (excess gets 429)")
+	tenantInFlight := fs.Int("tenant-max-in-flight", 8, "per-tenant bound on concurrently executing ingest batches")
+	tenantRate := fs.Int("tenant-rows-per-sec", 0, "per-tenant streaming ingest rate quota in rows/sec (0 = unlimited)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request context deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown bound on finishing in-flight requests")
 	codecName := fs.String("codec", "", "partition codec for new flushes: "+strings.Join(codec.Names(), ", ")+" (default: store default)")
@@ -384,9 +396,11 @@ func runServe(dir string, args []string) error {
 	}
 
 	srv := server.New(sys, server.Config{
-		ShardName:      *shard,
-		MaxInFlight:    *maxInFlight,
-		RequestTimeout: *reqTimeout,
+		ShardName:         *shard,
+		MaxInFlight:       *maxInFlight,
+		RequestTimeout:    *reqTimeout,
+		TenantMaxInFlight: *tenantInFlight,
+		TenantRowsPerSec:  *tenantRate,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

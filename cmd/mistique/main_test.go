@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"syscall"
@@ -15,6 +17,8 @@ import (
 
 	"mistique"
 	"mistique/client"
+	"mistique/internal/sample"
+	"mistique/internal/server"
 )
 
 // captureStdout runs fn with os.Stdout redirected into a buffer.
@@ -214,5 +218,62 @@ func TestLineageCommand(t *testing.T) {
 	}
 	if err := runLineage(dir, []string{"-model", "missing"}); err == nil {
 		t.Fatal("lineage of unknown model succeeded")
+	}
+}
+
+// TestIngestAndColDistCommands drives the streaming CLI path end to end:
+// ingest rows from stdin into a running server, query the sampled column
+// stats remotely, then again locally against the store directory after
+// the server drains.
+func TestIngestAndColDistCommands(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := mistique.Open(dir, mistique.Config{Sample: sample.Config{Cap: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(sys, server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var lines bytes.Buffer
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&lines, "%d,%g\n", i, float64(i)+0.5)
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		w.Write(lines.Bytes())
+		w.Close()
+	}()
+	oldStdin := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = oldStdin }()
+
+	out := captureStdout(t, func() error {
+		return runIngest([]string{"-addr", ts.URL, "-model", "live", "-interm", "acts",
+			"-cols", "a,b", "-batch", "100", "-tenant", "cli"})
+	})
+	if !strings.Contains(out, "500 rows acknowledged") {
+		t.Fatalf("ingest output: %q", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return runColDist("", []string{"-addr", ts.URL, "-model", "live", "-interm", "acts", "-col", "a"})
+	})
+	if !strings.Contains(out, "strategy=SAMPLE") || !strings.Contains(out, "rows=500") {
+		t.Fatalf("remote coldist output: %q", out)
+	}
+
+	// Drain the server's System, then answer the same question offline.
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out = captureStdout(t, func() error {
+		return runColDist(dir, []string{"-model", "live", "-interm", "acts", "-col", "a"})
+	})
+	if !strings.Contains(out, "strategy=SAMPLE") || !strings.Contains(out, "rows=500") {
+		t.Fatalf("local coldist output: %q", out)
 	}
 }

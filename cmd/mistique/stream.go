@@ -1,0 +1,149 @@
+// Streaming-ingest and approximate-query subcommands. ingest pushes rows
+// from stdin to a running server's WAL-backed live path; coldist asks for
+// sampled column statistics with an error bound, remotely (-addr) or
+// straight from a local store directory.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mistique/client"
+)
+
+func runIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	addr := fs.String("addr", "", "server base URL (e.g. http://127.0.0.1:7420; required)")
+	model := fs.String("model", "", "stream model name")
+	interm := fs.String("interm", "", "stream intermediate name")
+	cols := fs.String("cols", "", "comma-separated column names")
+	batch := fs.Int("batch", 256, "rows per acknowledged batch")
+	tenant := fs.String("tenant", "", "tenant name for the server's ingest quotas")
+	fs.Parse(args)
+	if *addr == "" || *model == "" || *interm == "" || *cols == "" {
+		return fmt.Errorf("ingest needs -addr, -model, -interm and -cols")
+	}
+	if *batch <= 0 {
+		*batch = 256
+	}
+	columns := strings.Split(*cols, ",")
+
+	var opts []client.Option
+	if *tenant != "" {
+		opts = append(opts, client.WithTenant(*tenant))
+	}
+	c, err := client.New(*addr, opts...)
+	if err != nil {
+		return err
+	}
+
+	// Rows come one per line, comma- or whitespace-separated floats.
+	ctx := context.Background()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pending := make([][]float32, 0, *batch)
+	var total int64
+	send := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		res, err := c.IngestRows(ctx, *model, *interm, columns, pending)
+		if err != nil {
+			return err
+		}
+		total = res.Rows
+		pending = pending[:0]
+		return nil
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+		if len(fields) != len(columns) {
+			return fmt.Errorf("stdin line %d: %d values, want %d", line, len(fields), len(columns))
+		}
+		row := make([]float32, len(fields))
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 32)
+			if err != nil {
+				return fmt.Errorf("stdin line %d: %q: %w", line, f, err)
+			}
+			row[j] = float32(v)
+		}
+		pending = append(pending, row)
+		if len(pending) >= *batch {
+			if err := send(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := send(); err != nil {
+		return err
+	}
+	fmt.Printf("stream %s.%s: %d rows acknowledged\n", *model, *interm, total)
+	return nil
+}
+
+func runColDist(dir string, args []string) error {
+	fs := flag.NewFlagSet("coldist", flag.ExitOnError)
+	addr := fs.String("addr", "", "server base URL (empty: answer locally from -dir)")
+	model := fs.String("model", "", "model name")
+	interm := fs.String("interm", "", "intermediate name")
+	col := fs.String("col", "", "column name")
+	maxErr := fs.Float64("max-error", 0, "acceptable mean error as a fraction of the value range (0 = whatever the sample delivers)")
+	fs.Parse(args)
+	if *model == "" || *interm == "" || *col == "" {
+		return fmt.Errorf("coldist needs -model, -interm and -col")
+	}
+
+	if *addr != "" {
+		c, err := client.New(*addr)
+		if err != nil {
+			return err
+		}
+		d, err := c.ColDist(context.Background(), *model, *interm, *col, *maxErr)
+		if err != nil {
+			return err
+		}
+		printColDist(d.Strategy, d.Rows, d.Finite, d.NaN, d.PosInf, d.NegInf,
+			float32(d.Min), float32(d.Max), d.Mean, d.MeanBound, d.Std,
+			float32(d.P50), d.P50RankBound, d.SampleRows, d.FetchSeconds)
+		return nil
+	}
+	if dir == "" {
+		return fmt.Errorf("coldist needs -addr or -dir")
+	}
+	sys, err := open(dir, true, 0, "")
+	if err != nil {
+		return err
+	}
+	d, err := sys.ColDist(*model, *interm, *col, *maxErr)
+	if err != nil {
+		return err
+	}
+	printColDist(d.Strategy.String(), d.Rows, d.Finite, d.NaN, d.PosInf, d.NegInf,
+		d.Min, d.Max, d.Mean, d.MeanBound, d.Std, d.P50, d.P50RankBound, d.SampleRows, d.FetchSeconds)
+	return nil
+}
+
+func printColDist(strategy string, rows, finite, nan, posInf, negInf int64,
+	min, max float32, mean, meanBound, std float64, p50 float32, p50Bound float64,
+	sampleRows int64, fetchSecs float64) {
+	fmt.Printf("strategy=%s rows=%d sample_rows=%d fetch=%.6fs\n", strategy, rows, sampleRows, fetchSecs)
+	fmt.Printf("finite=%d nan=%d +inf=%d -inf=%d\n", finite, nan, posInf, negInf)
+	fmt.Printf("min=%g max=%g\n", min, max)
+	fmt.Printf("mean=%g ± %g  std=%g\n", mean, meanBound, std)
+	fmt.Printf("p50=%g (rank ± %g)\n", p50, p50Bound)
+}

@@ -49,6 +49,7 @@ import (
 	"mistique/internal/parallel"
 	"mistique/internal/pipeline"
 	"mistique/internal/quant"
+	"mistique/internal/sample"
 	"mistique/internal/tensor"
 )
 
@@ -100,6 +101,17 @@ type Config struct {
 	// a JSON line (model, intermediate, strategy, cost estimates, measured
 	// seconds) to <dir>/slow_queries.jsonl. Zero disables logging.
 	SlowQueryThreshold time.Duration
+	// SlowQueryLogMaxBytes bounds slow_queries.jsonl: when the log grows
+	// past this size it is rotated to slow_queries.jsonl.1 (one generation
+	// kept, the previous .1 replaced). Zero selects 4 MiB.
+	SlowQueryLogMaxBytes int64
+	// Sample sizes the per-intermediate reservoir samples behind the
+	// approximate query path (ColDist, ApproxTopK, ConfusionMatrix,
+	// GetIntermediateApprox). Zero values select sample.DefaultCap etc.
+	// Samples are built at ingest for intermediates with more rows than
+	// the cap (a sample that would hold every row adds nothing over the
+	// store) and always for streaming ingest.
+	Sample sample.Config
 	// Index controls the lazily built neuron-centric diagnostic indexes
 	// (internal/nindex) behind TopK, FilterRows and KNN; see IndexConfig.
 	Index IndexConfig
@@ -127,9 +139,21 @@ type System struct {
 	// store and catalog register their instruments in the same registry at
 	// Open, so System.Metrics() sees every layer.
 	metrics *systemMetrics
-	// slowMu guards the lazily opened slow-query log file.
-	slowMu  sync.Mutex
-	slowLog *os.File
+	// slowMu guards the lazily opened slow-query log file and its
+	// rotation bookkeeping.
+	slowMu   sync.Mutex
+	slowLog  *os.File
+	slowSize int64
+
+	// samples persists per-intermediate reservoir samples (data/sample);
+	// sampleMu guards the in-memory cache of loaded snapshots.
+	samples     *sample.Manager
+	sampleMu    sync.Mutex
+	sampleCache map[string]*sample.Sample
+	// streamMu guards the map of live streaming-ingest states; each state
+	// has its own mutex for the ingest hot path.
+	streamMu sync.Mutex
+	streams  map[string]*streamState
 
 	pipelines map[string]*pipelineModel
 	networks  map[string]*dnnModel
@@ -177,6 +201,9 @@ func Open(dir string, cfg Config) (*System, error) {
 	}
 	if cfg.Cost == (cost.Params{}) {
 		cfg.Cost = cost.DefaultParams()
+	}
+	if cfg.SlowQueryLogMaxBytes <= 0 {
+		cfg.SlowQueryLogMaxBytes = 4 << 20
 	}
 	metrics := newSystemMetrics()
 	cfg.Store.Obs = metrics.reg
@@ -227,18 +254,37 @@ func Open(dir string, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mistique: open weight store: %w", err)
 	}
-	return &System{
-		cfg:       cfg,
-		dir:       dir,
-		store:     st,
-		meta:      meta,
-		nidx:      nidx,
-		weights:   weights,
-		metrics:   metrics,
-		pipelines: make(map[string]*pipelineModel),
-		networks:  make(map[string]*dnnModel),
-		logging:   make(map[string]struct{}),
-	}, nil
+	// Reservoir samples live next to the partitions (a subdirectory, so
+	// the colstore recovery sweep skips them), like nindex and cas.
+	samples, err := sample.NewManager(sample.ManagerConfig{
+		Dir: filepath.Join(dir, "data", "sample"),
+		FS:  cfg.Store.FS,
+		Obs: metrics.reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mistique: open sample store: %w", err)
+	}
+	sys := &System{
+		cfg:         cfg,
+		dir:         dir,
+		store:       st,
+		meta:        meta,
+		nidx:        nidx,
+		weights:     weights,
+		metrics:     metrics,
+		samples:     samples,
+		sampleCache: make(map[string]*sample.Sample),
+		streams:     make(map[string]*streamState),
+		pipelines:   make(map[string]*pipelineModel),
+		networks:    make(map[string]*dnnModel),
+		logging:     make(map[string]struct{}),
+	}
+	// Replay streaming-ingest WALs (data/wal): every batch acknowledged
+	// before a crash is re-offered to the store and the sampler.
+	if err := sys.replayStreams(); err != nil {
+		return nil, fmt.Errorf("mistique: %w", err)
+	}
+	return sys, nil
 }
 
 // Metadata exposes the catalog (read-mostly; used by tools and tests).
@@ -252,15 +298,35 @@ func (s *System) RecoveryReport() *colstore.RecoveryReport { return s.store.Last
 func (s *System) Store() *colstore.Store { return s.store }
 
 // Flush writes all dirty partitions to disk (concurrently, bounded by
-// Config.Workers) and persists the catalog.
+// Config.Workers) and persists the catalog. Streaming-ingest states drain
+// first (their partial tail block goes to the store, so the catalog row
+// counts saved below only ever cover durable rows), and their WALs shrink
+// to the header afterwards — strictly after the partitions and the catalog
+// are durable, so a crash at any point in between replays from the WAL
+// instead of losing acknowledged rows.
 func (s *System) Flush() error {
+	sts := s.lockAllStreams()
+	defer unlockStreams(sts)
+	for _, st := range sts {
+		if err := st.drainTailLocked(s); err != nil {
+			return err
+		}
+	}
 	if err := s.store.Flush(); err != nil {
 		return err
 	}
 	if err := s.weights.Flush(); err != nil {
 		return err
 	}
-	return s.meta.Save(filepath.Join(s.dir, "metadata.json"))
+	if err := s.meta.Save(filepath.Join(s.dir, "metadata.json")); err != nil {
+		return err
+	}
+	for _, st := range sts {
+		if err := st.checkpointLocked(s); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close drains the System to disk: it flushes all dirty partitions,
@@ -382,8 +448,31 @@ func releaseColBuf(b []float32) {
 // column (nil, or returning nil, means raw float32). Columns are fitted,
 // encoded and dedup-hashed concurrently across the worker pool. Returns
 // encoded bytes actually stored (after de-duplication).
+//
+// When the matrix has more rows than the configured reservoir cap, a
+// sample is built alongside — over the *reconstructed* values (the codec
+// applied and inverted), so approximate answers agree with what an exact
+// READ of the stored chunks would return — and persisted for the
+// approximate query path.
 func (s *System) storeMatrix(model, interm string, m *tensor.Dense, cols []string, mkQuant func(col []float32) (*quant.Quantizer, error)) (int64, error) {
 	blockRows := s.cfg.RowBlockRows
+	capRows := s.cfg.Sample.Cap
+	if capRows <= 0 {
+		capRows = sample.DefaultCap
+	}
+	var mb *sample.MatrixBuilder
+	if m.Rows > capRows {
+		var labels []float32
+		if sc := s.cfg.Sample.StratifyColumn; sc != "" {
+			for j, c := range cols {
+				if c == sc {
+					labels = m.ColInto(nil, j)
+					break
+				}
+			}
+		}
+		mb = sample.NewMatrixBuilder(cols, m.Rows, labels, s.cfg.Sample)
+	}
 	var stored int64
 	err := parallel.ForEach(len(cols), s.workers(), func(j int) error {
 		col := m.ColInto(grabColBuf(), j)
@@ -397,6 +486,13 @@ func (s *System) storeMatrix(model, interm string, m *tensor.Dense, cols []strin
 				return err
 			}
 			s.metrics.ingestQuantizeSeconds.ObserveSince(t0)
+		}
+		if mb != nil {
+			rec := col
+			if q != nil {
+				rec = q.Apply(col)
+			}
+			mb.SetColumn(j, rec)
 		}
 		for b := 0; b*blockRows < len(col); b++ {
 			lo := b * blockRows
@@ -413,7 +509,34 @@ func (s *System) storeMatrix(model, interm string, m *tensor.Dense, cols []strin
 		}
 		return nil
 	})
+	if err == nil && mb != nil {
+		smp := mb.Finish()
+		s.metrics.sampleBuilds.Inc()
+		// Best effort: a failed persist only costs later sessions the
+		// sample (they fall back to exact reads); this one keeps it cached.
+		s.samples.Save(model, interm, smp)
+		s.cacheSample(model, interm, smp)
+	}
 	return atomic.LoadInt64(&stored), err
+}
+
+// cacheSample installs a sample snapshot in the in-memory cache.
+func (s *System) cacheSample(model, interm string, smp *sample.Sample) {
+	s.sampleMu.Lock()
+	s.sampleCache[model+"\x00"+interm] = smp
+	s.sampleMu.Unlock()
+}
+
+// invalidateSamples drops all cached samples of a model.
+func (s *System) invalidateSamples(model string) {
+	prefix := model + "\x00"
+	s.sampleMu.Lock()
+	for k := range s.sampleCache {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			delete(s.sampleCache, k)
+		}
+	}
+	s.sampleMu.Unlock()
 }
 
 // DropModel removes a model from the system: its catalog entries, its
@@ -423,6 +546,7 @@ func (s *System) storeMatrix(model, interm string, m *tensor.Dense, cols []strin
 func (s *System) DropModel(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	interms := s.meta.IntermSnapshots(name)
 	if !s.meta.DeleteModel(name) {
 		return fmt.Errorf("mistique: %w %q", ErrUnknownModel, name)
 	}
@@ -439,6 +563,11 @@ func (s *System) DropModel(name string) error {
 	if s.nidx != nil {
 		s.nidx.InvalidateModel(name)
 	}
+	for _, it := range interms {
+		s.samples.Remove(name, it.Name)
+	}
+	s.invalidateSamples(name)
+	s.dropStreams(name)
 	return nil
 }
 

@@ -1,0 +1,163 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// pinActzWorkers sets the fan-out knob for one test and restores it.
+func pinActzWorkers(t testing.TB, n int) {
+	t.Helper()
+	prev := SetActzWorkers(n)
+	t.Cleanup(func() { SetActzWorkers(prev) })
+}
+
+// bigMixedImage builds a multi-megabyte image that cycles through the
+// store's stream shapes, so a parallel run covers every block mode (raw,
+// sparse, shuffle+LZ+huff, ...) across many 128 KiB blocks.
+func bigMixedImage(t testing.TB, blocks int) []byte {
+	t.Helper()
+	shapes := testStreams(t)
+	order := []string{"f16-interleaved", "threshold-sparse", "kbit-uniform", "zeros", "text", "same-byte"}
+	var img []byte
+	for len(img) < blocks*actzMaxBlock {
+		img = append(img, shapes[order[(len(img)/actzMaxBlock)%len(order)]]...)
+	}
+	return img[:blocks*actzMaxBlock+17] // odd tail: one short final block
+}
+
+// TestActzParallelMatchesSerial: the parallel block paths must be
+// bit-identical to the serial baseline in both directions, for every
+// stream shape and for a large mixed image.
+func TestActzParallelMatchesSerial(t *testing.T) {
+	c := MustByID(IDActz)
+	srcs := testStreams(t)
+	srcs["mixed-large"] = bigMixedImage(t, 24)
+
+	for name, src := range srcs {
+		serialComp := func() []byte {
+			pinActzWorkers(t, 1)
+			comp, err := c.Compress(nil, src, 0)
+			if err != nil {
+				t.Fatalf("%s: serial compress: %v", name, err)
+			}
+			return comp
+		}()
+		pinActzWorkers(t, 8)
+		parComp, err := c.Compress(nil, src, 0)
+		if err != nil {
+			t.Fatalf("%s: parallel compress: %v", name, err)
+		}
+		if !bytes.Equal(serialComp, parComp) {
+			t.Fatalf("%s: parallel compress output differs from serial (%d vs %d bytes)",
+				name, len(serialComp), len(parComp))
+		}
+		got, err := c.Decompress(nil, parComp)
+		if err != nil {
+			t.Fatalf("%s: parallel decompress: %v", name, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("%s: parallel round trip changed data", name)
+		}
+		// Appending semantics: an existing dst prefix must survive.
+		prefix := []byte("prefix-bytes")
+		got, err = c.Decompress(append([]byte(nil), prefix...), parComp)
+		if err != nil {
+			t.Fatalf("%s: decompress with prefix: %v", name, err)
+		}
+		if !bytes.Equal(got[:len(prefix)], prefix) || !bytes.Equal(got[len(prefix):], src) {
+			t.Fatalf("%s: decompress with prefix corrupted output", name)
+		}
+	}
+}
+
+// TestActzParallelCorrupt: on corrupted multi-block streams the parallel
+// path must behave exactly like the serial one — agree on error-vs-ok,
+// agree on output when both accept, and never panic. (Payload bit flips
+// that survive without error are legitimate: integrity is the partition
+// CRC's job one layer up; the codec only validates structure.)
+func TestActzParallelCorrupt(t *testing.T) {
+	c := MustByID(IDActz)
+	src := bigMixedImage(t, 8)
+	pinActzWorkers(t, 8)
+	comp, err := c.Compress(nil, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	sawError := false
+	for trial := 0; trial < 200; trial++ {
+		bad := append([]byte(nil), comp...)
+		switch trial % 3 {
+		case 0: // flip a bit
+			bad[rng.Intn(len(bad))] ^= 1 << uint(rng.Intn(8))
+		case 1: // truncate
+			bad = bad[:rng.Intn(len(bad))]
+		case 2: // trailing garbage
+			bad = append(bad, byte(rng.Intn(256)), byte(rng.Intn(256)))
+		}
+		if bytes.Equal(bad, comp) {
+			continue
+		}
+		parOut, parErr := c.Decompress(nil, bad)
+		serOut, serErr := func() ([]byte, error) {
+			pinActzWorkers(t, 1)
+			defer pinActzWorkers(t, 8)
+			return c.Decompress(nil, bad)
+		}()
+		if (parErr == nil) != (serErr == nil) {
+			t.Fatalf("trial %d: parallel err %v, serial err %v", trial, parErr, serErr)
+		}
+		if parErr == nil && !bytes.Equal(parOut, serOut) {
+			t.Fatalf("trial %d: parallel and serial outputs diverge on accepted stream", trial)
+		}
+		sawError = sawError || parErr != nil
+	}
+	if !sawError {
+		t.Fatal("no corruption trial produced an error — mutations too weak")
+	}
+}
+
+// TestActzParallelConcurrentUse hammers one codec value from many
+// goroutines at once — the pool, the worker knob, and the nested ForEach
+// fan-out must all be race-free (run under -race in CI).
+func TestActzParallelConcurrentUse(t *testing.T) {
+	c := MustByID(IDActz)
+	pinActzWorkers(t, 4)
+	src := bigMixedImage(t, 6)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Stagger inputs so goroutines exercise different block counts.
+			mine := src[:len(src)-g*actzMaxBlock/2]
+			for iter := 0; iter < 3; iter++ {
+				comp, err := c.Compress(nil, mine, 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := c.Decompress(nil, comp)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, mine) {
+					errs <- errActzCorrupt
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent round trip: %v", err)
+	}
+}

@@ -492,7 +492,17 @@ func (s *Store) RowBlockRows() int { return s.cfg.RowBlockRows }
 // identical chunk exists it is deduplicated; if a similar chunk exists (in
 // ModeSimilarity) the new chunk joins its partition.
 func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (PutResult, error) {
-	return s.putColumn(key, vals, q, nil)
+	return s.putColumn(key, vals, q, nil, false)
+}
+
+// PutColumnReplace stores vals under key even when the key already maps to
+// a different payload: the old mapping is swapped for the new chunk inside
+// the same critical section, so concurrent readers always resolve the key.
+// The streaming engine grows an open row block this way — each drain cuts
+// a longer prefix of the same block under the same key. The displaced
+// chunk becomes unreferenced and is reclaimed by the next Compact.
+func (s *Store) PutColumnReplace(key ColumnKey, vals []float32, q *quant.Quantizer) (PutResult, error) {
+	return s.putColumn(key, vals, q, nil, true)
 }
 
 // PutColumnDelta stores one ColumnChunk of a new model version, trying to
@@ -506,7 +516,7 @@ func (s *Store) PutColumn(key ColumnKey, vals []float32, q *quant.Quantizer) (Pu
 // plain full store, never to an error: delta encoding is an optimization,
 // not a correctness requirement.
 func (s *Store) PutColumnDelta(key ColumnKey, vals []float32, q *quant.Quantizer, parent ColumnKey) (PutResult, error) {
-	return s.putColumn(key, vals, q, &parent)
+	return s.putColumn(key, vals, q, &parent, false)
 }
 
 // deltaSpec carries a prepared (pre-lock) delta encoding into the put's
@@ -519,7 +529,7 @@ type deltaSpec struct {
 	fullCRC  uint32
 }
 
-func (s *Store) putColumn(key ColumnKey, vals []float32, q *quant.Quantizer, parent *ColumnKey) (PutResult, error) {
+func (s *Store) putColumn(key ColumnKey, vals []float32, q *quant.Quantizer, parent *ColumnKey, replace bool) (PutResult, error) {
 	if q == nil {
 		q = quant.NewFull()
 	}
@@ -594,6 +604,10 @@ func (s *Store) putColumn(key ColumnKey, vals []float32, q *quant.Quantizer, par
 			delete(s.columns, key)
 		case err != nil:
 			return PutResult{}, err
+		case replace:
+			// Caller asked to supersede the old payload (a grown open
+			// block): drop the mapping and store the new chunk below.
+			delete(s.columns, key)
 		default:
 			return PutResult{}, fmt.Errorf("colstore: column %s already stored with different content", key)
 		}

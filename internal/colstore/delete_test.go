@@ -194,3 +194,51 @@ func TestVerifyFindsGarbageAndCorruption(t *testing.T) {
 		t.Fatal("corruption not reported")
 	}
 }
+
+// TestPutColumnReplaceGrowsOpenBlock covers the streaming engine's
+// open-block lifecycle: the same key is re-put with ever longer prefixes
+// of a filling row block, each swap replacing the previous chunk without
+// the key ever going unresolvable, and the displaced chunks are reclaimed
+// by Compact.
+func TestPutColumnReplaceGrowsOpenBlock(t *testing.T) {
+	s := openTest(t, Config{})
+	k := key("live", "acts", "v", 0)
+	full := randCol(512, 7)
+
+	for _, n := range []int{100, 100, 256, 512} {
+		if _, err := s.PutColumnReplace(k, full[:n], nil); err != nil {
+			t.Fatalf("replace with %d rows: %v", n, err)
+		}
+		got, err := s.GetColumn(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("read %d rows after replace, want %d", len(got), n)
+		}
+		for i := range got {
+			if got[i] != full[i] {
+				t.Fatalf("row %d = %v, want %v", i, got[i], full[i])
+			}
+		}
+	}
+
+	// Plain PutColumn still rejects a conflicting re-put.
+	if _, err := s.PutColumn(k, full[:8], nil); err == nil {
+		t.Fatal("conflicting PutColumn accepted")
+	}
+
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetColumn(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(full) {
+		t.Fatalf("post-compact read %d rows, want %d", len(got), len(full))
+	}
+}

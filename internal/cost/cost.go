@@ -27,6 +27,11 @@ type Params struct {
 	InputBytesPerSec float64
 	// InputBytesPerExample is sizeof(ex) for the model's raw input.
 	InputBytesPerExample int64
+	// SampleBytesPerSec is the effective rate for scanning an in-memory
+	// reservoir sample — no decompression, no disk — used by
+	// SampleReadSeconds to keep the SAMPLE strategy's estimates honest
+	// against the estimate-vs-actual metrics.
+	SampleBytesPerSec float64
 }
 
 // DefaultParams returns conservative defaults used before calibration.
@@ -35,6 +40,7 @@ func DefaultParams() Params {
 		ReadBytesPerSec:      200e6,
 		InputBytesPerSec:     500e6,
 		InputBytesPerExample: 4 * 32 * 32 * 3,
+		SampleBytesPerSec:    800e6,
 	}
 }
 
@@ -84,6 +90,19 @@ func ChainReadSeconds(bytesPerRow int64, nEx int, depth int, p Params) float64 {
 	return ReadSeconds(bytesPerRow, nEx, p) * float64(depth+1)
 }
 
+// SampleReadSeconds estimates t_sample: the time to answer from an
+// in-memory reservoir of sampleRows rows at the sampled width. The rate
+// deliberately differs from ReadBytesPerSec — a sample scan pays neither
+// decompression nor disk — so READ vs SAMPLE selection reflects the real
+// asymmetry and shows up honestly in the estimate-vs-actual metrics.
+func SampleReadSeconds(sampleRows int64, bytesPerRow int64, p Params) float64 {
+	rate := p.SampleBytesPerSec
+	if rate <= 0 {
+		rate = DefaultParams().SampleBytesPerSec
+	}
+	return float64(sampleRows) * float64(bytesPerRow) / rate
+}
+
 // Strategy is the execution choice for a query.
 type Strategy int
 
@@ -92,11 +111,17 @@ const (
 	Read Strategy = iota
 	// Rerun recomputes the intermediate by executing the model.
 	Rerun
+	// Sample answers approximately from the reservoir sample, within an
+	// error bound.
+	Sample
 )
 
 func (s Strategy) String() string {
-	if s == Read {
+	switch s {
+	case Read:
 		return "READ"
+	case Sample:
+		return "SAMPLE"
 	}
 	return "RERUN"
 }

@@ -219,3 +219,29 @@ func TestCostEdgeCases(t *testing.T) {
 		}
 	})
 }
+
+func TestSampleReadSeconds(t *testing.T) {
+	p := Params{SampleBytesPerSec: 1e6}
+	if got := SampleReadSeconds(1000, 100, p); got != 0.1 {
+		t.Fatalf("SampleReadSeconds = %g, want 0.1", got)
+	}
+	// Unset rate falls back to the calibrated default rather than a free
+	// (zero-cost) estimate.
+	if got := SampleReadSeconds(1000, 100, Params{}); got <= 0 {
+		t.Fatalf("default-rate SampleReadSeconds = %g, want > 0", got)
+	}
+	// A sample scan at the default rates beats a full READ of the same
+	// intermediate whenever the sample is smaller than the population.
+	def := DefaultParams()
+	full := ReadSeconds(400, 100000, def)
+	approx := SampleReadSeconds(32768, 400, def)
+	if approx >= full {
+		t.Fatalf("sample scan (%g) not cheaper than full read (%g)", approx, full)
+	}
+}
+
+func TestSampleStrategyString(t *testing.T) {
+	if Read.String() != "READ" || Rerun.String() != "RERUN" || Sample.String() != "SAMPLE" {
+		t.Fatalf("strategy strings: %s/%s/%s", Read, Rerun, Sample)
+	}
+}

@@ -42,6 +42,11 @@ type File interface {
 // FS is the write-side filesystem surface the store needs.
 type FS interface {
 	CreateTemp(dir, pattern string) (File, error)
+	// OpenAppend opens (creating if absent) a file for appending — the
+	// write-ahead log's durability handle. Faults gate it under OpCreate;
+	// writes and syncs through the returned File fire OpWrite/OpSync like
+	// any other.
+	OpenAppend(name string) (File, error)
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
 	// SyncDir fsyncs a directory, making a preceding rename durable.
@@ -59,6 +64,10 @@ func (osFS) CreateTemp(dir, pattern string) (File, error) {
 		return nil, err
 	}
 	return f, nil
+}
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 }
 
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
@@ -255,6 +264,17 @@ func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
 		return nil, err
 	}
 	f, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{in: in, f: f}, nil
+}
+
+func (in *Injector) OpenAppend(name string) (File, error) {
+	if err := in.check(OpCreate, name); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.OpenAppend(name)
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,10 @@ const (
 	TRAD ModelKind = "trad"
 	// DNN is a deep neural network whose layers produce intermediates.
 	DNN ModelKind = "dnn"
+	// Stream is a live ingest source: a training job pushing batches over
+	// the HTTP API. Stream models have no stages and cannot be re-run —
+	// the cost model's RERUN strategy is unavailable for them.
+	Stream ModelKind = "stream"
 )
 
 // Stage describes one pipeline stage or network layer, including the
@@ -228,6 +232,35 @@ func (db *DB) RecordQuery(model, name string) (int64, error) {
 	it.QueryCount++
 	db.obsQueries.Inc()
 	return it.QueryCount, nil
+}
+
+// AddStreamRows advances a streaming intermediate's catalog shape after
+// the flush pipeline drains WAL rows into partitions: rows/blocks move
+// forward monotonically (replay may re-offer already-counted rows) and
+// the stored footprint grows by deltaBytes. The entry is marked
+// materialized on first growth.
+func (db *DB) AddStreamRows(model, name string, rows, blocks int, deltaBytes int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m, ok := db.models[model]
+	if !ok {
+		return fmt.Errorf("metadata: unknown model %q", model)
+	}
+	it, ok := m.byName[name]
+	if !ok {
+		return fmt.Errorf("metadata: unknown intermediate %s.%s", model, name)
+	}
+	if rows > it.Rows {
+		it.Rows = rows
+	}
+	if blocks > it.Blocks {
+		it.Blocks = blocks
+	}
+	if deltaBytes > 0 {
+		it.StoredBytes += deltaBytes
+	}
+	it.Materialized = it.Rows > 0
+	return nil
 }
 
 // SetMaterialized updates materialization state and footprint.

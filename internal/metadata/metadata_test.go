@@ -295,3 +295,44 @@ func TestSaveCrashAtRenameKeepsOldCatalog(t *testing.T) {
 		t.Fatalf("old catalog damaged: %v", err)
 	}
 }
+
+func TestAddStreamRows(t *testing.T) {
+	db := NewDB()
+	if err := db.AddStreamRows("none", "x", 1, 1, 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	db.RegisterModel(&Model{Name: "live", Kind: Stream})
+	if err := db.AddStreamRows("live", "acts", 1, 1, 1); err == nil {
+		t.Fatal("unknown intermediate accepted")
+	}
+	db.AddIntermediate("live", &Interm{Name: "acts", Columns: []string{"a", "b"}, QuantScheme: "FULL"})
+	if err := db.AddStreamRows("live", "acts", 2048, 2, 16384); err != nil {
+		t.Fatal(err)
+	}
+	it, _ := db.IntermSnapshot("live", "acts")
+	if it.Rows != 2048 || it.Blocks != 2 || it.StoredBytes != 16384 || !it.Materialized {
+		t.Fatalf("after stream growth: %+v", it)
+	}
+	// Replay re-offering already-counted rows must not move shape
+	// backwards, but bytes still accumulate when passed.
+	if err := db.AddStreamRows("live", "acts", 1024, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	it, _ = db.IntermSnapshot("live", "acts")
+	if it.Rows != 2048 || it.Blocks != 2 || it.StoredBytes != 16384 {
+		t.Fatalf("shape moved backwards: %+v", it)
+	}
+	// Stream models survive a catalog save/load round trip.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metadata.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Model("live").Kind != Stream {
+		t.Fatalf("stream kind lost: %q", db2.Model("live").Kind)
+	}
+}

@@ -1,0 +1,88 @@
+package sample
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func sampleForCodec(t *testing.T) *Sample {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	const n = 3000
+	labels := make([]float32, n)
+	vals := make([]float32, n)
+	for i := range labels {
+		labels[i] = float32(rng.Intn(3))
+		switch i % 50 {
+		case 0:
+			vals[i] = float32(math.NaN())
+		case 1:
+			vals[i] = float32(math.Inf(-1))
+		default:
+			vals[i] = rng.Float32() * 100
+		}
+	}
+	mb := NewMatrixBuilder([]string{"label", "act"}, n, labels,
+		Config{Cap: 200, StratumCap: 32, Seed: 5, StratifyColumn: "label"})
+	mb.SetColumn(0, labels)
+	mb.SetColumn(1, vals)
+	return mb.Finish()
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := sampleForCodec(t)
+	img := Encode("m1", "conv/act", s)
+	model, interm, got, err := Decode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model != "m1" || interm != "conv/act" {
+		t.Fatalf("identity = %q/%q", model, interm)
+	}
+	// NaN fields defeat DeepEqual; compare the encodings instead, which
+	// preserve exact bit patterns.
+	if !reflect.DeepEqual(Encode("m1", "conv/act", got), img) {
+		t.Fatal("re-encode of decode differs")
+	}
+	// And a resumed builder over the decoded sample keeps working.
+	b := Resume(got)
+	if err := b.Add([]float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecEmptySample(t *testing.T) {
+	b := NewBuilder([]string{"a"}, Config{Cap: 4})
+	img := Encode("m", "i", b.Snapshot())
+	_, _, got, err := Decode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seen != 0 || got.Rows() != 0 {
+		t.Fatalf("empty sample decoded as seen=%d k=%d", got.Seen, got.Rows())
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	s := sampleForCodec(t)
+	img := Encode("m1", "i1", s)
+	cases := map[string]func([]byte) []byte{
+		"truncated":  func(b []byte) []byte { return b[:len(b)/2] },
+		"empty":      func(b []byte) []byte { return nil },
+		"bad magic":  func(b []byte) []byte { c := clone(b); c[0] = 'X'; return c },
+		"bit flip":   func(b []byte) []byte { c := clone(b); c[len(c)/2] ^= 0x40; return c },
+		"bad crc":    func(b []byte) []byte { c := clone(b); c[len(c)-1] ^= 0xff; return c },
+		"trailing":   func(b []byte) []byte { return append(clone(b), 0xaa) },
+		"short head": func(b []byte) []byte { return b[:4] },
+	}
+	for name, mut := range cases {
+		if _, _, _, err := Decode(mut(img)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }

@@ -1,0 +1,144 @@
+package sample
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mistique/internal/faultfs"
+	"mistique/internal/obs"
+)
+
+// ManagerConfig wires a Manager.
+type ManagerConfig struct {
+	// Dir holds the MQSM files (created if absent).
+	Dir string
+	// FS is the write-side filesystem (OS() when nil); reads stay plain.
+	FS faultfs.FS
+	// Obs receives the manager's instruments (nil disables metrics).
+	Obs *obs.Registry
+}
+
+// Manager persists samples as checksummed MQSM files under the store's
+// temp→fsync→rename→syncdir discipline, one file per (model,
+// intermediate), hash-named with the real identity stored — and verified
+// — inside the file.
+type Manager struct {
+	dir string
+	fs  faultfs.FS
+	mu  sync.Mutex // serializes writes per manager; reads are lock-free
+
+	saves       *obs.Counter
+	loads       *obs.Counter
+	quarantines *obs.Counter
+	publishErrs *obs.Counter
+}
+
+// NewManager creates the sample directory and wires the instruments.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sample: %w", err)
+	}
+	fs := cfg.FS
+	if fs == nil {
+		fs = faultfs.OS()
+	}
+	r := cfg.Obs
+	return &Manager{
+		dir:         cfg.Dir,
+		fs:          fs,
+		saves:       r.Counter("mistique_sample_saves_total", "Sample snapshots persisted to disk."),
+		loads:       r.Counter("mistique_sample_loads_total", "Sample snapshots loaded from disk."),
+		quarantines: r.Counter("mistique_sample_quarantined_total", "Corrupt sample files removed."),
+		publishErrs: r.Counter("mistique_sample_publish_errors_total", "Sample persists that failed."),
+	}, nil
+}
+
+func (m *Manager) path(model, interm string) string {
+	h := fnv.New64a()
+	h.Write([]byte(model))
+	h.Write([]byte{0})
+	h.Write([]byte(interm))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], h.Sum64())
+	return filepath.Join(m.dir, fmt.Sprintf("smpl_%016x.mqsm", b))
+}
+
+// Save persists a sample snapshot. An error means the previous on-disk
+// snapshot (if any) is still intact — the publish is atomic.
+func (m *Manager) Save(model, interm string, s *Sample) error {
+	img := Encode(model, interm, s)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.writeFile(m.path(model, interm), img); err != nil {
+		m.publishErrs.Inc()
+		return fmt.Errorf("sample: persist %s/%s: %w", model, interm, err)
+	}
+	m.saves.Inc()
+	return nil
+}
+
+// Load returns the persisted sample for (model, interm), or (nil, nil)
+// when none exists. A corrupt or mismatched file is quarantined (removed)
+// and reported as absent: the sample is an accelerator, not a source of
+// truth, and the caller falls back to exact reads.
+func (m *Manager) Load(model, interm string) (*Sample, error) {
+	path := m.path(model, interm)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sample: read %s: %w", path, err)
+	}
+	gotModel, gotInterm, s, err := Decode(data)
+	if err != nil || gotModel != model || gotInterm != interm {
+		m.quarantines.Inc()
+		m.mu.Lock()
+		m.fs.Remove(path)
+		m.mu.Unlock()
+		return nil, nil
+	}
+	m.loads.Inc()
+	return s, nil
+}
+
+// Remove deletes the persisted sample for (model, interm), if any.
+func (m *Manager) Remove(model, interm string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fs.Remove(m.path(model, interm))
+}
+
+func (m *Manager) writeFile(path string, data []byte) error {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	f, err := m.fs.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func() { m.fs.Remove(tmp) }
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := m.fs.Rename(tmp, path); err != nil {
+		cleanup()
+		return err
+	}
+	return m.fs.SyncDir(dir)
+}

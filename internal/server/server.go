@@ -62,6 +62,17 @@ type Config struct {
 	// single-node service.
 	ShardName string
 
+	// TenantMaxInFlight bounds concurrently executing streaming-ingest
+	// requests per tenant (X-Mistique-Tenant header; empty shares the
+	// "default" bucket). Ingest holds a WAL fsync per batch, so one noisy
+	// tenant could otherwise monopolize the global semaphore. Default 8.
+	TenantMaxInFlight int
+	// TenantRowsPerSec bounds each tenant's acknowledged streaming rows
+	// per second with a token bucket (burst of one second's quota).
+	// Excess batches get 429 + Retry-After sized to the deficit. Zero
+	// disables rate accounting.
+	TenantRowsPerSec int
+
 	// queryGate, when non-nil, is called at the start of every admitted
 	// query-class request. Tests use it to hold requests in flight while
 	// they probe admission control and graceful drain.
@@ -78,6 +89,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.TenantMaxInFlight <= 0 {
+		c.TenantMaxInFlight = 8
+	}
 	return c
 }
 
@@ -92,11 +106,23 @@ type Server struct {
 	mu      sync.Mutex
 	httpSrv *http.Server
 
-	requests *obs.Counter
-	rejected *obs.Counter
-	errors5x *obs.Counter
-	inFlight *obs.Gauge
-	latency  *obs.Histogram
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantState
+
+	requests   *obs.Counter
+	rejected   *obs.Counter
+	errors5x   *obs.Counter
+	tenantShed *obs.Counter
+	inFlight   *obs.Gauge
+	latency    *obs.Histogram
+}
+
+// tenantState is one tenant's ingest admission bucket: an in-flight count
+// and a rows/sec token bucket refilled on demand.
+type tenantState struct {
+	inFlight int
+	tokens   float64
+	last     time.Time
 }
 
 // New wraps sys in a query service. The server registers its instruments
@@ -108,14 +134,16 @@ func New(sys *mistique.System, cfg Config) *Server {
 	s := &Server{
 		sys: sys,
 		cfg: cfg,
-		mux: http.NewServeMux(),
-		sem: make(chan struct{}, cfg.MaxInFlight),
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		tenants: make(map[string]*tenantState),
 
-		requests: reg.Counter("mistique_http_requests_total", "HTTP requests received (all endpoints)"),
-		rejected: reg.Counter("mistique_http_rejected_total", "requests rejected with 429 by the admission semaphore"),
-		errors5x: reg.Counter("mistique_http_errors_total", "requests answered with a 5xx status"),
-		inFlight: reg.Gauge("mistique_http_in_flight", "query-class requests currently executing"),
-		latency:  reg.Histogram("mistique_http_request_seconds", "wall time of one HTTP request, admission wait included"),
+		requests:   reg.Counter("mistique_http_requests_total", "HTTP requests received (all endpoints)"),
+		rejected:   reg.Counter("mistique_http_rejected_total", "requests rejected with 429 by the admission semaphore"),
+		errors5x:   reg.Counter("mistique_http_errors_total", "requests answered with a 5xx status"),
+		tenantShed: reg.Counter("mistique_http_tenant_rejected_total", "ingest batches rejected with 429 by a per-tenant quota"),
+		inFlight:   reg.Gauge("mistique_http_in_flight", "query-class requests currently executing"),
+		latency:    reg.Histogram("mistique_http_request_seconds", "wall time of one HTTP request, admission wait included"),
 	}
 	s.routes()
 	return s
@@ -132,6 +160,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/api/v1/topk", s.admitted(http.MethodPost, s.handleTopK))
 	s.mux.HandleFunc("/api/v1/rows", s.admitted(http.MethodPost, s.handleRows))
 	s.mux.HandleFunc("/api/v1/compact", s.admitted(http.MethodPost, s.handleCompact))
+
+	// Streaming ingest: admission-controlled globally AND per tenant.
+	s.mux.HandleFunc("/api/v1/ingest/{model}/{interm}", s.admitted(http.MethodPost, s.handleIngest))
+
+	// Approximate diagnosis: sampled answers with error bounds; exact
+	// fallback happens inside the engine, so these stay query-class.
+	s.mux.HandleFunc("/api/v1/approx/coldist", s.admitted(http.MethodPost, s.handleColDist))
+	s.mux.HandleFunc("/api/v1/approx/topk", s.admitted(http.MethodPost, s.handleApproxTopK))
+	s.mux.HandleFunc("/api/v1/approx/confusion", s.admitted(http.MethodPost, s.handleConfusion))
+	s.mux.HandleFunc("/api/v1/approx/rows", s.admitted(http.MethodPost, s.handleSampleRows))
 
 	// Catalog + estimates: cheap in-memory reads, never shed.
 	s.mux.HandleFunc("/api/v1/models", s.plain(http.MethodGet, s.handleModels))
@@ -240,6 +278,10 @@ func (s *Server) recoverPanic(w http.ResponseWriter) {
 // respond writes the payload or the error envelope.
 func (s *Server) respond(w http.ResponseWriter, payload any, err error) {
 	if err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) && ae.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int((ae.retryAfter+time.Second-1)/time.Second)))
+		}
 		status := errorStatus(err)
 		if status >= 500 {
 			s.errors5x.Inc()
@@ -260,10 +302,12 @@ func (s *Server) respond(w http.ResponseWriter, payload any, err error) {
 	w.Write([]byte("\n"))
 }
 
-// apiError carries an explicit status chosen at the decode/validate layer.
+// apiError carries an explicit status chosen at the decode/validate
+// layer, plus an optional Retry-After hint for 429s.
 type apiError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.msg }

@@ -1,0 +1,200 @@
+package server
+
+// Streaming ingest and approximate-query endpoints. Ingest batches pass
+// two admission layers: the global query semaphore (shared with every
+// query-class request) and a per-tenant quota — an in-flight bound plus a
+// rows/sec token bucket keyed on the X-Mistique-Tenant header — so one
+// chatty producer cannot starve other tenants' ingest or the query path's
+// fsync budget. The approx endpoints surface the engine's sampled query
+// variants; the requested max_error travels through and the engine
+// decides sample-vs-exact, so the handlers stay thin.
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"mistique/client"
+)
+
+// tenantName extracts the request's tenant bucket key.
+func tenantName(r *http.Request) string {
+	if t := r.Header.Get("X-Mistique-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// admitTenant charges one ingest batch of n rows to the tenant's quota.
+// It returns a release func on success, or a non-nil *apiError carrying
+// 429 and a Retry-After hint on rejection.
+func (s *Server) admitTenant(tenant string, n int) (release func(), err error) {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	ts, ok := s.tenants[tenant]
+	if !ok {
+		ts = &tenantState{tokens: float64(s.cfg.TenantRowsPerSec), last: time.Now()}
+		s.tenants[tenant] = ts
+	}
+	if ts.inFlight >= s.cfg.TenantMaxInFlight {
+		s.tenantShed.Inc()
+		return nil, &apiError{status: http.StatusTooManyRequests, retryAfter: s.cfg.RetryAfter,
+			msg: fmt.Sprintf("tenant %q over capacity: %d ingests in flight", tenant, ts.inFlight)}
+	}
+	if rate := float64(s.cfg.TenantRowsPerSec); rate > 0 {
+		now := time.Now()
+		ts.tokens = math.Min(rate, ts.tokens+now.Sub(ts.last).Seconds()*rate)
+		ts.last = now
+		if float64(n) > ts.tokens {
+			s.tenantShed.Inc()
+			return nil, &apiError{status: http.StatusTooManyRequests, retryAfter: s.tenantRetryAfter(n),
+				msg: fmt.Sprintf("tenant %q over rate: %d rows asked, %.0f available at %d rows/sec", tenant, n, ts.tokens, s.cfg.TenantRowsPerSec)}
+		}
+		ts.tokens -= float64(n)
+	}
+	ts.inFlight++
+	return func() {
+		s.tenantMu.Lock()
+		ts.inFlight--
+		s.tenantMu.Unlock()
+	}, nil
+}
+
+// tenantRetryAfter estimates how long the tenant should wait before the
+// bucket can admit n rows again.
+func (s *Server) tenantRetryAfter(n int) time.Duration {
+	if s.cfg.TenantRowsPerSec <= 0 {
+		return s.cfg.RetryAfter
+	}
+	d := time.Duration(float64(n) / float64(s.cfg.TenantRowsPerSec) * float64(time.Second))
+	if d < s.cfg.RetryAfter {
+		return s.cfg.RetryAfter
+	}
+	return d
+}
+
+func (s *Server) handleIngest(r *http.Request) (any, error) {
+	model, interm := r.PathValue("model"), r.PathValue("interm")
+	var req client.IngestRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Columns) == 0 || len(req.Rows) == 0 {
+		return nil, badRequest("ingest %s.%s needs columns and rows", model, interm)
+	}
+	release, err := s.admitTenant(tenantName(r), len(req.Rows))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	rows := make([][]float32, len(req.Rows))
+	for i, wr := range req.Rows {
+		rows[i] = client.Floats(wr)
+	}
+	res, err := s.sys.IngestRows(model, interm, req.Columns, rows)
+	if err != nil {
+		return nil, err
+	}
+	return client.IngestResponse{
+		Model:        res.Model,
+		Intermediate: res.Intermediate,
+		Rows:         res.Rows,
+		FlushedRows:  res.FlushedRows,
+		WALBytes:     res.WALBytes,
+	}, nil
+}
+
+func (s *Server) handleColDist(r *http.Request) (any, error) {
+	var req client.ColDistRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Model == "" || req.Intermediate == "" || req.Column == "" {
+		return nil, badRequest("coldist needs model, intermediate and column")
+	}
+	d, err := s.sys.ColDistCtx(r.Context(), req.Model, req.Intermediate, req.Column, req.MaxError)
+	if err != nil {
+		return nil, err
+	}
+	return client.ColDistResponse{
+		Model: d.Model, Intermediate: d.Intermediate, Column: d.Column,
+		Rows: d.Rows, Finite: d.Finite, NaN: d.NaN, PosInf: d.PosInf, NegInf: d.NegInf,
+		Min: client.F32(d.Min), Max: client.F32(d.Max),
+		Mean: d.Mean, MeanBound: d.MeanBound, Std: d.Std,
+		P50: client.F32(d.P50), P50RankBound: d.P50RankBound,
+		SampleRows: d.SampleRows, Strategy: d.Strategy.String(), FetchSeconds: d.FetchSeconds,
+	}, nil
+}
+
+func (s *Server) handleApproxTopK(r *http.Request) (any, error) {
+	var req client.ApproxTopKRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Model == "" || req.Intermediate == "" || req.Column == "" {
+		return nil, badRequest("approx topk needs model, intermediate and column")
+	}
+	if req.K <= 0 {
+		return nil, badRequest("approx topk needs k > 0, got %d", req.K)
+	}
+	a, err := s.sys.ApproxTopKCtx(r.Context(), req.Model, req.Intermediate, req.Column, req.K, req.MaxError)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]client.ApproxTopKEntry, len(a.Entries))
+	for i, e := range a.Entries {
+		entries[i] = client.ApproxTopKEntry{Row: e.Row, Value: client.F32(e.Value)}
+	}
+	return client.ApproxTopKResponse{
+		Model: a.Model, Intermediate: a.Intermediate, Column: a.Column,
+		Entries: entries, RankBound: a.RankBound,
+		Rows: a.Rows, SampleRows: a.SampleRows,
+		Strategy: a.Strategy.String(), FetchSeconds: a.FetchSeconds,
+	}, nil
+}
+
+func (s *Server) handleConfusion(r *http.Request) (any, error) {
+	var req client.ConfusionRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Model == "" || req.Intermediate == "" || req.LabelCol == "" || req.PredCol == "" {
+		return nil, badRequest("confusion needs model, intermediate, label_col and pred_col")
+	}
+	cm, err := s.sys.ConfusionMatrixCtx(r.Context(), req.Model, req.Intermediate, req.LabelCol, req.PredCol, req.MaxError)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]client.ConfusionCell, len(cm.Cells))
+	for i, c := range cm.Cells {
+		cells[i] = client.ConfusionCell{Label: client.F32(c.Label), Pred: client.F32(c.Pred), Count: c.Count, Bound: c.Bound}
+	}
+	return client.ConfusionResponse{
+		Model: cm.Model, Intermediate: cm.Intermediate,
+		LabelCol: cm.LabelCol, PredCol: cm.PredCol,
+		Cells: cells, Rows: cm.Rows, Stratified: cm.Stratified,
+		MaxBound: cm.MaxBound, SampleRows: cm.SampleRows,
+		Strategy: cm.Strategy.String(), FetchSeconds: cm.FetchSeconds,
+	}, nil
+}
+
+func (s *Server) handleSampleRows(r *http.Request) (any, error) {
+	var req client.SampleRowsRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Model == "" || req.Intermediate == "" {
+		return nil, badRequest("approx rows needs model and intermediate")
+	}
+	res, err := s.sys.GetIntermediateApproxCtx(r.Context(), req.Model, req.Intermediate, req.Cols, req.MaxRows)
+	if err != nil {
+		return nil, err
+	}
+	return client.SampleRowsResponse{
+		Model: res.Model, Intermediate: res.Intermediate,
+		Cols: res.Cols, RowIDs: res.RowIDs, Data: matrixRows(res.Data),
+		Rows: res.Rows, Strategy: res.Strategy.String(), FetchSeconds: res.FetchSeconds,
+	}, nil
+}

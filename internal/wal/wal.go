@@ -1,0 +1,287 @@
+// Package wal implements the write-ahead log behind the streaming ingest
+// path: an append-only file of CRC-framed records that is fsynced before a
+// batch is acknowledged, replayed on open, and rewritten (shrunk to the
+// un-flushed tail) after the column store makes the drained prefix durable.
+//
+// The contract the engine builds on:
+//
+//   - Append returns only after the record's bytes and the fsync hit the
+//     file, so an acknowledged batch survives any later crash.
+//   - Open decodes the existing file and truncates a torn tail — the
+//     debris a crash mid-append leaves — back to the last whole record.
+//     Everything before the tear is returned intact; nothing after a valid
+//     frame is ever invented.
+//   - Rewrite atomically replaces the log's contents (temp → fsync →
+//     rename → dir fsync), which is how a flush discards records whose
+//     rows now live in durable partitions.
+//
+// File layout:
+//
+//	8 B   header  "MQWL" 0x01 0x00 0x00 0x00
+//	per record:
+//	  u32 LE  length of payload
+//	  u32 LE  CRC32-C of payload
+//	  length B payload (opaque to this package)
+//
+// Writes go through faultfs so the crash matrix can tear an append at an
+// arbitrary byte; reads use plain os calls, mirroring the column store.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mistique/internal/faultfs"
+)
+
+// ErrCorrupt marks a log whose header is unrecognized. Torn tails are not
+// corruption — Open truncates them silently — but a file that is not a WAL
+// at all must not be clobbered.
+var ErrCorrupt = errors.New("wal: corrupt log file")
+
+var header = [8]byte{'M', 'Q', 'W', 'L', 1, 0, 0, 0}
+
+// maxRecordBytes bounds one record (64 MiB): a length field beyond it is
+// treated as a torn/garbage tail, keeping hostile files from ballooning
+// allocation during replay.
+const maxRecordBytes = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode parses a log image, returning the whole records and the byte
+// length of the valid prefix (header included). A short, torn or
+// CRC-mismatched tail simply ends the valid prefix — records before it are
+// returned. A file too short to hold the header decodes as empty (validLen
+// 0); a file with a wrong magic returns ErrCorrupt.
+func Decode(data []byte) (records [][]byte, validLen int64, err error) {
+	if len(data) < len(header) {
+		return nil, 0, nil
+	}
+	for i, b := range header {
+		if data[i] != b {
+			return nil, 0, ErrCorrupt
+		}
+	}
+	off := int64(len(header))
+	for {
+		rest := data[off:]
+		if len(rest) < 8 {
+			return records, off, nil
+		}
+		n := int64(binary.LittleEndian.Uint32(rest[:4]))
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if n > maxRecordBytes || int64(len(rest)) < 8+n {
+			return records, off, nil
+		}
+		payload := rest[8 : 8+n]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return records, off, nil
+		}
+		records = append(records, payload)
+		off += 8 + n
+	}
+}
+
+// Log is one open write-ahead log. Safe for concurrent use.
+type Log struct {
+	fs   faultfs.FS
+	path string
+
+	mu   sync.Mutex
+	f    faultfs.File
+	size int64
+	// appends/syncs count the durability work done, for the engine's
+	// mistique_wal_* metrics (read via Stats).
+	appends int64
+	syncs   int64
+}
+
+// OpenResult reports what Open found.
+type OpenResult struct {
+	// Records are the whole records replayed from the existing file, in
+	// append order. The byte slices alias one buffer; callers consume them
+	// before the next Append.
+	Records [][]byte
+	// TornBytes is how many trailing bytes were discarded as a torn tail
+	// (0 on a clean file).
+	TornBytes int64
+}
+
+// Open opens (creating if absent) the log at path, replaying its records
+// and truncating any torn tail. fs nil uses the real filesystem.
+func Open(path string, fs faultfs.FS) (*Log, OpenResult, error) {
+	if fs == nil {
+		fs = faultfs.OS()
+	}
+	var res OpenResult
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, res, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	records, validLen, err := Decode(data)
+	if err != nil {
+		return nil, res, fmt.Errorf("%w: %s", ErrCorrupt, path)
+	}
+	res.Records = records
+	if int64(len(data)) > validLen {
+		res.TornBytes = int64(len(data)) - validLen
+	}
+	l := &Log{fs: fs, path: path}
+	if validLen == 0 {
+		// Empty or headerless: start a fresh log (atomically, so a crash
+		// here leaves either the old file or a whole new one).
+		if err := l.rewriteLocked(nil); err != nil {
+			return nil, res, err
+		}
+	} else if res.TornBytes > 0 {
+		// Shrink to the valid prefix via the same atomic publish; the torn
+		// bytes never reappear after a crash mid-rewrite.
+		if err := l.rewriteLocked(records); err != nil {
+			return nil, res, err
+		}
+	} else {
+		f, err := fs.OpenAppend(path)
+		if err != nil {
+			return nil, res, fmt.Errorf("wal: open %s: %w", path, err)
+		}
+		l.f, l.size = f, validLen
+	}
+	return l, res, nil
+}
+
+// Append frames, writes and fsyncs one record; when it returns nil the
+// record is durable.
+func (l *Log) Append(payload []byte) error {
+	return l.AppendBatch([][]byte{payload})
+}
+
+// AppendBatch appends several records under one fsync.
+func (l *Log) AppendBatch(payloads [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: %s is closed", l.path)
+	}
+	var frame [8]byte
+	wrote := int64(0)
+	for _, p := range payloads {
+		if int64(len(p)) > maxRecordBytes {
+			return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte cap", len(p), maxRecordBytes)
+		}
+		binary.LittleEndian.PutUint32(frame[:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(p, castagnoli))
+		if _, err := l.f.Write(frame[:]); err != nil {
+			return fmt.Errorf("wal: append %s: %w", l.path, err)
+		}
+		if _, err := l.f.Write(p); err != nil {
+			return fmt.Errorf("wal: append %s: %w", l.path, err)
+		}
+		wrote += 8 + int64(len(p))
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", l.path, err)
+	}
+	l.size += wrote
+	l.appends += int64(len(payloads))
+	l.syncs++
+	return nil
+}
+
+// Rewrite atomically replaces the log's contents with the given records —
+// the flush path's truncation: records whose rows reached durable
+// partitions are dropped, the still-pending tail is kept.
+func (l *Log) Rewrite(payloads [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rewriteLocked(payloads)
+}
+
+func (l *Log) rewriteLocked(payloads [][]byte) error {
+	dir := filepath.Dir(l.path)
+	f, err := l.fs.CreateTemp(dir, filepath.Base(l.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("wal: rewrite %s: %w", l.path, err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		l.fs.Remove(tmp)
+		return fmt.Errorf("wal: rewrite %s: %w", l.path, err)
+	}
+	if _, err := f.Write(header[:]); err != nil {
+		return fail(err)
+	}
+	size := int64(len(header))
+	var frame [8]byte
+	for _, p := range payloads {
+		binary.LittleEndian.PutUint32(frame[:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(p, castagnoli))
+		if _, err := f.Write(frame[:]); err != nil {
+			return fail(err)
+		}
+		if _, err := f.Write(p); err != nil {
+			return fail(err)
+		}
+		size += 8 + int64(len(p))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		l.fs.Remove(tmp)
+		return fmt.Errorf("wal: rewrite %s: %w", l.path, err)
+	}
+	if err := l.fs.Rename(tmp, l.path); err != nil {
+		l.fs.Remove(tmp)
+		return fmt.Errorf("wal: publish %s: %w", l.path, err)
+	}
+	if err := l.fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: sync dir %s: %w", dir, err)
+	}
+	// Swap the append handle to the new file.
+	if l.f != nil {
+		l.f.Close()
+	}
+	nf, err := l.fs.OpenAppend(l.path)
+	if err != nil {
+		l.f = nil
+		return fmt.Errorf("wal: reopen %s: %w", l.path, err)
+	}
+	l.f, l.size = nf, size
+	l.syncs++
+	return nil
+}
+
+// Size returns the current file size in bytes (header included).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Stats returns cumulative append and fsync counts.
+func (l *Log) Stats() (appends, syncs int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.syncs
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close releases the append handle. The file remains for the next Open.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -47,6 +47,22 @@ type systemMetrics struct {
 	materializations    *obs.Counter
 	slowQueries         *obs.Counter
 
+	// Approximate (SAMPLE) query path.
+	sampleBuilds       *obs.Counter
+	sampleQueries      *obs.Counter
+	sampleFallbacks    *obs.Counter
+	querySampleSeconds *obs.Histogram
+	costSampleRelErr   *obs.Histogram
+
+	// Streaming ingest / WAL.
+	streamBatches      *obs.Counter
+	streamRows         *obs.Counter
+	walAppendBytes     *obs.Counter
+	walReplays         *obs.Counter
+	walReplayedRecords *obs.Counter
+	walRewrites        *obs.Counter
+	walTruncatedTails  *obs.Counter
+
 	// Recovery.
 	rerunFallbacks *obs.Counter
 	heals          *obs.Counter
@@ -80,6 +96,20 @@ func newSystemMetrics() *systemMetrics {
 		materializations:    reg.Counter("mistique_adaptive_materializations_total", "intermediates materialized by a query crossing the gamma threshold"),
 		slowQueries:         reg.Counter("mistique_slow_queries_total", "queries recorded in the slow-query log"),
 
+		sampleBuilds:       reg.Counter("mistique_sample_builds_total", "reservoir samples built at ingest"),
+		sampleQueries:      reg.Counter("mistique_sample_queries_total", "approximate queries answered from a sample"),
+		sampleFallbacks:    reg.Counter("mistique_sample_fallbacks_total", "approximate queries that fell back to the exact path (no sample, missing column, or bound wider than requested)"),
+		querySampleSeconds: reg.Histogram("mistique_query_sample_seconds", "fetch wall time of queries answered by SAMPLE"),
+		costSampleRelErr:   reg.Histogram("mistique_cost_sample_rel_error", "cost-model relative error |est-actual|/actual for SAMPLE queries"),
+
+		streamBatches:      reg.Counter("mistique_stream_batches_total", "streaming ingest batches acknowledged"),
+		streamRows:         reg.Counter("mistique_stream_rows_total", "streaming ingest rows acknowledged"),
+		walAppendBytes:     reg.Counter("mistique_wal_append_bytes_total", "bytes appended to stream WALs (frames included)"),
+		walReplays:         reg.Counter("mistique_wal_replays_total", "stream WALs replayed at Open"),
+		walReplayedRecords: reg.Counter("mistique_wal_replayed_records_total", "batch records re-offered during WAL replay"),
+		walRewrites:        reg.Counter("mistique_wal_rewrites_total", "WAL checkpoints (rewrites back to the header) at Flush"),
+		walTruncatedTails:  reg.Counter("mistique_wal_truncated_tails_total", "torn WAL tails truncated at Open"),
+
 		rerunFallbacks: reg.Counter("mistique_query_rerun_fallbacks_total", "READ queries transparently recovered by re-running the model"),
 		heals:          reg.Counter("mistique_heals_total", "heal-and-retry re-materializations on scan/row-range paths"),
 		healSeconds:    reg.Histogram("mistique_heal_seconds", "re-materialization time of one healed intermediate"),
@@ -110,6 +140,17 @@ func (m *systemMetrics) observeQuery(res *Result) {
 	}
 	if est > 0 && actual > 0 {
 		relErr.Observe(absFloat(est-actual) / actual)
+	}
+}
+
+// observeSample records one approximate query answered from a sample:
+// latency, plus the SAMPLE strategy's estimate-vs-actual relative error —
+// the same honesty signal the READ/RERUN paths feed.
+func (m *systemMetrics) observeSample(est, actual float64) {
+	m.sampleQueries.Inc()
+	m.querySampleSeconds.Observe(actual)
+	if est > 0 && actual > 0 {
+		m.costSampleRelErr.Observe(absFloat(est-actual) / actual)
 	}
 }
 
@@ -150,6 +191,11 @@ func (s *System) Metrics() *obs.Snapshot {
 	g("mistique_store_partitions", "partitions known to the store", st.Partitions)
 	g("mistique_store_logical_bytes", "encoded bytes before dedup (STORE_ALL footprint)", st.LogicalBytes)
 	g("mistique_store_stored_bytes", "encoded bytes actually kept (pre-compression)", st.StoredBytes)
+	appends, syncs, walBytes, nStreams := s.streamWALStats()
+	fold("mistique_wal_appends_total", "records appended across live stream WALs", appends)
+	fold("mistique_wal_fsyncs_total", "fsyncs issued by live stream WALs", syncs)
+	g("mistique_wal_bytes", "current total size of live stream WAL files", walBytes)
+	g("mistique_streams", "live streaming-ingest states", int64(nStreams))
 	return snap
 }
 
@@ -190,6 +236,9 @@ const slowQueryLogName = "slow_queries.jsonl"
 // noteSlowQuery appends a record to the slow-query log when the query's
 // wall time crossed Config.SlowQueryThreshold. Best effort: a failed
 // append drops the record (the counter still moves), never the query.
+// The log is size-bounded: past Config.SlowQueryLogMaxBytes it rotates to
+// slow_queries.jsonl.1, replacing the previous generation, so the log's
+// footprint stays under two generations no matter how long the server runs.
 func (s *System) noteSlowQuery(rec slowQueryRecord) {
 	if s.cfg.SlowQueryThreshold <= 0 || rec.Seconds < s.cfg.SlowQueryThreshold.Seconds() {
 		return
@@ -202,12 +251,26 @@ func (s *System) noteSlowQuery(rec slowQueryRecord) {
 	}
 	s.slowMu.Lock()
 	defer s.slowMu.Unlock()
+	path := filepath.Join(s.dir, slowQueryLogName)
 	if s.slowLog == nil {
-		f, err := os.OpenFile(filepath.Join(s.dir, slowQueryLogName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return
 		}
 		s.slowLog = f
+		if fi, err := f.Stat(); err == nil {
+			s.slowSize = fi.Size()
+		}
 	}
-	fmt.Fprintf(s.slowLog, "%s\n", line)
+	if n, err := fmt.Fprintf(s.slowLog, "%s\n", line); err == nil {
+		s.slowSize += int64(n)
+	}
+	if s.slowSize < s.cfg.SlowQueryLogMaxBytes {
+		return
+	}
+	// Rotate: the current log becomes the single kept generation.
+	s.slowLog.Close()
+	s.slowLog = nil
+	s.slowSize = 0
+	os.Rename(path, path+".1")
 }

@@ -234,3 +234,56 @@ func TestMetricsDisabledSlowLog(t *testing.T) {
 		t.Fatalf("slow_queries_total = %d with threshold disabled", n)
 	}
 }
+
+// TestSlowQueryLogRotation drives the slow-query log past its byte bound
+// and checks the single-generation rotation: the live file is cut over to
+// slow_queries.jsonl.1 and both stay valid JSON-lines.
+func TestSlowQueryLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{SlowQueryThreshold: time.Nanosecond, SlowQueryLogMaxBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logDemo(t, s)
+	for i := 0; i < 12; i++ {
+		if _, err := s.GetIntermediate("demo", "model", []string{"pred"}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gen1 := filepath.Join(dir, "slow_queries.jsonl.1")
+	st, err := os.Stat(gen1)
+	if err != nil {
+		t.Fatalf("no rotated generation: %v", err)
+	}
+	if st.Size() < 512 {
+		t.Fatalf("rotated generation only %d bytes, rotation fired early", st.Size())
+	}
+	lines := 0
+	for _, path := range []string{filepath.Join(dir, "slow_queries.jsonl"), gen1} {
+		blob, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(bytes.NewReader(blob))
+		for sc.Scan() {
+			var rec map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				t.Fatalf("%s: bad line %q: %v", path, sc.Text(), err)
+			}
+			lines++
+		}
+	}
+	if lines == 0 {
+		t.Fatal("no slow-query lines survived rotation")
+	}
+	if lines > 12 {
+		t.Fatalf("%d lines across two generations, want <= 12", lines)
+	}
+}

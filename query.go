@@ -124,13 +124,23 @@ func (s *System) GetIntermediateCtx(ctx context.Context, model, interm string, c
 	costP := s.CostParams()
 	bytesPerRow := s.bytesPerRow(m, &it)
 	res.EstReadSecs = cost.ChainReadSeconds(bytesPerRow, nEx, s.store.MaxDeltaDepth(model, interm), costP)
-	res.EstRerunSecs, err = cost.RerunSeconds(m, it.StageIndex, nEx, costP)
-	if err != nil {
-		return nil, err
-	}
-	res.Strategy = cost.Rerun
-	if it.Materialized && cost.Choose(res.EstRerunSecs, res.EstReadSecs) == cost.Read {
+	if m.Kind == metadata.Stream {
+		// Stream models have no stages: RERUN is unavailable and READ is
+		// the only exact strategy (the approximate path — ColDist,
+		// ApproxTopK, ConfusionMatrix — answers from the sampler instead).
+		if !it.Materialized {
+			return nil, fmt.Errorf("mistique: stream %s.%s %w; no rows flushed yet", model, interm, ErrNotMaterialized)
+		}
 		res.Strategy = cost.Read
+	} else {
+		res.EstRerunSecs, err = cost.RerunSeconds(m, it.StageIndex, nEx, costP)
+		if err != nil {
+			return nil, err
+		}
+		res.Strategy = cost.Rerun
+		if it.Materialized && cost.Choose(res.EstRerunSecs, res.EstReadSecs) == cost.Read {
+			res.Strategy = cost.Read
+		}
 	}
 
 	start := time.Now()
@@ -279,6 +289,10 @@ func (s *System) Estimate(model, interm string, nEx int) (readSecs, rerunSecs fl
 	}
 	costP := s.CostParams()
 	readSecs = cost.ChainReadSeconds(s.bytesPerRow(m, &it), nEx, s.store.MaxDeltaDepth(model, interm), costP)
+	if m.Kind == metadata.Stream {
+		// No stages to re-run: the READ estimate is the whole story.
+		return readSecs, 0, nil
+	}
 	rerunSecs, err = cost.RerunSeconds(m, it.StageIndex, nEx, costP)
 	return readSecs, rerunSecs, err
 }
@@ -364,6 +378,8 @@ func (s *System) rerunMatrix(ctx context.Context, m *metadata.Model, it *metadat
 		return s.rerunTRAD(ctx, m.Name, it, cols, nEx)
 	case metadata.DNN:
 		return s.rerunDNN(ctx, m.Name, it, cols, nEx)
+	case metadata.Stream:
+		return nil, fmt.Errorf("mistique: stream model %s cannot be re-run; its rows exist only in the store and the WAL", m.Name)
 	}
 	return nil, fmt.Errorf("mistique: model %s has unknown kind %q", m.Name, m.Kind)
 }
